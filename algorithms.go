@@ -1,0 +1,123 @@
+package calibsched
+
+import (
+	"calibsched/internal/baseline"
+	"calibsched/internal/lowerbound"
+	"calibsched/internal/online"
+	"calibsched/internal/transform"
+)
+
+// Online algorithm plumbing re-exported from the implementation package.
+type (
+	// Result is an online algorithm run: the schedule plus one Trigger
+	// per calibration explaining why it happened.
+	Result = online.Result
+	// Trigger labels a calibration's cause (flow, count, weight,
+	// queue-full, immediate).
+	Trigger = online.Trigger
+	// Option tunes algorithm variants (ablation switches, naive
+	// stepping).
+	Option = online.Option
+)
+
+// Trigger values.
+const (
+	TriggerNone      = online.TriggerNone
+	TriggerFlow      = online.TriggerFlow
+	TriggerCount     = online.TriggerCount
+	TriggerWeight    = online.TriggerWeight
+	TriggerQueueFull = online.TriggerQueueFull
+	TriggerImmediate = online.TriggerImmediate
+)
+
+// Alg1 runs the paper's Algorithm 1: online scheduling of unweighted jobs
+// on one machine with calibration cost g; 3-competitive (Theorem 3.3).
+func Alg1(in *Instance, g int64, opts ...Option) (*Result, error) {
+	return online.Alg1(in, g, opts...)
+}
+
+// Alg2 runs the paper's Algorithm 2: online scheduling of weighted jobs on
+// one machine; 12-competitive (Theorem 3.8).
+func Alg2(in *Instance, g int64, opts ...Option) (*Result, error) {
+	return online.Alg2(in, g, opts...)
+}
+
+// Alg3 runs the paper's Algorithm 3: online scheduling of unweighted jobs
+// on multiple machines; 12-competitive (Theorem 3.10). By default the
+// final assignment replays the calendar through Observation 2.1, as the
+// paper recommends for practice.
+func Alg3(in *Instance, g int64, opts ...Option) (*Result, error) {
+	return online.Alg3(in, g, opts...)
+}
+
+// Alg2Multi schedules weighted jobs on multiple machines — the setting the
+// paper leaves open. EXTENSION, not from the paper: Algorithm 2's triggers
+// drive Algorithm 3's round-robin calendar; no ratio is proved, and
+// experiment E15 measures it against the weighted Figure 1 LP bound.
+func Alg2Multi(in *Instance, g int64, opts ...Option) (*Result, error) {
+	return online.Alg2Multi(in, g, opts...)
+}
+
+// AssignTimes optimally assigns jobs given fixed calibration times
+// (Observation 2.1): machines round-robin, heaviest waiting job first.
+func AssignTimes(in *Instance, times []int64) (*Schedule, error) {
+	return online.AssignTimes(in, times)
+}
+
+// Stepper drives Algorithm 1 or 2 one time step at a time — the literal
+// online interaction model (see NewAlg1Stepper / NewAlg2Stepper).
+type Stepper = online.Stepper
+
+// StepEvent reports what a Stepper did during one step.
+type StepEvent = online.StepEvent
+
+// NewAlg1Stepper returns an incremental Algorithm 1.
+func NewAlg1Stepper(t, g int64, opts ...Option) *Stepper { return online.NewAlg1Stepper(t, g, opts...) }
+
+// NewAlg2Stepper returns an incremental Algorithm 2.
+func NewAlg2Stepper(t, g int64, opts ...Option) *Stepper { return online.NewAlg2Stepper(t, g, opts...) }
+
+// Algorithm-variant options (see DESIGN.md ablation index).
+var (
+	// WithNaiveStepping forces per-time-step simulation instead of the
+	// event-skipping loop (they are equivalent; useful for tracing).
+	WithNaiveStepping = online.WithNaiveStepping
+	// WithoutImmediateCalibrations disables Algorithm 1's immediate rule.
+	WithoutImmediateCalibrations = online.WithoutImmediateCalibrations
+	// WithLightestFirst makes Algorithm 2 extract the lightest job, the
+	// paper's literal line 13.
+	WithLightestFirst = online.WithLightestFirst
+	// WithFlowTriggerOnly reduces Algorithm 1/2 to pure ski-rental.
+	WithFlowTriggerOnly = online.WithFlowTriggerOnly
+	// WithoutObservationReplay keeps Algorithm 3's explicit packing.
+	WithoutObservationReplay = online.WithoutObservationReplay
+)
+
+// ReleaseOrder applies the Lemma 3.4 transformation: rewrite a
+// single-machine schedule into release-time order without delaying any job
+// and at most doubling the calibrations.
+func ReleaseOrder(in *Instance, s *Schedule) (*Schedule, error) {
+	return transform.ReleaseOrder(in, s)
+}
+
+// Baselines for comparison (experiment E9); none is constant-competitive.
+var (
+	// Immediate calibrates on demand so every job runs as early as
+	// possible.
+	Immediate = baseline.Immediate
+	// AlwaysCalibrated keeps the machine calibrated back-to-back.
+	AlwaysCalibrated = baseline.AlwaysCalibrated
+	// Periodic calibrates on a fixed stride.
+	Periodic = baseline.Periodic
+	// FlowThreshold is the pure ski-rental rule.
+	FlowThreshold = baseline.FlowThreshold
+)
+
+// AdversaryOutcome reports one game of the Lemma 3.1 adversary.
+type AdversaryOutcome = lowerbound.Outcome
+
+// PlayAdversary runs the Lemma 3.1 lower-bound adversary against any
+// deterministic single-machine online algorithm.
+func PlayAdversary(alg func(in *Instance, g int64) (*Schedule, error), t, g int64) (*AdversaryOutcome, error) {
+	return lowerbound.Play(lowerbound.Algorithm(alg), t, g)
+}

@@ -1,0 +1,50 @@
+package calibsched
+
+import (
+	"calibsched/internal/analysis"
+)
+
+// Structural-analysis toolkit: the objects the paper's proofs reason about,
+// exposed so downstream research can measure them on real schedules.
+type (
+	// IntervalStat describes one calibrated interval (fullness, flow, net
+	// flow, whether it follows an uncalibrated gap).
+	IntervalStat = analysis.Interval
+	// SequenceStat is the paper's Section 3.2 sequence: a maximal run of
+	// consecutive intervals in which all but the last is full.
+	SequenceStat = analysis.Sequence
+)
+
+// Intervals computes per-interval statistics for machine m of a valid
+// schedule, in start order.
+func Intervals(in *Instance, s *Schedule, m int) []IntervalStat {
+	return analysis.Intervals(in, s, m)
+}
+
+// Sequences partitions machine m's intervals into Section 3.2 sequences.
+func Sequences(in *Instance, s *Schedule, m int) []SequenceStat {
+	return analysis.Sequences(in, s, m)
+}
+
+// OptR computes the optimal release-ordered single-machine schedule for
+// the G-cost objective by exhaustive search (tiny instances only; see
+// OptRFast for the polynomial solver).
+func OptR(in *Instance, g int64) (*Schedule, error) { return analysis.OptR(in, g) }
+
+// OptRFast computes the optimal release-ordered single-machine schedule
+// in polynomial time via a FIFO adaptation of the paper's Section 4
+// dynamic program, cross-validated against OptR.
+func OptRFast(in *Instance, g int64) (*Schedule, error) { return analysis.OptRFast(in, g) }
+
+// CheckLemma32 verifies the paper's Lemma 3.2 (strict reading) on a pair
+// (Algorithm 1 schedule, release-ordered optimal schedule); nil means no
+// violation.
+func CheckLemma32(in *Instance, alg, opt *Schedule) error {
+	return analysis.CheckLemma32(in, alg, opt)
+}
+
+// CheckLemma36 verifies the paper's Lemma 3.6 on a pair (Algorithm 2
+// schedule, OPT_r schedule); nil means no violation.
+func CheckLemma36(in *Instance, alg, optR *Schedule) error {
+	return analysis.CheckLemma36(in, alg, optR)
+}

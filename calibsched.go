@@ -1,0 +1,83 @@
+// Package calibsched is a complete implementation of the algorithms from
+// Chau, McCauley, Li, and Wang, "Minimizing Total Weighted Flow Time with
+// Calibrations" (SPAA 2017).
+//
+// Machines must be calibrated (cost G, instantaneous) before running jobs,
+// and a calibration lasts T time steps. Unit-length jobs arrive over time
+// with weights; the objective trades the total weighted flow time of the
+// jobs against the money spent on calibrations.
+//
+// The package offers:
+//
+//   - Online algorithms (Section 3 of the paper): Alg1 (3-competitive,
+//     one machine, unweighted), Alg2 (12-competitive, one machine,
+//     weighted), and Alg3 (12-competitive, multiple machines, unweighted),
+//     plus AssignTimes, the Observation 2.1 optimal list scheduler for a
+//     fixed set of calibration times.
+//   - Exact offline optimization (Section 4): OptimalFlow solves the
+//     budgeted problem with the paper's O(K n^3) dynamic program;
+//     BudgetSweep traces the whole flow-versus-budget frontier; and
+//     OptimalTotalCost converts to the online objective.
+//   - The Lemma 3.4 release-order transformation, the Lemma 3.1 lower
+//     bound adversary, naive baselines, workload generators, and schedule
+//     rendering/export.
+//
+// Quick start:
+//
+//	in := calibsched.MustInstance(1, 10, []int64{0, 3, 25}, []int64{1, 1, 1})
+//	res, _ := calibsched.Alg1(in, 20) // calibration cost G = 20
+//	fmt.Println(calibsched.TotalCost(in, res.Schedule, 20))
+//	opt, _, _, _ := calibsched.OptimalTotalCost(in, 20)
+//	fmt.Println(opt)
+//
+// All quantities are exact int64 arithmetic; all randomness in the
+// workload generators is explicitly seeded.
+package calibsched
+
+import (
+	"calibsched/internal/core"
+)
+
+// Core model types; see the respective type documentation in the paper's
+// terms: a Job is unit length with a release time and weight, an Instance
+// fixes the machine count P and calibration length T, a Schedule pairs a
+// calibration Calendar with one Assignment per job.
+type (
+	// Job is one unit-length job.
+	Job = core.Job
+	// Instance is a problem instance (jobs, P machines, length-T
+	// calibrations).
+	Instance = core.Instance
+	// Schedule is a calendar plus per-job assignments.
+	Schedule = core.Schedule
+	// Calendar is a set of calibrations.
+	Calendar = core.Calendar
+	// Calibration is one calibration event.
+	Calibration = core.Calibration
+	// Assignment places one job.
+	Assignment = core.Assignment
+)
+
+// NewInstance builds an instance from (release, weight) pairs; see
+// Canonicalize for the paper's distinct-release normal form.
+func NewInstance(p int, t int64, releases, weights []int64) (*Instance, error) {
+	return core.NewInstance(p, t, releases, weights)
+}
+
+// MustInstance is NewInstance that panics on error.
+func MustInstance(p int, t int64, releases, weights []int64) *Instance {
+	return core.MustInstance(p, t, releases, weights)
+}
+
+// Validate checks that s is a correct schedule for in (every job once, at
+// or after release, in a calibrated slot, no slot collisions).
+func Validate(in *Instance, s *Schedule) error { return core.Validate(in, s) }
+
+// Flow returns the total weighted flow time of the schedule.
+func Flow(in *Instance, s *Schedule) int64 { return core.Flow(in, s) }
+
+// TotalCost returns the online objective G*(#calibrations) + Flow.
+func TotalCost(in *Instance, s *Schedule, g int64) int64 { return core.TotalCost(in, s, g) }
+
+// NewSchedule allocates an empty schedule for n jobs.
+func NewSchedule(n int) *Schedule { return core.NewSchedule(n) }

@@ -1,0 +1,359 @@
+package calibsched_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"calibsched"
+)
+
+// TestPublicAPIEndToEnd walks the whole facade the way the README does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const G = 20
+	in := calibsched.MustInstance(1, 10, []int64{0, 3, 25}, []int64{1, 1, 1})
+
+	res, err := calibsched.Alg1(in, G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calibsched.Validate(in, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	algCost := calibsched.TotalCost(in, res.Schedule, G)
+
+	optCost, bestK, optSched, err := calibsched.OptimalTotalCost(in, G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calibsched.Validate(in, optSched); err != nil {
+		t.Fatal(err)
+	}
+	if optCost > algCost {
+		t.Fatalf("OPT %d exceeds online cost %d", optCost, algCost)
+	}
+	if float64(algCost) > 3*float64(optCost) {
+		t.Fatalf("Algorithm 1 ratio %f exceeds 3", float64(algCost)/float64(optCost))
+	}
+	if bestK < 1 {
+		t.Fatalf("bestK = %d", bestK)
+	}
+
+	flows, err := calibsched.BudgetSweep(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flows[0] != calibsched.Unschedulable {
+		t.Error("K=0 should be unschedulable for a nonempty instance")
+	}
+	if flows[2] > flows[1] && flows[1] != calibsched.Unschedulable {
+		t.Error("flow increased with budget")
+	}
+}
+
+func TestPublicWeightedAndMultiMachine(t *testing.T) {
+	spec := calibsched.WorkloadSpec{
+		N: 40, P: 1, T: 8, Seed: 5,
+		Arrival: calibsched.ArrivalPoisson, Lambda: 0.4,
+		Weights: calibsched.WeightZipf, WMax: 20, ZipfS: 1.4,
+	}
+	in, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := calibsched.Alg2(in, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calibsched.Validate(in, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 3.4 transform on the weighted schedule.
+	ordered, err := calibsched.ReleaseOrder(in, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calibsched.Flow(in, ordered) > calibsched.Flow(in, res.Schedule) {
+		t.Error("ReleaseOrder increased flow")
+	}
+
+	multi := calibsched.WorkloadSpec{
+		N: 40, P: 3, T: 8, Seed: 6,
+		Arrival: calibsched.ArrivalBursty, Burst: 4, Gap: 20,
+		Weights: calibsched.WeightUnit,
+	}
+	min, err := multi.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := calibsched.Alg3(min, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calibsched.Validate(min, mres.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicIOAndRendering(t *testing.T) {
+	in := calibsched.MustInstance(2, 4, []int64{0, 1, 5}, []int64{1, 2, 1})
+	var buf bytes.Buffer
+	if err := calibsched.WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := calibsched.ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 3 || back.P != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+
+	s, err := calibsched.AssignTimes(in, []int64{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := calibsched.Timeline(in, s)
+	if !strings.Contains(tl, "#") {
+		t.Errorf("timeline has no busy slots: %q", tl)
+	}
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := calibsched.WriteScheduleCSV(&csvBuf, in, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := calibsched.WriteScheduleJSON(&jsonBuf, in, s); err != nil {
+		t.Fatal(err)
+	}
+	if csvBuf.Len() == 0 || jsonBuf.Len() == 0 {
+		t.Error("empty exports")
+	}
+}
+
+func TestPublicAdversary(t *testing.T) {
+	alg := func(in *calibsched.Instance, g int64) (*calibsched.Schedule, error) {
+		res, err := calibsched.Alg1(in, g)
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	}
+	out, err := calibsched.PlayAdversary(alg, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ratio < 1.9 || out.Ratio > 3 {
+		t.Fatalf("adversary ratio %.3f outside (1.9, 3]", out.Ratio)
+	}
+}
+
+func TestPublicBaselinesAndOptions(t *testing.T) {
+	in := calibsched.MustInstance(1, 6, []int64{0, 2, 30}, []int64{1, 1, 1})
+	const G = 18
+	for name, run := range map[string]func() (*calibsched.Schedule, error){
+		"immediate": func() (*calibsched.Schedule, error) { return calibsched.Immediate(in, G) },
+		"always":    func() (*calibsched.Schedule, error) { return calibsched.AlwaysCalibrated(in, G) },
+		"periodic":  func() (*calibsched.Schedule, error) { return calibsched.Periodic(in, G, 6) },
+		"flow":      func() (*calibsched.Schedule, error) { return calibsched.FlowThreshold(in, G) },
+	} {
+		s, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := calibsched.Validate(in, s); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// Option variants compile and run through the facade.
+	if _, err := calibsched.Alg1(in, G, calibsched.WithNaiveStepping(), calibsched.WithoutImmediateCalibrations()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calibsched.Alg1(in, G, calibsched.WithFlowTriggerOnly()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExtensionAndSearch(t *testing.T) {
+	spec := calibsched.WorkloadSpec{
+		N: 25, P: 2, T: 6, Seed: 12,
+		Arrival: calibsched.ArrivalPoisson, Lambda: 0.6,
+		Weights: calibsched.WeightUniform, WMax: 8,
+	}
+	in, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := calibsched.Alg2Multi(in, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calibsched.Validate(in, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	u := calibsched.Utilize(in, res.Schedule)
+	if u.BusySlots != int64(in.N()) {
+		t.Errorf("busy slots %d != n %d", u.BusySlots, in.N())
+	}
+	var buf bytes.Buffer
+	err = calibsched.WriteComparison(&buf, in, 48, []calibsched.ScheduleComparison{
+		{Name: "alg2multi", Schedule: res.Schedule},
+	})
+	if err != nil || buf.Len() == 0 {
+		t.Fatalf("comparison: %v", err)
+	}
+
+	single := calibsched.WorkloadSpec{
+		N: 30, P: 1, T: 6, Seed: 13,
+		Arrival: calibsched.ArrivalPoisson, Lambda: 0.3,
+		Weights: calibsched.WeightUniform, WMax: 5,
+	}
+	sin, err := single.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _, err := calibsched.OptimalTotalCost(sin, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, probes, _, err := calibsched.TotalCostSearch(sin, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("search %d != sweep %d", got, want)
+	}
+	if probes >= sin.N() {
+		t.Errorf("probes %d not sublinear for n=%d", probes, sin.N())
+	}
+}
+
+func TestPublicStepper(t *testing.T) {
+	st := calibsched.NewAlg1Stepper(8, 24)
+	job := calibsched.Job{ID: 0, Release: 0, Weight: 1}
+	var ran bool
+	for t0 := int64(0); t0 < 200 && !ran; t0++ {
+		var arr []calibsched.Job
+		if t0 == 0 {
+			arr = []calibsched.Job{job}
+		}
+		ev := st.Step(arr)
+		ran = ev.Ran == 0
+	}
+	if !ran {
+		t.Fatal("stepper never ran the job")
+	}
+	in := calibsched.MustInstance(1, 8, []int64{0}, []int64{1})
+	if err := calibsched.Validate(in, st.Schedule(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAnalysisToolkit(t *testing.T) {
+	spec := calibsched.WorkloadSpec{
+		N: 20, P: 1, T: 6, Seed: 21,
+		Arrival: calibsched.ArrivalPoisson, Lambda: 0.5,
+		Weights: calibsched.WeightUniform, WMax: 6,
+	}
+	in, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const G = 30
+	res, err := calibsched.Alg2(in, G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := calibsched.Intervals(in, res.Schedule, 0)
+	if len(ivs) == 0 {
+		t.Fatal("no intervals")
+	}
+	var jobs int
+	for _, iv := range ivs {
+		jobs += len(iv.Jobs)
+	}
+	if jobs != in.N() {
+		t.Fatalf("intervals hold %d jobs, want %d", jobs, in.N())
+	}
+	seqs := calibsched.Sequences(in, res.Schedule, 0)
+	if len(seqs) == 0 {
+		t.Fatal("no sequences")
+	}
+	optR, err := calibsched.OptRFast(in, G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := calibsched.Validate(in, optR); err != nil {
+		t.Fatal(err)
+	}
+	if err := calibsched.CheckLemma36(in, res.Schedule, optR); err != nil {
+		t.Fatalf("Lemma 3.6: %v", err)
+	}
+	// OPT_r is itself a schedule, so it cannot beat the unrestricted OPT.
+	opt, _, _, err := calibsched.OptimalTotalCost(in, G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calibsched.TotalCost(in, optR, G) < opt {
+		t.Fatal("OPT_r beat OPT")
+	}
+}
+
+func TestAlgorithmRegistry(t *testing.T) {
+	algs := calibsched.Algorithms()
+	if len(algs) < 8 {
+		t.Fatalf("registry holds %d algorithms", len(algs))
+	}
+	seen := map[string]bool{}
+	for _, a := range algs {
+		if a.Name == "" || a.Description == "" || a.Run == nil || a.Applicable == nil {
+			t.Errorf("algorithm %q incomplete", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate algorithm %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	// Every applicable algorithm must produce a valid schedule, with cost
+	// at least OPT's and within its proven ratio where one exists.
+	in := calibsched.MustInstance(1, 5, []int64{0, 2, 9, 20}, []int64{1, 1, 1, 1})
+	const G = 12
+	opt, _, _, err := calibsched.OptimalTotalCost(in, G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range algs {
+		if !a.Applicable(in) {
+			t.Errorf("%s not applicable to a single-machine unweighted instance", a.Name)
+			continue
+		}
+		s, err := a.Run(in, G)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if err := calibsched.Validate(in, s); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		cost := calibsched.TotalCost(in, s, G)
+		if cost < opt {
+			t.Errorf("%s cost %d below OPT %d", a.Name, cost, opt)
+		}
+		if a.Ratio > 0 && float64(cost) > a.Ratio*float64(opt) {
+			t.Errorf("%s cost %d exceeds %.0fx OPT %d", a.Name, cost, a.Ratio, opt)
+		}
+	}
+	// Applicability filters: a weighted multi-machine instance admits only
+	// the unrestricted entries.
+	wm := calibsched.MustInstance(2, 5, []int64{0, 1}, []int64{2, 3})
+	for _, a := range algs {
+		ok := a.Applicable(wm)
+		switch a.Name {
+		case "alg2multi", "immediate", "always", "periodic":
+			if !ok {
+				t.Errorf("%s should accept weighted multi-machine", a.Name)
+			}
+		case "alg1", "alg2", "alg3", "flow-threshold", "opt":
+			if ok {
+				t.Errorf("%s should reject weighted multi-machine", a.Name)
+			}
+		}
+	}
+}

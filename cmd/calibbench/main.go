@@ -1,0 +1,86 @@
+// Command calibbench regenerates the full experiment suite of this
+// reproduction: one experiment per claim of the paper (see DESIGN.md
+// section 4 for the index and EXPERIMENTS.md for recorded outcomes).
+//
+// Examples:
+//
+//	calibbench                # every experiment, full grids
+//	calibbench -e e2,e5       # selected experiments
+//	calibbench -quick         # reduced grids (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"calibsched/internal/experiments"
+)
+
+func main() {
+	var (
+		which   = flag.String("e", "all", "comma-separated experiment IDs (e1..e17) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced parameter grids")
+		workers = flag.Int("workers", 0, "grid parallelism (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 0, "seed offset for all workloads")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		listExperiments(os.Stdout)
+		return
+	}
+	cfg := experiments.Config{Quick: *quick, Workers: *workers, Seed: *seed}
+	failed, err := runSelected(os.Stdout, *which, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibbench:", err)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "calibbench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+func listExperiments(w io.Writer) {
+	for _, e := range experiments.All() {
+		fmt.Fprintf(w, "%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+	}
+}
+
+// runSelected runs the named experiments ("all" or comma-separated IDs)
+// and returns how many failed their claims.
+func runSelected(w io.Writer, which string, cfg experiments.Config) (failed int, err error) {
+	var selected []experiments.Experiment
+	if which == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(which, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return 0, fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Fprintf(w, "claim: %s\n\n", e.Claim)
+		start := time.Now()
+		rep, err := e.Run(w, cfg)
+		if err != nil {
+			fmt.Fprintf(w, "ERROR: %v\n\n", err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(w, "elapsed: %.2fs\n\n", time.Since(start).Seconds())
+		if !rep.Pass {
+			failed++
+		}
+	}
+	return failed, nil
+}

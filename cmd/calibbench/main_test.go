@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"calibsched/internal/experiments"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	listExperiments(&buf)
+	out := buf.String()
+	for _, id := range []string{"e1", "e5", "e15"} {
+		if !strings.Contains(out, id+" ") && !strings.Contains(out, id+"  ") {
+			t.Errorf("listing missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSelectedSingle(t *testing.T) {
+	var buf bytes.Buffer
+	failed, err := runSelected(&buf, "e6", experiments.Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("e6 failed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "verdict: PASS") {
+		t.Errorf("no verdict in output:\n%s", buf.String())
+	}
+}
+
+func TestRunSelectedUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := runSelected(&buf, "e99", experiments.Config{Quick: true}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

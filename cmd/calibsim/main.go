@@ -1,0 +1,187 @@
+// Command calibsim runs a scheduling algorithm on an instance and reports
+// the schedule and its costs.
+//
+// Examples:
+//
+//	calibgen -n 30 | calibsim -alg alg1 -G 32 -timeline
+//	calibsim -instance inst.txt -alg opt -G 32 -json
+//	calibsim -instance inst.txt -alg alg2 -G 64 -csv > sched.csv
+//
+// Algorithms: alg1, alg2, alg3 (the paper's online algorithms), opt (exact
+// offline optimum of the G-cost objective), immediate, always, periodic,
+// flow-threshold (baselines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"calibsched"
+	"calibsched/internal/baseline"
+	"calibsched/internal/core"
+	"calibsched/internal/offline"
+	"calibsched/internal/online"
+	"calibsched/internal/trace"
+	"calibsched/internal/workload"
+)
+
+func main() {
+	var (
+		path     = flag.String("instance", "-", "instance file (- for stdin)")
+		alg      = flag.String("alg", "alg1", "algorithm: alg1|alg2|alg3|opt|immediate|always|periodic|flow-threshold")
+		g        = flag.Int64("G", 32, "calibration cost G")
+		period   = flag.Int64("period", 0, "periodic baseline stride (default T)")
+		timeline = flag.Bool("timeline", false, "print ASCII timeline")
+		asCSV    = flag.Bool("csv", false, "emit schedule as CSV")
+		asJSON   = flag.Bool("json", false, "emit schedule as JSON")
+		naive    = flag.Bool("naive", false, "force naive per-step simulation")
+		compare  = flag.Bool("compare", false, "run every applicable algorithm and print a comparison table")
+	)
+	flag.Parse()
+
+	var err error
+	if *compare {
+		err = runCompare(*path, *g, *period)
+	} else {
+		err = run(*path, *alg, *g, *period, *timeline, *asCSV, *asJSON, *naive)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runCompare runs every applicable algorithm from the registry and prints
+// a side-by-side cost/utilization table.
+func runCompare(path string, g, period int64) error {
+	in, err := readInstance(path)
+	if err != nil {
+		return err
+	}
+	var rows []trace.Comparison
+	add := func(name string, s *core.Schedule) error {
+		if verr := core.Validate(in, s); verr != nil {
+			return fmt.Errorf("%s produced an invalid schedule: %w", name, verr)
+		}
+		rows = append(rows, trace.Comparison{Name: name, Schedule: s})
+		return nil
+	}
+	for _, a := range calibsched.Algorithms() {
+		if !a.Applicable(in) {
+			continue
+		}
+		s, err := a.Run(in, g)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		if err := add(a.Name, s); err != nil {
+			return err
+		}
+	}
+	if period > 0 && period != in.T {
+		s, err := baseline.Periodic(in, g, period)
+		if err != nil {
+			return fmt.Errorf("periodic(%d): %w", period, err)
+		}
+		if err := add(fmt.Sprintf("periodic(%d)", period), s); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("instance: %d jobs, %d machine(s), T=%d, G=%d\n\n", in.N(), in.P, in.T, g)
+	return trace.WriteComparison(os.Stdout, in, g, rows)
+}
+
+// readInstance loads and canonicalizes the instance at path ("-" = stdin).
+func readInstance(path string) (*core.Instance, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	in, err := workload.ReadInstance(r)
+	if err != nil {
+		return nil, err
+	}
+	return in.Canonicalize(), nil
+}
+
+func run(path, alg string, g, period int64, timeline, asCSV, asJSON, naive bool) error {
+	in, err := readInstance(path)
+	if err != nil {
+		return err
+	}
+
+	var opts []online.Option
+	if naive {
+		opts = append(opts, online.WithNaiveStepping())
+	}
+	var sched *core.Schedule
+	switch alg {
+	case "alg1":
+		res, err := online.Alg1(in, g, opts...)
+		if err != nil {
+			return err
+		}
+		sched = res.Schedule
+	case "alg2":
+		res, err := online.Alg2(in, g, opts...)
+		if err != nil {
+			return err
+		}
+		sched = res.Schedule
+	case "alg3":
+		res, err := online.Alg3(in, g, opts...)
+		if err != nil {
+			return err
+		}
+		sched = res.Schedule
+	case "opt":
+		_, _, s, err := offline.OptimalTotalCost(in, g)
+		if err != nil {
+			return err
+		}
+		sched = s
+	case "immediate":
+		sched, err = baseline.Immediate(in, g)
+	case "always":
+		sched, err = baseline.AlwaysCalibrated(in, g)
+	case "periodic":
+		if period <= 0 {
+			period = in.T
+		}
+		sched, err = baseline.Periodic(in, g, period)
+	case "flow-threshold":
+		sched, err = baseline.FlowThreshold(in, g)
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return err
+	}
+	if err := core.Validate(in, sched); err != nil {
+		return fmt.Errorf("produced schedule failed validation: %w", err)
+	}
+
+	switch {
+	case asCSV:
+		return trace.WriteCSV(os.Stdout, in, sched)
+	case asJSON:
+		return trace.WriteJSON(os.Stdout, in, sched)
+	}
+	fmt.Printf("algorithm      %s\n", alg)
+	fmt.Printf("jobs           %d   machines %d   T %d   G %d\n", in.N(), in.P, in.T, g)
+	fmt.Printf("calibrations   %d\n", sched.NumCalibrations())
+	fmt.Printf("weighted flow  %d\n", core.Flow(in, sched))
+	fmt.Printf("total cost     %d\n", core.TotalCost(in, sched, g))
+	if timeline {
+		fmt.Println()
+		fmt.Print(trace.Timeline(in, sched))
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeInstanceFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleInstance = "1 5\n3\n0 1\n3 1\n20 1\n"
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeInstanceFile(t, sampleInstance)
+	for _, alg := range []string{"alg1", "alg2", "opt", "immediate", "always", "periodic", "flow-threshold"} {
+		if err := run(path, alg, 16, 0, false, false, false, false); err != nil {
+			t.Errorf("alg %s: %v", alg, err)
+		}
+	}
+	multi := writeInstanceFile(t, "2 5\n3\n0 1\n3 1\n20 1\n")
+	if err := run(multi, "alg3", 16, 0, true, false, false, false); err != nil {
+		t.Errorf("alg3: %v", err)
+	}
+}
+
+func TestRunOutputsAndOptions(t *testing.T) {
+	path := writeInstanceFile(t, sampleInstance)
+	if err := run(path, "alg1", 16, 0, true, false, false, true); err != nil {
+		t.Errorf("timeline+naive: %v", err)
+	}
+	if err := run(path, "alg1", 16, 0, false, true, false, false); err != nil {
+		t.Errorf("csv: %v", err)
+	}
+	if err := run(path, "alg1", 16, 0, false, false, true, false); err != nil {
+		t.Errorf("json: %v", err)
+	}
+	if err := run(path, "periodic", 16, 7, false, false, false, false); err != nil {
+		t.Errorf("periodic with explicit period: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeInstanceFile(t, sampleInstance)
+	if err := run(path, "nope", 16, 0, false, false, false, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.txt"), "alg1", 16, 0, false, false, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeInstanceFile(t, "not an instance")
+	if err := run(bad, "alg1", 16, 0, false, false, false, false); err == nil {
+		t.Error("malformed instance accepted")
+	}
+	weighted := writeInstanceFile(t, "1 5\n1\n0 9\n")
+	if err := run(weighted, "alg1", 16, 0, false, false, false, false); err == nil {
+		t.Error("alg1 on weighted instance accepted")
+	}
+	multiFlow := writeInstanceFile(t, "2 5\n1\n0 1\n")
+	if err := run(multiFlow, "flow-threshold", 16, 0, false, false, false, false); err == nil {
+		t.Error("flow-threshold on P=2 accepted")
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	path := writeInstanceFile(t, sampleInstance)
+	if err := runCompare(path, 16, 0); err != nil {
+		t.Fatalf("compare unweighted P=1: %v", err)
+	}
+	weighted := writeInstanceFile(t, "1 5\n3\n0 2\n3 7\n20 1\n")
+	if err := runCompare(weighted, 16, 4); err != nil {
+		t.Fatalf("compare weighted P=1: %v", err)
+	}
+	multi := writeInstanceFile(t, "2 5\n4\n0 1\n3 1\n5 1\n20 1\n")
+	if err := runCompare(multi, 16, 0); err != nil {
+		t.Fatalf("compare unweighted P=2: %v", err)
+	}
+	if err := runCompare(writeInstanceFile(t, "junk"), 16, 0); err == nil {
+		t.Error("compare accepted malformed instance")
+	}
+}

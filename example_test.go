@@ -1,0 +1,162 @@
+package calibsched_test
+
+import (
+	"fmt"
+
+	"calibsched"
+)
+
+// The canonical flow: run the 3-competitive online algorithm and compare
+// against the exact offline optimum.
+func ExampleAlg1() {
+	// One machine, calibrations last T=10 steps and cost G=20 each.
+	in := calibsched.MustInstance(1, 10, []int64{0, 3, 25}, []int64{1, 1, 1})
+	res, err := calibsched.Alg1(in, 20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("calibrations:", res.Schedule.NumCalibrations())
+	fmt.Println("total cost:", calibsched.TotalCost(in, res.Schedule, 20))
+	// Output:
+	// calibrations: 2
+	// total cost: 47
+}
+
+// Weighted jobs on one machine: the heaviest waiting job always runs
+// first, and heavy arrivals force early calibrations.
+func ExampleAlg2() {
+	in := calibsched.MustInstance(1, 4, []int64{0, 1, 2}, []int64{1, 2, 4})
+	res, err := calibsched.Alg2(in, 21)
+	if err != nil {
+		panic(err)
+	}
+	for _, j := range in.Jobs {
+		fmt.Printf("job w=%d starts at %d\n", j.Weight, res.Schedule.Start(j.ID))
+	}
+	// Output:
+	// job w=1 starts at 4
+	// job w=2 starts at 3
+	// job w=4 starts at 2
+}
+
+// The exact offline optimum under a calibration budget (Section 4 DP).
+func ExampleOptimalFlow() {
+	in := calibsched.MustInstance(1, 4, []int64{0, 10}, []int64{1, 1})
+	one, err := calibsched.OptimalFlow(in, 1)
+	if err != nil {
+		panic(err)
+	}
+	two, err := calibsched.OptimalFlow(in, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("flow with K=1:", one.Flow)
+	fmt.Println("flow with K=2:", two.Flow)
+	// Output:
+	// flow with K=1: 9
+	// flow with K=2: 2
+}
+
+// Observation 2.1: once calibration times are fixed, the optimal
+// assignment is a simple list schedule.
+func ExampleAssignTimes() {
+	in := calibsched.MustInstance(1, 3, []int64{0, 1}, []int64{1, 5})
+	s, err := calibsched.AssignTimes(in, []int64{1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("heavy job starts:", s.Start(1))
+	fmt.Println("light job starts:", s.Start(0))
+	// Output:
+	// heavy job starts: 1
+	// light job starts: 2
+}
+
+// The flow-versus-budget Pareto frontier from one DP run.
+func ExampleBudgetSweep() {
+	in := calibsched.MustInstance(1, 4, []int64{0, 10, 20}, []int64{1, 1, 1})
+	flows, err := calibsched.BudgetSweep(in, 3)
+	if err != nil {
+		panic(err)
+	}
+	for k, f := range flows {
+		if f == calibsched.Unschedulable {
+			fmt.Printf("K=%d infeasible\n", k)
+			continue
+		}
+		fmt.Printf("K=%d flow=%d\n", k, f)
+	}
+	// Output:
+	// K=0 infeasible
+	// K=1 flow=28
+	// K=2 flow=10
+	// K=3 flow=3
+}
+
+// Multiple machines: Algorithm 3 decides calibrations online and the
+// Observation 2.1 replay does the final placement.
+func ExampleAlg3() {
+	in := calibsched.MustInstance(2, 4, []int64{0, 0, 1, 1}, []int64{1, 1, 1, 1})
+	res, err := calibsched.Alg3(in, 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("calibrations:", res.Schedule.NumCalibrations())
+	fmt.Println("flow:", calibsched.Flow(in, res.Schedule))
+	// Output:
+	// calibrations: 2
+	// flow: 6
+}
+
+// Lemma 3.4: any schedule becomes release-ordered without delaying a job,
+// paying at most twice the calibrations.
+func ExampleReleaseOrder() {
+	in := calibsched.MustInstance(1, 6, []int64{0, 1}, []int64{1, 9})
+	s := calibsched.NewSchedule(2)
+	s.Calibrate(0, 1)
+	s.Assign(1, 0, 1) // heavy job first...
+	s.Assign(0, 0, 5) // ...light job much later: out of release order
+	ordered, err := calibsched.ReleaseOrder(in, s)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("job 0 start:", ordered.Start(0))
+	fmt.Println("job 1 start:", ordered.Start(1))
+	fmt.Println("calibrations:", ordered.NumCalibrations())
+	// Output:
+	// job 0 start: 0
+	// job 1 start: 1
+	// calibrations: 2
+}
+
+// The Lemma 3.1 adversary forces any deterministic online algorithm
+// toward ratio 2.
+func ExamplePlayAdversary() {
+	alg := func(in *calibsched.Instance, g int64) (*calibsched.Schedule, error) {
+		res, err := calibsched.Alg1(in, g)
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	}
+	out, err := calibsched.PlayAdversary(alg, 1024, 1024)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ratio %.4f\n", out.Ratio)
+	// Output:
+	// ratio 1.9961
+}
+
+// Timelines render schedules for quick inspection.
+func ExampleTimeline() {
+	in := calibsched.MustInstance(1, 4, []int64{0, 1, 2}, []int64{1, 1, 1})
+	s, err := calibsched.AssignTimes(in, []int64{0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(calibsched.Timeline(in, s))
+	// Output:
+	// 0
+	// m0    ###-
+}

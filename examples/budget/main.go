@@ -1,0 +1,89 @@
+// Budget: the offline planning view. Given next shift's expected workload,
+// sweep the calibration budget K to trace the flow-versus-calibrations
+// Pareto frontier (Section 4's dynamic program), locate the knee for a
+// given calibration price G — by full sweep and by the paper's
+// binary-search remark (exact ternary search over the convex frontier) —
+// and export the frontier as CSV for plotting.
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"calibsched"
+)
+
+func main() {
+	const (
+		T = 12
+		G = 90
+	)
+	spec := calibsched.WorkloadSpec{
+		N: 45, P: 1, T: T, Seed: 404,
+		Arrival: calibsched.ArrivalPoisson, Lambda: 0.22,
+		Weights: calibsched.WeightUniform, WMax: 6,
+	}
+	in, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flows, err := calibsched.BudgetSweep(in, in.N())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("shift plan: %d weighted jobs, T=%d, calibration price G=%d\n\n", in.N(), T, G)
+	fmt.Printf("%4s  %12s  %12s\n", "K", "optimal flow", "total cost")
+	bestK, bestTotal := -1, int64(0)
+	for k, f := range flows {
+		if f == calibsched.Unschedulable {
+			continue
+		}
+		total := int64(k)*G + f
+		if bestK < 0 || total < bestTotal {
+			bestK, bestTotal = k, total
+		}
+		if k <= 14 || k == in.N() {
+			fmt.Printf("%4d  %12d  %12d\n", k, f, total)
+		}
+	}
+	fmt.Printf("\nsweep optimum: spend %d calibrations, total cost %d\n", bestK, bestTotal)
+
+	total, k, probes, sched, err := calibsched.TotalCostSearch(in, G)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ternary search: same optimum %d at K=%d, probing only %d budgets\n", total, k, probes)
+	if err := calibsched.Validate(in, sched); err != nil {
+		log.Fatal(err)
+	}
+
+	// Export the frontier for plotting.
+	path := "frontier.csv"
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	_ = w.Write([]string{"k", "optimal_flow", "total_cost"})
+	for k, fl := range flows {
+		if fl == calibsched.Unschedulable {
+			continue
+		}
+		_ = w.Write([]string{
+			strconv.Itoa(k),
+			strconv.FormatInt(fl, 10),
+			strconv.FormatInt(int64(k)*G+fl, 10),
+		})
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfrontier written to %s\n", path)
+}

@@ -1,0 +1,65 @@
+// Quickstart: the smallest end-to-end tour of the calibsched API — build
+// an instance, run the online algorithm, compare against the exact offline
+// optimum, and render the schedules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calibsched"
+)
+
+func main() {
+	// One machine; calibrations last T = 10 steps and cost G = 20 each.
+	// Three unit-weight jobs arrive at times 0, 3, and 25.
+	const G = 20
+	in := calibsched.MustInstance(1, 10, []int64{0, 3, 25}, []int64{1, 1, 1})
+
+	// Algorithm 1 (online, 3-competitive): it does not know about a job
+	// until its release time, and must balance waiting (flow) against
+	// spending G on a calibration.
+	res, err := calibsched.Alg1(in, G)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := calibsched.Validate(in, res.Schedule); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Algorithm 1 (online) ===")
+	fmt.Printf("calibrations: %d  flow: %d  total cost: %d\n",
+		res.Schedule.NumCalibrations(),
+		calibsched.Flow(in, res.Schedule),
+		calibsched.TotalCost(in, res.Schedule, G))
+	for i, c := range res.Schedule.Calendar {
+		fmt.Printf("  calibrate at t=%-3d (trigger: %s)\n", c.Start, res.Triggers[i])
+	}
+	fmt.Print(calibsched.Timeline(in, res.Schedule))
+
+	// The exact offline optimum (Section 4 dynamic program) for the same
+	// objective — the benchmark the competitive ratio is measured against.
+	optCost, bestK, optSched, err := calibsched.OptimalTotalCost(in, G)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Offline optimum (DP) ===")
+	fmt.Printf("total cost: %d with %d calibration(s)\n", optCost, bestK)
+	fmt.Print(calibsched.Timeline(in, optSched))
+
+	fmt.Printf("\ncompetitive ratio on this instance: %.3f (Theorem 3.3 guarantees <= 3)\n",
+		float64(calibsched.TotalCost(in, res.Schedule, G))/float64(optCost))
+
+	// The budget view: how much flow does each extra calibration buy?
+	flows, err := calibsched.BudgetSweep(in, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Flow vs budget ===")
+	for k, f := range flows {
+		if f == calibsched.Unschedulable {
+			fmt.Printf("K=%d: infeasible\n", k)
+			continue
+		}
+		fmt.Printf("K=%d: optimal flow %d\n", k, f)
+	}
+}

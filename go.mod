@@ -1,0 +1,3 @@
+module calibsched
+
+go 1.22

@@ -1,0 +1,194 @@
+package calibsched_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"calibsched"
+)
+
+// TestIntegrationInvariantLattice runs every solver on a shared grid of
+// instances and asserts the ordering relations that must hold between
+// them:
+//
+//	LP bound <= OPT <= OPT_search == OPT_sweep <= every online algorithm
+//	         <= its proven factor * OPT
+//	replayed Alg3 flow <= explicit Alg3 flow
+//	ReleaseOrder(s) flow <= s flow, calibrations <= 2x
+//
+// This is the whole-system smoke lattice: a regression anywhere in the
+// stack (costing, validation, DP, search, any algorithm) breaks an edge.
+func TestIntegrationInvariantLattice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration lattice skipped in -short mode")
+	}
+	rng := rand.New(rand.NewPCG(2026, 7))
+	grid := []struct {
+		lambda   float64
+		g        int64
+		t        int64
+		weighted bool
+	}{
+		{0.05, 16, 8, false},
+		{0.3, 64, 8, false},
+		{1.5, 32, 4, false},
+		{0.3, 64, 8, true},
+		{1.0, 128, 16, true},
+	}
+	for gi, cell := range grid {
+		for rep := 0; rep < 3; rep++ {
+			spec := calibsched.WorkloadSpec{
+				N: 40, P: 1, T: cell.t, Seed: uint64(gi*100 + rep),
+				Arrival: calibsched.ArrivalPoisson, Lambda: cell.lambda,
+				Weights: calibsched.WeightUnit,
+			}
+			if cell.weighted {
+				spec.Weights = calibsched.WeightUniform
+				spec.WMax = 8
+			}
+			in, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := cell.g
+
+			opt, _, optSched, err := calibsched.OptimalTotalCost(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := calibsched.Validate(in, optSched); err != nil {
+				t.Fatalf("grid %d rep %d: OPT invalid: %v", gi, rep, err)
+			}
+			searchTotal, _, _, _, err := calibsched.TotalCostSearch(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if searchTotal != opt {
+				t.Fatalf("grid %d rep %d: search %d != sweep %d", gi, rep, searchTotal, opt)
+			}
+
+			check := func(name string, sched *calibsched.Schedule, factor float64) {
+				t.Helper()
+				if err := calibsched.Validate(in, sched); err != nil {
+					t.Fatalf("grid %d rep %d %s: invalid: %v", gi, rep, name, err)
+				}
+				cost := calibsched.TotalCost(in, sched, g)
+				if cost < opt {
+					t.Fatalf("grid %d rep %d %s: cost %d below OPT %d", gi, rep, name, cost, opt)
+				}
+				if factor > 0 && float64(cost) > factor*float64(opt)+1e-9 {
+					t.Fatalf("grid %d rep %d %s: cost %d exceeds %.0fx OPT %d",
+						gi, rep, name, cost, factor, opt)
+				}
+			}
+
+			if !cell.weighted {
+				res, err := calibsched.Alg1(in, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("alg1", res.Schedule, 3)
+				a3, err := calibsched.Alg3(in, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("alg3", a3.Schedule, 12)
+				explicit, err := calibsched.Alg3(in, g, calibsched.WithoutObservationReplay())
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("alg3-explicit", explicit.Schedule, 0)
+				if calibsched.Flow(in, a3.Schedule) > calibsched.Flow(in, explicit.Schedule) {
+					t.Fatalf("grid %d rep %d: replay increased flow", gi, rep)
+				}
+			}
+			res2, err := calibsched.Alg2(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("alg2", res2.Schedule, 12)
+			a2m, err := calibsched.Alg2Multi(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("alg2multi", a2m.Schedule, 0)
+
+			ordered, err := calibsched.ReleaseOrder(in, res2.Schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("release-order(alg2)", ordered, 0)
+			if calibsched.Flow(in, ordered) > calibsched.Flow(in, res2.Schedule) {
+				t.Fatalf("grid %d rep %d: ReleaseOrder increased flow", gi, rep)
+			}
+			if ordered.NumCalibrations() > 2*res2.Schedule.NumCalibrations() {
+				t.Fatalf("grid %d rep %d: ReleaseOrder calibrations %d > 2x%d",
+					gi, rep, ordered.NumCalibrations(), res2.Schedule.NumCalibrations())
+			}
+
+			for _, name := range []string{"immediate", "always", "periodic", "flow-threshold"} {
+				var s *calibsched.Schedule
+				var err error
+				switch name {
+				case "immediate":
+					s, err = calibsched.Immediate(in, g)
+				case "always":
+					s, err = calibsched.AlwaysCalibrated(in, g)
+				case "periodic":
+					s, err = calibsched.Periodic(in, g, cell.t+int64(rng.IntN(4)))
+				case "flow-threshold":
+					s, err = calibsched.FlowThreshold(in, g)
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				check(name, s, 0)
+			}
+		}
+	}
+}
+
+// TestIntegrationMultiMachineLattice repeats the core relations on P > 1
+// (no exact OPT there; the combinatorial bound anchors the lattice).
+func TestIntegrationMultiMachineLattice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration lattice skipped in -short mode")
+	}
+	for _, p := range []int{2, 4} {
+		for rep := 0; rep < 3; rep++ {
+			spec := calibsched.WorkloadSpec{
+				N: 60, P: p, T: 8, Seed: uint64(1000*p + rep),
+				Arrival: calibsched.ArrivalBursty, Burst: p + 1, Gap: 12, Jitter: 2,
+				Weights: calibsched.WeightUnit,
+			}
+			in, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const g = 40
+			lower := int64(in.N()) + g*((int64(in.N())+in.T-1)/in.T)
+
+			a3, err := calibsched.Alg3(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := calibsched.Validate(in, a3.Schedule); err != nil {
+				t.Fatal(err)
+			}
+			cost := calibsched.TotalCost(in, a3.Schedule, g)
+			if cost < lower {
+				t.Fatalf("P=%d rep %d: alg3 cost %d below combinatorial bound %d", p, rep, cost, lower)
+			}
+			if float64(cost) > 12*float64(lower) {
+				t.Fatalf("P=%d rep %d: alg3 cost %d above 12x bound %d", p, rep, cost, lower)
+			}
+			a2m, err := calibsched.Alg2Multi(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := calibsched.Validate(in, a2m.Schedule); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

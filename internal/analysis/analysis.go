@@ -1,0 +1,289 @@
+// Package analysis reproduces the structural machinery the paper's proofs
+// are built on, so that the charging arguments can be checked empirically:
+//
+//   - per-interval statistics (fullness, flow, net flow, whether the
+//     interval follows an uncalibrated gap),
+//   - the Section 3.2 partition of a single-machine schedule into
+//     *sequences* (maximal runs of consecutive intervals in which every
+//     interval but the last is full),
+//   - OPT_r, the optimal schedule restricted to release-time order,
+//     computed exhaustively on small instances, and
+//   - executable checks for the structural lemmas: Lemma 3.2 (Algorithm 1
+//     never double-charges an OPT interval) and Lemma 3.6 (OPT_r must
+//     calibrate nearly as early as any sequence of full intervals).
+//
+// Everything here is single-machine: that is where the paper's charging
+// arguments live (Algorithm 3 is analyzed with the LP of package lp).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+)
+
+// Interval describes one calibrated interval of a single-machine schedule
+// with the statistics the proofs use.
+type Interval struct {
+	// Start and End delimit [Start, End) with End = Start + T.
+	Start, End int64
+	// Jobs holds the IDs of jobs run in [Start, End), attributed to the
+	// latest interval covering their slot, in start order.
+	Jobs []int
+	// Flow is sum w_j (t_j + 1 - r_j) over Jobs.
+	Flow int64
+	// NetFlow is sum w_j (t_j - r_j) over Jobs — Lemma 3.5's quantity.
+	NetFlow int64
+	// Full reports whether every step of [Start, End) runs a job.
+	Full bool
+	// GapPreceded reports whether the step Start-1 was uncalibrated (or
+	// Start == 0 with no earlier interval): exactly the situation in which
+	// the algorithms evaluated their triggers on the previous step and
+	// found them false.
+	GapPreceded bool
+}
+
+// Intervals computes interval statistics for machine m of a valid
+// schedule, in increasing start order.
+func Intervals(in *core.Instance, s *core.Schedule, m int) []Interval {
+	starts, jobs := core.IntervalJobs(in, s, m)
+	// Collect every calibration (including job-less ones) for coverage
+	// queries.
+	var all []int64
+	for _, c := range s.Calendar {
+		if c.Machine == m {
+			all = append(all, c.Start)
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	coveredAt := func(t int64) bool {
+		i := sort.Search(len(all), func(i int) bool { return all[i] > t })
+		return i > 0 && t < all[i-1]+in.T
+	}
+	busy := make(map[int64]bool, len(in.Jobs))
+	for _, a := range s.Assignments {
+		if a.Machine == m && a.Start >= 0 {
+			busy[a.Start] = true
+		}
+	}
+	out := make([]Interval, len(starts))
+	for k, b := range starts {
+		iv := Interval{Start: b, End: b + in.T, Jobs: jobs[k], Full: true}
+		for t := b; t < b+in.T; t++ {
+			if !busy[t] {
+				iv.Full = false
+				break
+			}
+		}
+		iv.GapPreceded = b == 0 || !coveredAt(b-1)
+		for _, id := range iv.Jobs {
+			j := in.Jobs[id]
+			start := s.Assignments[id].Start
+			iv.Flow += j.Flow(start)
+			iv.NetFlow += j.Weight * (start - j.Release)
+		}
+		out[k] = iv
+	}
+	return out
+}
+
+// Sequence is the Section 3.2 object: a maximal group of consecutive
+// intervals in which all but the last interval is full. Boundaries fall
+// exactly at non-full intervals (the partition is unique); the final
+// sequence may end in a full interval if it is the schedule's last.
+type Sequence struct {
+	Intervals []Interval
+	// Begin is b_I: the time step immediately after the previous sequence
+	// ends (0 for the first sequence). End is e_I, the final time step of
+	// the last interval.
+	Begin, End int64
+}
+
+// Sequences partitions machine m's intervals into sequences.
+func Sequences(in *core.Instance, s *core.Schedule, m int) []Sequence {
+	ivs := Intervals(in, s, m)
+	var out []Sequence
+	prevEnd := int64(0)
+	var cur []Interval
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		seq := Sequence{Intervals: cur, Begin: prevEnd, End: cur[len(cur)-1].End - 1}
+		out = append(out, seq)
+		prevEnd = cur[len(cur)-1].End
+		cur = nil
+	}
+	for _, iv := range ivs {
+		cur = append(cur, iv)
+		if !iv.Full {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// OptR computes the optimal single-machine schedule among schedules that
+// process jobs in release-time order, for the G-cost objective, by
+// exhaustive search over every calibration-time subset of [0, maxRelease
+// + 1] with the FIFO list assignment (which is optimal for a fixed
+// calendar among release-ordered schedules by the Observation 2.1 exchange
+// argument). Exponential in the release horizon; small instances only.
+func OptR(in *core.Instance, g int64) (*core.Schedule, error) {
+	if in.P != 1 {
+		return nil, fmt.Errorf("analysis: OptR requires P = 1, got %d", in.P)
+	}
+	if g < 0 {
+		return nil, fmt.Errorf("analysis: negative G %d", g)
+	}
+	if in.N() == 0 {
+		return core.NewSchedule(0), nil
+	}
+	horizon := in.MaxRelease() + 2
+	if horizon > 24 {
+		return nil, fmt.Errorf("analysis: OptR horizon %d too large for exhaustive search (max 24)", horizon)
+	}
+	var best *core.Schedule
+	bestCost := int64(1) << 62
+	var times []int64
+	var rec func(next int64)
+	rec = func(next int64) {
+		s, err := online.AssignTimesFIFO(in, times)
+		if err == nil {
+			if c := core.TotalCost(in, s, g); c < bestCost {
+				bestCost = c
+				best = s
+			}
+		}
+		for t := next; t < horizon; t++ {
+			times = append(times, t)
+			rec(t + 1)
+			times = times[:len(times)-1]
+		}
+	}
+	rec(0)
+	if best == nil {
+		return nil, fmt.Errorf("analysis: no feasible release-ordered schedule found")
+	}
+	return best, nil
+}
+
+// ReassignInReleaseOrder rewrites an unweighted single-machine schedule so
+// jobs occupy the same slot multiset in release order: the i-th earliest
+// slot runs the i-th earliest-released job. For unit weights the total
+// flow is unchanged (sum of completions minus sum of releases), and
+// feasibility is preserved: at most i-1 slots can precede the i-th release
+// because the jobs released later must all sit at or after it. Lemma 3.2
+// presumes a release-ordered optimum; this supplies one from any optimum.
+func ReassignInReleaseOrder(in *core.Instance, s *core.Schedule) (*core.Schedule, error) {
+	if in.P != 1 {
+		return nil, fmt.Errorf("analysis: ReassignInReleaseOrder requires P = 1")
+	}
+	if !in.Unweighted() {
+		return nil, fmt.Errorf("analysis: ReassignInReleaseOrder requires unit weights")
+	}
+	slots := make([]int64, 0, in.N())
+	for _, a := range s.Assignments {
+		slots = append(slots, a.Start)
+	}
+	sort.Slice(slots, func(a, b int) bool { return slots[a] < slots[b] })
+	out := s.Clone()
+	for i, j := range in.Jobs { // jobs already sorted by release
+		if slots[i] < j.Release {
+			return nil, fmt.Errorf("analysis: slot %d precedes release %d of job %d (input schedule invalid?)",
+				slots[i], j.Release, j.ID)
+		}
+		out.Assign(j.ID, 0, slots[i])
+	}
+	return out, nil
+}
+
+// CheckLemma32 verifies Lemma 3.2 on a pair (Algorithm 1 schedule, optimal
+// schedule) for an unweighted single-machine instance: for every Algorithm
+// 1 interval i whose job set contains a job scheduled strictly earlier in
+// OPT (J_i^E nonempty), the earliest OPT interval containing a job of J_i
+// must contain no job of any later Algorithm 1 interval. It returns an
+// error describing the first violation, or nil.
+//
+// Reading note: the paper defines J_i^E as jobs scheduled "earlier in OPT
+// than in Algorithm 1 or at the same time in both". Under that literal
+// tie-inclusive reading the lemma admits counterexamples when an Algorithm
+// 1 interval contains idle gaps (see TestLemma32LiteralTieReadingFails for
+// a concrete instance found by this reproduction); under the strict
+// reading used here it holds on every instance sampled. EXPERIMENTS.md
+// records the discrepancy.
+func CheckLemma32(in *core.Instance, alg, opt *core.Schedule) error {
+	algIvs := Intervals(in, alg, 0)
+	optIvs := Intervals(in, opt, 0)
+	// optIndex[job] = index of the OPT interval containing the job.
+	optIndex := make(map[int]int)
+	for k, iv := range optIvs {
+		for _, id := range iv.Jobs {
+			optIndex[id] = k
+		}
+	}
+	// algIndex[job] = index of the Algorithm 1 interval containing it.
+	algIndex := make(map[int]int)
+	for k, iv := range algIvs {
+		for _, id := range iv.Jobs {
+			algIndex[id] = k
+		}
+	}
+	for k, iv := range algIvs {
+		// J_i^E under the strict reading: jobs scheduled strictly earlier
+		// in OPT (see the function comment).
+		hasEarlier := false
+		for _, id := range iv.Jobs {
+			if opt.Start(id) < alg.Start(id) {
+				hasEarlier = true
+				break
+			}
+		}
+		if !hasEarlier {
+			continue
+		}
+		// i^OPT: earliest OPT interval containing a job in J_i.
+		iOpt := -1
+		for _, id := range iv.Jobs {
+			if oi := optIndex[id]; iOpt == -1 || oi < iOpt {
+				iOpt = oi
+			}
+		}
+		// No job of a later Algorithm 1 interval may sit in i^OPT.
+		for _, id := range optIvs[iOpt].Jobs {
+			if algIndex[id] > k {
+				return fmt.Errorf("analysis: Lemma 3.2 violated: OPT interval %d (start %d) holds job %d of later ALG interval %d (> %d)",
+					iOpt, optIvs[iOpt].Start, id, algIndex[id], k)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLemma36 verifies Lemma 3.6 on a pair (Algorithm 2 schedule, OPT_r
+// schedule): for every sequence I of the algorithm's schedule and every
+// k < |I|, OPT_r must have at least k intervals that end after b_I and
+// begin no later than the k-th interval of I begins. It returns an error
+// describing the first violation, or nil.
+func CheckLemma36(in *core.Instance, alg, optR *core.Schedule) error {
+	optIvs := Intervals(in, optR, 0)
+	for _, seq := range Sequences(in, alg, 0) {
+		for k := 1; k < len(seq.Intervals); k++ {
+			kth := seq.Intervals[k-1] // k-th interval, 1-indexed
+			count := 0
+			for _, ov := range optIvs {
+				if ov.End > seq.Begin && ov.Start <= kth.Start {
+					count++
+				}
+			}
+			if count < k {
+				return fmt.Errorf("analysis: Lemma 3.6 violated: sequence beginning at %d, k=%d: only %d OPT_r intervals end after %d and start by %d",
+					seq.Begin, k, count, seq.Begin, kth.Start)
+			}
+		}
+	}
+	return nil
+}

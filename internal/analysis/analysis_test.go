@@ -1,0 +1,405 @@
+package analysis
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/core"
+	"calibsched/internal/offline"
+	"calibsched/internal/online"
+)
+
+func TestIntervalsStatistics(t *testing.T) {
+	// T=3; interval [0,3) full (jobs at 0,1,2), interval [10,13) non-full
+	// (job at 10 only), with a gap before it.
+	in := core.MustInstance(1, 3, []int64{0, 1, 2, 10}, []int64{1, 2, 3, 4})
+	s := core.NewSchedule(4)
+	s.Calibrate(0, 0)
+	s.Calibrate(0, 10)
+	s.Assign(0, 0, 0)
+	s.Assign(1, 0, 1)
+	s.Assign(2, 0, 2)
+	s.Assign(3, 0, 10)
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	ivs := Intervals(in, s, 0)
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d", len(ivs))
+	}
+	if !ivs[0].Full || ivs[1].Full {
+		t.Errorf("fullness = %v,%v; want true,false", ivs[0].Full, ivs[1].Full)
+	}
+	if !ivs[0].GapPreceded || !ivs[1].GapPreceded {
+		t.Errorf("gap flags = %v,%v; want true,true", ivs[0].GapPreceded, ivs[1].GapPreceded)
+	}
+	if ivs[0].Flow != 1+2+3 { // all at release: flow = sum of weights
+		t.Errorf("interval 0 flow = %d", ivs[0].Flow)
+	}
+	if ivs[0].NetFlow != 0 || ivs[1].NetFlow != 0 {
+		t.Errorf("net flows = %d,%d; want 0,0", ivs[0].NetFlow, ivs[1].NetFlow)
+	}
+}
+
+func TestIntervalsBackToBackNotGapPreceded(t *testing.T) {
+	in := core.MustInstance(1, 2, []int64{0, 1, 2, 3}, []int64{1, 1, 1, 1})
+	s := core.NewSchedule(4)
+	s.Calibrate(0, 0)
+	s.Calibrate(0, 2)
+	for i := 0; i < 4; i++ {
+		s.Assign(i, 0, int64(i))
+	}
+	ivs := Intervals(in, s, 0)
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d", len(ivs))
+	}
+	if !ivs[0].GapPreceded {
+		t.Error("first interval should be gap-preceded")
+	}
+	if ivs[1].GapPreceded {
+		t.Error("back-to-back interval reported gap-preceded")
+	}
+}
+
+func TestSequencesPartition(t *testing.T) {
+	// Intervals: full [0,2), full [2,4), non-full [4,6) -> one sequence of
+	// three; then non-full [10,12) -> its own sequence.
+	in := core.MustInstance(1, 2, []int64{0, 1, 2, 3, 4, 10}, []int64{1, 1, 1, 1, 1, 1})
+	s := core.NewSchedule(6)
+	for _, st := range []int64{0, 2, 4, 10} {
+		s.Calibrate(0, st)
+	}
+	for i := 0; i < 5; i++ {
+		s.Assign(i, 0, int64(i))
+	}
+	s.Assign(5, 0, 10)
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	seqs := Sequences(in, s, 0)
+	if len(seqs) != 2 {
+		t.Fatalf("sequences = %d, want 2", len(seqs))
+	}
+	if len(seqs[0].Intervals) != 3 || len(seqs[1].Intervals) != 1 {
+		t.Fatalf("sequence sizes = %d,%d; want 3,1", len(seqs[0].Intervals), len(seqs[1].Intervals))
+	}
+	if seqs[0].Begin != 0 || seqs[0].End != 5 {
+		t.Errorf("sequence 0 span = [%d,%d], want [0,5]", seqs[0].Begin, seqs[0].End)
+	}
+	if seqs[1].Begin != 6 {
+		t.Errorf("sequence 1 begins at %d, want 6", seqs[1].Begin)
+	}
+	// All but the last interval of each sequence must be full.
+	for si, seq := range seqs {
+		for k := 0; k < len(seq.Intervals)-1; k++ {
+			if !seq.Intervals[k].Full {
+				t.Errorf("sequence %d interval %d not full", si, k)
+			}
+		}
+	}
+}
+
+func TestReassignInReleaseOrder(t *testing.T) {
+	in := core.MustInstance(1, 4, []int64{0, 1}, []int64{1, 1})
+	s := core.NewSchedule(2)
+	s.Calibrate(0, 1)
+	s.Assign(0, 0, 3) // out of order
+	s.Assign(1, 0, 1)
+	got, err := ReassignInReleaseOrder(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Start(0) != 1 || got.Start(1) != 3 {
+		t.Errorf("starts = %d,%d; want 1,3", got.Start(0), got.Start(1))
+	}
+	if core.Flow(in, got) != core.Flow(in, s) {
+		t.Error("unit-weight reassignment changed total flow")
+	}
+	weighted := core.MustInstance(1, 4, []int64{0}, []int64{2})
+	ws := core.NewSchedule(1)
+	ws.Calibrate(0, 0)
+	ws.Assign(0, 0, 0)
+	if _, err := ReassignInReleaseOrder(weighted, ws); err == nil {
+		t.Error("accepted weighted instance")
+	}
+}
+
+func TestOptRSmall(t *testing.T) {
+	// Two jobs at 0 and 5, T=3, G=4: OPT_r should match the unrestricted
+	// optimum here (unweighted instances always admit a release-ordered
+	// optimum).
+	in := core.MustInstance(1, 3, []int64{0, 5}, []int64{1, 1})
+	s, err := OptR(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	got := core.TotalCost(in, s, 4)
+	want, _, err := offline.BruteForceTotalCost(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("OPT_r cost %d != OPT %d on an unweighted instance", got, want)
+	}
+}
+
+func TestOptRMatchesOptOnUnweighted(t *testing.T) {
+	// For unit weights any optimum can be reordered to release order at
+	// equal cost, so OPT_r == OPT.
+	rng := rand.New(rand.NewPCG(17, 3))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.IntN(4)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(7))
+			weights[i] = 1
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(3)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(8))
+		r, err := OptR(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, _, err := offline.OptimalTotalCost(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := core.TotalCost(in, r, g); got != want {
+			t.Fatalf("trial %d: OPT_r %d != OPT %d (T=%d G=%d jobs %v)", trial, got, want, in.T, g, in.Jobs)
+		}
+	}
+}
+
+func TestOptRAtMostTwiceOptWeighted(t *testing.T) {
+	// Lemma 3.4: restricting to release order costs at most a factor 2.
+	rng := rand.New(rand.NewPCG(23, 5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(4)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(7))
+			weights[i] = 1 + int64(rng.IntN(5))
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(3)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(8))
+		r, err := OptR(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, _, err := offline.OptimalTotalCost(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := core.TotalCost(in, r, g); got > 2*opt {
+			t.Fatalf("trial %d: OPT_r %d > 2*OPT %d (T=%d G=%d jobs %v)", trial, got, 2*opt, in.T, g, in.Jobs)
+		}
+	}
+}
+
+func TestOptRRejects(t *testing.T) {
+	multi := core.MustInstance(2, 3, []int64{0}, []int64{1})
+	if _, err := OptR(multi, 3); err == nil {
+		t.Error("accepted P=2")
+	}
+	big := core.MustInstance(1, 3, []int64{100}, []int64{1})
+	if _, err := OptR(big, 3); err == nil {
+		t.Error("accepted huge horizon")
+	}
+}
+
+// TestCheckLemma32OnRandomInstances: Algorithm 1 versus a release-ordered
+// optimum must satisfy Lemma 3.2 on every sampled instance.
+func TestCheckLemma32OnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(29, 7))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.IntN(8)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(18))
+			weights[i] = 1
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(5)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(24))
+		res, err := online.Alg1(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, opt, err := offline.OptimalTotalCost(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ordered, err := ReassignInReleaseOrder(in, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Validate(in, ordered); err != nil {
+			t.Fatalf("trial %d: reordered OPT invalid: %v", trial, err)
+		}
+		if err := CheckLemma32(in, res.Schedule, ordered); err != nil {
+			t.Fatalf("trial %d (T=%d G=%d jobs %v): %v", trial, in.T, g, in.Jobs, err)
+		}
+	}
+}
+
+// TestLemma32LiteralTieReadingFails pins the counterexample this
+// reproduction found to the paper's literal, tie-inclusive definition of
+// J_i^E: with T=4, G=2 and releases 3,4,5,9,12,13, Algorithm 1's interval
+// [9,13) holds jobs released at 9 and 12; job 12 runs at the same time in
+// the (essentially unique) optimum, whose interval [10,14) also holds the
+// job released at 13 — which Algorithm 1 schedules in a *later* interval.
+// Under the strict reading J_i^E is empty there and the lemma is vacuous.
+func TestLemma32LiteralTieReadingFails(t *testing.T) {
+	in := core.MustInstance(1, 4, []int64{3, 4, 5, 9, 12, 13}, []int64{1, 1, 1, 1, 1, 1})
+	const g = 2
+	res, err := online.Alg1(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, opt, err := offline.OptimalTotalCost(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := ReassignInReleaseOrder(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict reading: holds.
+	if err := CheckLemma32(in, res.Schedule, ordered); err != nil {
+		t.Fatalf("strict reading violated: %v", err)
+	}
+	// Literal tie-inclusive reading: reproduce the violation by hand.
+	algIvs := Intervals(in, res.Schedule, 0)
+	optIvs := Intervals(in, ordered, 0)
+	if len(algIvs) < 3 {
+		t.Skipf("algorithm produced %d intervals; counterexample shape changed", len(algIvs))
+	}
+	// Interval 1 of the algorithm ([9,13)) has a tie job (released 12).
+	tieFound := false
+	for _, id := range algIvs[1].Jobs {
+		if ordered.Start(id) == res.Schedule.Start(id) {
+			tieFound = true
+		}
+	}
+	if !tieFound {
+		t.Skip("no tie in interval 1; counterexample shape changed")
+	}
+	// The earliest OPT interval holding interval-1 jobs also holds a job
+	// of algorithm interval 2.
+	iOpt := -1
+	optIndex := map[int]int{}
+	for k, iv := range optIvs {
+		for _, id := range iv.Jobs {
+			optIndex[id] = k
+		}
+	}
+	for _, id := range algIvs[1].Jobs {
+		if k := optIndex[id]; iOpt == -1 || k < iOpt {
+			iOpt = k
+		}
+	}
+	violates := false
+	for _, id := range optIvs[iOpt].Jobs {
+		for _, later := range algIvs[2].Jobs {
+			if id == later {
+				violates = true
+			}
+		}
+	}
+	if !violates {
+		t.Skip("literal-reading violation no longer manifests; counterexample shape changed")
+	}
+}
+
+// TestCheckLemma36OnRandomInstances: Algorithm 2's sequences versus OPT_r.
+func TestCheckLemma36OnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 9))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.IntN(6)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(8))
+			weights[i] = 1 + int64(rng.IntN(4))
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(3)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(10))
+		res, err := online.Alg2(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optR, err := OptR(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckLemma36(in, res.Schedule, optR); err != nil {
+			t.Fatalf("trial %d (T=%d G=%d jobs %v): %v", trial, in.T, g, in.Jobs, err)
+		}
+	}
+}
+
+// TestOptRFastMatchesExhaustive is the correctness argument for the
+// polynomial OPT_r solver: its cost must equal the exhaustive search's on
+// every sampled instance.
+func TestOptRFastMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(37, 11))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.IntN(6)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(10))
+			weights[i] = 1 + int64(rng.IntN(5))
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(4)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(14))
+
+		slow, err := OptR(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := OptRFast(in, g)
+		if err != nil {
+			t.Fatalf("trial %d (T=%d G=%d jobs %v): %v", trial, in.T, g, in.Jobs, err)
+		}
+		if err := core.Validate(in, fast); err != nil {
+			t.Fatalf("trial %d: OptRFast schedule invalid: %v (T=%d G=%d jobs %v)",
+				trial, err, in.T, g, in.Jobs)
+		}
+		// Release order.
+		for i := 1; i < n; i++ {
+			if fast.Start(i) <= fast.Start(i-1) {
+				t.Fatalf("trial %d: OptRFast out of release order", trial)
+			}
+		}
+		slowCost := core.TotalCost(in, slow, g)
+		fastCost := core.TotalCost(in, fast, g)
+		if fastCost != slowCost {
+			t.Fatalf("trial %d (T=%d G=%d jobs %v): OptRFast %d != exhaustive %d",
+				trial, in.T, g, in.Jobs, fastCost, slowCost)
+		}
+	}
+}
+
+func TestOptRFastRejects(t *testing.T) {
+	multi := core.MustInstance(2, 3, []int64{0}, []int64{1})
+	if _, err := OptRFast(multi, 3); err == nil {
+		t.Error("accepted P=2")
+	}
+	dup := core.MustInstance(1, 3, []int64{0, 0}, []int64{1, 2})
+	if _, err := OptRFast(dup, 3); err == nil {
+		t.Error("accepted duplicate releases")
+	}
+	if _, err := OptRFast(core.MustInstance(1, 3, []int64{0}, []int64{1}), -1); err == nil {
+		t.Error("accepted negative G")
+	}
+	empty := core.MustInstance(1, 3, nil, nil)
+	if s, err := OptRFast(empty, 3); err != nil || s.NumCalibrations() != 0 {
+		t.Errorf("empty instance: %v", err)
+	}
+}

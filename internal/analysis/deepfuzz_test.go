@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/core"
+)
+
+func TestDeepFuzzOptRFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep fuzz skipped in -short mode")
+	}
+	rng := rand.New(rand.NewPCG(555, 777))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.IntN(7)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(12))
+			weights[i] = 1 + int64(rng.IntN(6))
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(5)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(20))
+		slow, err := OptR(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := OptRFast(in, g)
+		if err != nil {
+			t.Fatalf("trial %d (T=%d G=%d jobs %v): %v", trial, in.T, g, in.Jobs, err)
+		}
+		if core.TotalCost(in, fast, g) != core.TotalCost(in, slow, g) {
+			t.Fatalf("trial %d (T=%d G=%d jobs %v): fast %d != exhaustive %d",
+				trial, in.T, g, in.Jobs, core.TotalCost(in, fast, g), core.TotalCost(in, slow, g))
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package baseline implements the naive comparators the paper's online
+// algorithms are measured against in experiment E9: calibrate-on-demand,
+// keep-always-calibrated, periodic calibration, and the pure ski-rental
+// flow threshold (the latter via online.WithFlowTriggerOnly).
+//
+// None of these has a constant competitive ratio: Immediate over-pays for
+// calibrations on sparse traffic (ratio grows like G), AlwaysCalibrated
+// over-pays on any gap, and Periodic needs its period tuned per instance.
+// The experiments quantify exactly that.
+package baseline
+
+import (
+	"fmt"
+
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+	"calibsched/internal/queue"
+	"calibsched/internal/simul"
+)
+
+// Immediate schedules every job as early as possible, calibrating machines
+// round-robin the moment a waiting job has no calibrated slot. Flow is
+// minimal (every job runs at release, up to machine contention) but the
+// calibration bill is unbounded relative to OPT on sparse instances.
+func Immediate(in *core.Instance, g int64) (*core.Schedule, error) {
+	if g < 0 {
+		return nil, fmt.Errorf("baseline: negative G %d", g)
+	}
+	q := queue.NewJobQueue(queue.ByWeightDesc)
+	arr := simul.NewArrivals(in)
+	sched := core.NewSchedule(in.N())
+	ends := make([]int64, in.P) // one past each machine's calibrated horizon
+	rr := 0
+
+	t := int64(0)
+	for arr.Remaining() > 0 || !q.Empty() {
+		if q.Empty() {
+			nt, ok := arr.NextTime()
+			if !ok {
+				break
+			}
+			if nt > t {
+				t = nt
+			}
+		}
+		for _, j := range arr.PopAt(t) {
+			q.Push(j)
+		}
+		// Run on already-calibrated machines first, then calibrate fresh
+		// ones on demand.
+		for m := 0; m < in.P && !q.Empty(); m++ {
+			if t < ends[m] {
+				j := q.Pop()
+				sched.Assign(j.ID, m, t)
+			}
+		}
+		for !q.Empty() {
+			m := rr % in.P
+			rr++
+			if t < ends[m] {
+				// Already calibrated and already used this step; with all
+				// machines busy the remaining jobs wait one step.
+				break
+			}
+			sched.Calibrate(m, t)
+			ends[m] = t + in.T
+			j := q.Pop()
+			sched.Assign(j.ID, m, t)
+		}
+		if q.Empty() {
+			continue // jump to next arrival at loop top
+		}
+		t++
+	}
+	return sched, nil
+}
+
+// AlwaysCalibrated keeps one machine calibrated back-to-back from the first
+// release until every job is scheduled, assigning jobs per Observation 2.1.
+// For P > 1 the extra machines are calibrated in the same back-to-back
+// pattern only as capacity demands (round-robin placement by AssignTimes).
+func AlwaysCalibrated(in *core.Instance, g int64) (*core.Schedule, error) {
+	if g < 0 {
+		return nil, fmt.Errorf("baseline: negative G %d", g)
+	}
+	if in.N() == 0 {
+		return core.NewSchedule(0), nil
+	}
+	first := in.Jobs[0].Release
+	return growCalendar(in, func(k int) []int64 {
+		times := make([]int64, k)
+		for i := range times {
+			times[i] = first + int64(i/in.P)*in.T
+		}
+		return times
+	})
+}
+
+// Periodic calibrates with a fixed stride: calibration i starts at
+// first-release + i*period (machines round-robin), extending the calendar
+// just far enough to fit all jobs. period < T overlaps (wasteful), period >
+// T leaves gaps (jobs wait).
+func Periodic(in *core.Instance, g, period int64) (*core.Schedule, error) {
+	if g < 0 {
+		return nil, fmt.Errorf("baseline: negative G %d", g)
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("baseline: period %d, want >= 1", period)
+	}
+	if in.N() == 0 {
+		return core.NewSchedule(0), nil
+	}
+	first := in.Jobs[0].Release
+	return growCalendar(in, func(k int) []int64 {
+		times := make([]int64, k)
+		for i := range times {
+			times[i] = first + int64(i)*period
+		}
+		return times
+	})
+}
+
+// FlowThreshold is the pure ski-rental strategy: wait until the queued
+// jobs' prospective flow reaches G, then calibrate. It is Algorithm 1/2
+// with every other trigger disabled. Weighted instances use Algorithm 2's
+// heaviest-first service order.
+func FlowThreshold(in *core.Instance, g int64) (*core.Schedule, error) {
+	if in.P != 1 {
+		return nil, fmt.Errorf("baseline: FlowThreshold is single-machine, got P=%d", in.P)
+	}
+	var res *online.Result
+	var err error
+	if in.Unweighted() {
+		res, err = online.Alg1(in, g, online.WithFlowTriggerOnly())
+	} else {
+		res, err = online.Alg2(in, g, online.WithFlowTriggerOnly())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+// growCalendar finds the smallest k such that the calendar produced by
+// mk(k) can schedule every job, and returns the Observation 2.1 assignment
+// for it. mk must produce calendars whose capacity is unbounded in k.
+func growCalendar(in *core.Instance, mk func(k int) []int64) (*core.Schedule, error) {
+	lastRelease := in.MaxRelease()
+	for k := 1; ; k++ {
+		times := mk(k)
+		// Cheap necessary conditions before attempting assignment: enough
+		// slots, and coverage reaching the last release.
+		if int64(k)*in.T < int64(in.N()) {
+			continue
+		}
+		if times[len(times)-1]+in.T <= lastRelease {
+			continue
+		}
+		s, err := online.AssignTimes(in, times)
+		if err == nil {
+			return s, nil
+		}
+		if k > in.P*(4*in.N()+int(lastRelease/in.T)+8) {
+			return nil, fmt.Errorf("baseline: calendar did not become feasible (bug in generator): %w", err)
+		}
+	}
+}

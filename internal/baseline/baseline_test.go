@@ -1,0 +1,218 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+)
+
+func randInstance(rng *rand.Rand, p int, weighted bool) *core.Instance {
+	n := 1 + rng.IntN(15)
+	releases := make([]int64, n)
+	weights := make([]int64, n)
+	for i := range releases {
+		releases[i] = int64(rng.IntN(40))
+		weights[i] = 1
+		if weighted {
+			weights[i] = 1 + int64(rng.IntN(5))
+		}
+	}
+	return core.MustInstance(p, int64(1+rng.IntN(6)), releases, weights).Canonicalize()
+}
+
+func TestImmediateSchedulesAtReleaseSingleMachine(t *testing.T) {
+	in := core.MustInstance(1, 4, []int64{0, 7, 20}, []int64{1, 1, 1})
+	s, err := Immediate(in, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs {
+		if s.Start(j.ID) != j.Release {
+			t.Errorf("job %d starts at %d, want release %d", j.ID, s.Start(j.ID), j.Release)
+		}
+	}
+	// Releases 0, 7, 20 with T=4: no interval covers two releases, so three
+	// calibrations.
+	if s.NumCalibrations() != 3 {
+		t.Errorf("calibrations = %d, want 3", s.NumCalibrations())
+	}
+}
+
+func TestImmediateReusesCalibration(t *testing.T) {
+	in := core.MustInstance(1, 10, []int64{0, 3}, []int64{1, 1})
+	s, err := Immediate(in, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCalibrations() != 1 {
+		t.Errorf("calibrations = %d, want 1 (second job inside interval)", s.NumCalibrations())
+	}
+}
+
+func TestImmediateContention(t *testing.T) {
+	// Two machines, three jobs released together: third waits one step.
+	in := core.MustInstance(2, 5, []int64{0, 0, 0}, []int64{1, 1, 1})
+	s, err := Immediate(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	starts := []int64{s.Start(0), s.Start(1), s.Start(2)}
+	var atZero, atOne int
+	for _, st := range starts {
+		switch st {
+		case 0:
+			atZero++
+		case 1:
+			atOne++
+		}
+	}
+	if atZero != 2 || atOne != 1 {
+		t.Errorf("starts = %v, want two at 0 and one at 1", starts)
+	}
+	if s.NumCalibrations() != 2 {
+		t.Errorf("calibrations = %d, want 2", s.NumCalibrations())
+	}
+}
+
+func TestAlwaysCalibratedCoversEverything(t *testing.T) {
+	in := core.MustInstance(1, 5, []int64{2, 9, 30}, []int64{1, 1, 1})
+	s, err := AlwaysCalibrated(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	// Coverage is back-to-back from the first release, so every job runs
+	// at its release time.
+	for _, j := range in.Jobs {
+		if s.Start(j.ID) != j.Release {
+			t.Errorf("job %d starts at %d, want %d", j.ID, s.Start(j.ID), j.Release)
+		}
+	}
+	// Intervals [2,7),[7,12),... up to covering 30: starts 2,7,...,27 -> 6.
+	if s.NumCalibrations() != 6 {
+		t.Errorf("calibrations = %d, want 6", s.NumCalibrations())
+	}
+}
+
+func TestPeriodicGapsDelayJobs(t *testing.T) {
+	// T=2, period=10: intervals [0,2), [10,12), ... A job released at 5
+	// waits for the next interval.
+	in := core.MustInstance(1, 2, []int64{0, 5}, []int64{1, 1})
+	s, err := Periodic(in, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Start(1) != 10 {
+		t.Errorf("gap job starts at %d, want 10", s.Start(1))
+	}
+}
+
+func TestPeriodicRejectsBadPeriod(t *testing.T) {
+	in := core.MustInstance(1, 2, []int64{0}, []int64{1})
+	if _, err := Periodic(in, 10, 0); err == nil {
+		t.Error("accepted period 0")
+	}
+}
+
+func TestFlowThresholdMatchesSkiRental(t *testing.T) {
+	// One job at 0, G=10, T=5: waits until flow would be G.
+	in := core.MustInstance(1, 5, []int64{0}, []int64{1})
+	s, err := FlowThreshold(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start(0) != 8 {
+		t.Errorf("start = %d, want 8 (flow trigger)", s.Start(0))
+	}
+	// Weighted variant routes through Algorithm 2.
+	win := core.MustInstance(1, 5, []int64{0}, []int64{2})
+	ws, err := FlowThreshold(win, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(win, ws); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FlowThreshold(core.MustInstance(2, 5, []int64{0}, []int64{1}), 10); err == nil {
+		t.Error("FlowThreshold accepted P=2")
+	}
+}
+
+func TestBaselinesValidOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 66))
+	for trial := 0; trial < 200; trial++ {
+		p := 1 + rng.IntN(3)
+		in := randInstance(rng, p, p == 1)
+		g := int64(rng.IntN(50))
+		runs := map[string]func() (*core.Schedule, error){
+			"immediate": func() (*core.Schedule, error) { return Immediate(in, g) },
+			"always":    func() (*core.Schedule, error) { return AlwaysCalibrated(in, g) },
+			"periodic":  func() (*core.Schedule, error) { return Periodic(in, g, in.T+2) },
+		}
+		if p == 1 {
+			runs["flow-threshold"] = func() (*core.Schedule, error) { return FlowThreshold(in, g) }
+		}
+		for name, run := range runs {
+			s, err := run()
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if err := core.Validate(in, s); err != nil {
+				t.Fatalf("trial %d %s: invalid schedule: %v", trial, name, err)
+			}
+		}
+	}
+}
+
+func TestImmediateIsFlowOptimalIshVersusAlg1(t *testing.T) {
+	// Immediate minimizes flow (every job at release up to contention), so
+	// its flow must never exceed Algorithm 1's.
+	rng := rand.New(rand.NewPCG(9, 12))
+	for trial := 0; trial < 100; trial++ {
+		in := randInstance(rng, 1, false)
+		g := int64(rng.IntN(50))
+		im, err := Immediate(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err := online.Alg1(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if core.Flow(in, im) > core.Flow(in, a1.Schedule) {
+			t.Fatalf("trial %d: immediate flow %d > alg1 flow %d",
+				trial, core.Flow(in, im), core.Flow(in, a1.Schedule))
+		}
+	}
+}
+
+func TestEmptyInstances(t *testing.T) {
+	in := core.MustInstance(1, 3, nil, nil)
+	for name, run := range map[string]func() (*core.Schedule, error){
+		"immediate": func() (*core.Schedule, error) { return Immediate(in, 5) },
+		"always":    func() (*core.Schedule, error) { return AlwaysCalibrated(in, 5) },
+		"periodic":  func() (*core.Schedule, error) { return Periodic(in, 5, 3) },
+		"flow":      func() (*core.Schedule, error) { return FlowThreshold(in, 5) },
+	} {
+		s, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.NumCalibrations() != 0 {
+			t.Errorf("%s calibrated an empty instance", name)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package core defines the shared vocabulary of the calibration-scheduling
+// problem from Chau, McCauley, Li, and Wang, "Minimizing Total Weighted Flow
+// Time with Calibrations" (SPAA 2017): jobs, instances, calibration
+// calendars, schedules, and exact integer cost accounting.
+//
+// The model, briefly: n unit-length jobs with integer release times r_j and
+// positive integer weights w_j must run on P identical machines. A machine
+// can only run a job during a time step covered by a calibration: calibrating
+// at time t is instantaneous and makes the T time steps [t, t+T) usable on
+// that machine. A job started at t_j completes at t_j+1 and incurs weighted
+// flow w_j*(t_j+1-r_j). In the online setting each calibration costs G and
+// the objective is G*(#calibrations) + total weighted flow; in the offline
+// setting at most K calibrations may be used and only the flow is minimized.
+//
+// All quantities are int64; cost arithmetic is exact.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Job is a unit-length job. ID is the job's index within its Instance and is
+// assigned by NewInstance; Release and Weight are the paper's r_j and w_j.
+type Job struct {
+	ID      int
+	Release int64
+	Weight  int64
+}
+
+// Flow returns the weighted flow incurred by the job when started at time
+// start: Weight * (start + 1 - Release).
+func (j Job) Flow(start int64) int64 {
+	return j.Weight * (start + 1 - j.Release)
+}
+
+// Instance is a calibration-scheduling instance: a job set together with the
+// machine count P and the calibration length T (the paper requires T >= 2,
+// but every algorithm here also accepts T = 1). Jobs are kept sorted by
+// (Release, ID); IDs are dense 0..n-1 in that order.
+//
+// An Instance carries neither G nor K: the online calibration cost and the
+// offline calibration budget are parameters of the respective solvers, so a
+// single Instance can be evaluated under many cost regimes.
+type Instance struct {
+	Jobs []Job
+	P    int
+	T    int64
+}
+
+// NewInstance builds an Instance from raw (release, weight) pairs, sorting
+// jobs by release time (ties broken by ascending weight, then input order)
+// and assigning dense IDs. It does not enforce the paper's distinct-release
+// normalization; call Canonicalize for that.
+func NewInstance(p int, t int64, releases []int64, weights []int64) (*Instance, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("core: machine count P = %d, want >= 1", p)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("core: calibration length T = %d, want >= 1", t)
+	}
+	if len(releases) != len(weights) {
+		return nil, fmt.Errorf("core: %d releases but %d weights", len(releases), len(weights))
+	}
+	jobs := make([]Job, len(releases))
+	for i := range releases {
+		if releases[i] < 0 {
+			return nil, fmt.Errorf("core: job %d has negative release time %d", i, releases[i])
+		}
+		if weights[i] < 1 {
+			return nil, fmt.Errorf("core: job %d has weight %d, want >= 1", i, weights[i])
+		}
+		jobs[i] = Job{ID: i, Release: releases[i], Weight: weights[i]}
+	}
+	sortJobs(jobs)
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+	return &Instance{Jobs: jobs, P: p, T: t}, nil
+}
+
+// MustInstance is NewInstance that panics on error; intended for tests and
+// examples with literal inputs.
+func MustInstance(p int, t int64, releases []int64, weights []int64) *Instance {
+	inst, err := NewInstance(p, t, releases, weights)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Unweighted reports whether every job has weight 1.
+func (in *Instance) Unweighted() bool {
+	for _, j := range in.Jobs {
+		if j.Weight != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// N returns the number of jobs.
+func (in *Instance) N() int { return len(in.Jobs) }
+
+// TotalWeight returns the sum of all job weights.
+func (in *Instance) TotalWeight() int64 {
+	var s int64
+	for _, j := range in.Jobs {
+		s += j.Weight
+	}
+	return s
+}
+
+// MaxRelease returns the latest release time, or 0 for an empty instance.
+func (in *Instance) MaxRelease() int64 {
+	var m int64
+	for _, j := range in.Jobs {
+		if j.Release > m {
+			m = j.Release
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	jobs := make([]Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	return &Instance{Jobs: jobs, P: in.P, T: in.T}
+}
+
+// Canonicalize returns an equivalent instance in the paper's normal form: at
+// most P jobs share any release time. Following footnote 1 of the paper,
+// while some release time holds more than P jobs, the lightest of them has
+// its release time increased by 1; this does not change the optimal
+// schedule — the optimal G*cals + weighted completion time is invariant,
+// and the flow reading shifts by exactly the constant sum of w_j per bump
+// (tested as TestCanonicalizationPreservesOptimum). For P = 1 the result
+// has all release times distinct.
+//
+// The returned instance is freshly allocated; the receiver is not modified.
+// Job IDs are reassigned in the new (Release, Weight) order.
+func (in *Instance) Canonicalize() *Instance {
+	jobs := make([]Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	// Repeatedly bump the lightest job of any over-full release time. A
+	// single left-to-right pass over a sorted slice suffices if we re-sort
+	// the tail after each bump; instead we use a counting loop that is
+	// simple and clearly terminates (each bump strictly increases the sum
+	// of release times, bounded by n*(maxRelease+n)).
+	for {
+		sortJobs(jobs)
+		bumped := false
+		for i := 0; i < len(jobs); {
+			k := i
+			for k < len(jobs) && jobs[k].Release == jobs[i].Release {
+				k++
+			}
+			if k-i > in.P {
+				// jobs[i:k] share a release time and are sorted by weight:
+				// jobs[i] is (one of) the lightest. Bump it.
+				jobs[i].Release++
+				bumped = true
+				break
+			}
+			i = k
+		}
+		if !bumped {
+			break
+		}
+	}
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+	return &Instance{Jobs: jobs, P: in.P, T: in.T}
+}
+
+// sortJobs orders by (Release, Weight, ID) so the lightest job of a release
+// group comes first.
+func sortJobs(jobs []Job) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		if jobs[a].Weight != jobs[b].Weight {
+			return jobs[a].Weight < jobs[b].Weight
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}
+
+// Ranks returns the paper's rank function mu: ranks[j.ID] is in 1..n,
+// ascending in weight, with ties broken by ranking the job with the latest
+// release time first (Definition preceding Proposition 1 in Section 4.1).
+// "First" means the smaller rank: among equal weights the latest-released
+// job receives the smallest rank.
+func (in *Instance) Ranks() []int {
+	idx := make([]int, len(in.Jobs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ja, jb := in.Jobs[idx[a]], in.Jobs[idx[b]]
+		if ja.Weight != jb.Weight {
+			return ja.Weight < jb.Weight
+		}
+		return ja.Release > jb.Release
+	})
+	ranks := make([]int, len(in.Jobs))
+	for pos, id := range idx {
+		ranks[id] = pos + 1
+	}
+	return ranks
+}
+
+// Calibration is one calibration event: machine Machine is calibrated at
+// time Start, opening the interval [Start, Start+T).
+type Calibration struct {
+	Machine int
+	Start   int64
+}
+
+// Calendar is a set of calibrations, the "set of calibration times for each
+// machine" half of a schedule (Section 2).
+type Calendar []Calibration
+
+// Sorted returns a copy ordered by (Start, Machine).
+func (c Calendar) Sorted() Calendar {
+	out := make(Calendar, len(c))
+	copy(out, c)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].Machine < out[b].Machine
+	})
+	return out
+}
+
+// Covers reports whether time step t on machine m lies inside at least one
+// calibrated interval of the calendar, given calibration length T.
+func (c Calendar) Covers(m int, t, T int64) bool {
+	for _, cal := range c {
+		if cal.Machine == m && cal.Start <= t && t < cal.Start+T {
+			return true
+		}
+	}
+	return false
+}
+
+// Assignment places job Job (by ID) on machine Machine at time step Start.
+type Assignment struct {
+	Job     int
+	Machine int
+	Start   int64
+}
+
+// Schedule is a complete solution: a calibration calendar plus one
+// assignment per job. Assignments are indexed by job ID (Assignments[id]
+// describes job id); a schedule for an n-job instance has len(Assignments)
+// == n.
+type Schedule struct {
+	Calendar    Calendar
+	Assignments []Assignment
+}
+
+// NewSchedule allocates a schedule for n jobs with every assignment marked
+// unset (Start = -1).
+func NewSchedule(n int) *Schedule {
+	s := &Schedule{Assignments: make([]Assignment, n)}
+	for i := range s.Assignments {
+		s.Assignments[i] = Assignment{Job: i, Machine: -1, Start: -1}
+	}
+	return s
+}
+
+// Assign records that job id runs on machine m at time t.
+func (s *Schedule) Assign(id, m int, t int64) {
+	s.Assignments[id] = Assignment{Job: id, Machine: m, Start: t}
+}
+
+// Calibrate appends a calibration of machine m at time t.
+func (s *Schedule) Calibrate(m int, t int64) {
+	s.Calendar = append(s.Calendar, Calibration{Machine: m, Start: t})
+}
+
+// NumCalibrations returns the number of calibration events.
+func (s *Schedule) NumCalibrations() int { return len(s.Calendar) }
+
+// Start returns the start time of job id, or -1 if unassigned.
+func (s *Schedule) Start(id int) int64 { return s.Assignments[id].Start }
+
+// Makespan returns one past the last busy time step, or 0 for an empty
+// schedule.
+func (s *Schedule) Makespan() int64 {
+	var m int64
+	for _, a := range s.Assignments {
+		if a.Start+1 > m {
+			m = a.Start + 1
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{
+		Calendar:    make(Calendar, len(s.Calendar)),
+		Assignments: make([]Assignment, len(s.Assignments)),
+	}
+	copy(out.Calendar, s.Calendar)
+	copy(out.Assignments, s.Assignments)
+	return out
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewInstanceSortsAndIDs(t *testing.T) {
+	in, err := NewInstance(1, 5, []int64{7, 2, 2, 0}, []int64{1, 9, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRel := []int64{0, 2, 2, 7}
+	wantW := []int64{4, 3, 9, 1}
+	for i, j := range in.Jobs {
+		if j.ID != i {
+			t.Errorf("job %d has ID %d", i, j.ID)
+		}
+		if j.Release != wantRel[i] || j.Weight != wantW[i] {
+			t.Errorf("job %d = (r=%d,w=%d), want (r=%d,w=%d)", i, j.Release, j.Weight, wantRel[i], wantW[i])
+		}
+	}
+}
+
+func TestNewInstanceErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		p        int
+		t        int64
+		releases []int64
+		weights  []int64
+	}{
+		{"zero machines", 0, 5, nil, nil},
+		{"zero T", 1, 0, nil, nil},
+		{"length mismatch", 1, 5, []int64{1}, []int64{}},
+		{"negative release", 1, 5, []int64{-1}, []int64{1}},
+		{"zero weight", 1, 5, []int64{0}, []int64{0}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewInstance(c.p, c.t, c.releases, c.weights); err == nil {
+				t.Fatalf("NewInstance(%d, %d, %v, %v) succeeded, want error", c.p, c.t, c.releases, c.weights)
+			}
+		})
+	}
+}
+
+func TestMustInstancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInstance with bad input did not panic")
+		}
+	}()
+	MustInstance(0, 1, nil, nil)
+}
+
+func TestJobFlow(t *testing.T) {
+	j := Job{Release: 3, Weight: 5}
+	if got := j.Flow(3); got != 5 {
+		t.Errorf("Flow at release = %d, want 5", got)
+	}
+	if got := j.Flow(10); got != 5*8 {
+		t.Errorf("Flow delayed = %d, want 40", got)
+	}
+}
+
+func TestCanonicalizeDistinctReleases(t *testing.T) {
+	// Five jobs at time 0 on one machine: four must be bumped, lightest
+	// first, yielding releases 0..4 assigned heaviest-stays-earliest.
+	in := MustInstance(1, 4, []int64{0, 0, 0, 0, 0}, []int64{5, 4, 3, 2, 1})
+	got := in.Canonicalize()
+	seen := map[int64]int64{}
+	for _, j := range got.Jobs {
+		if w, dup := seen[j.Release]; dup {
+			t.Fatalf("release %d held by weights %d and %d", j.Release, w, j.Weight)
+		}
+		seen[j.Release] = j.Weight
+	}
+	// The heaviest job should keep release 0, the lightest end up latest.
+	if seen[0] != 5 {
+		t.Errorf("release 0 has weight %d, want 5 (heaviest stays)", seen[0])
+	}
+	if seen[4] != 1 {
+		t.Errorf("release 4 has weight %d, want 1 (lightest bumped furthest)", seen[4])
+	}
+	// Original untouched.
+	for _, j := range in.Jobs {
+		if j.Release != 0 {
+			t.Errorf("Canonicalize mutated the receiver: job %v", j)
+		}
+	}
+}
+
+func TestCanonicalizeRespectsP(t *testing.T) {
+	in := MustInstance(2, 4, []int64{0, 0, 0, 3, 3}, []int64{1, 2, 3, 1, 1})
+	got := in.Canonicalize()
+	count := map[int64]int{}
+	for _, j := range got.Jobs {
+		count[j.Release]++
+	}
+	for r, c := range count {
+		if c > 2 {
+			t.Errorf("release %d has %d jobs, want <= P=2", r, c)
+		}
+	}
+	if got.N() != 5 {
+		t.Errorf("job count changed: %d", got.N())
+	}
+}
+
+func TestCanonicalizeNoopWhenAlreadyDistinct(t *testing.T) {
+	in := MustInstance(1, 3, []int64{0, 2, 5}, []int64{1, 2, 3})
+	got := in.Canonicalize()
+	for i := range in.Jobs {
+		if got.Jobs[i] != in.Jobs[i] {
+			t.Errorf("job %d changed: %v -> %v", i, in.Jobs[i], got.Jobs[i])
+		}
+	}
+}
+
+func TestRanksAscendingWeightLatestReleaseFirst(t *testing.T) {
+	// Jobs: (r=0,w=2) (r=1,w=1) (r=2,w=1) (r=3,w=5).
+	// Weight-1 jobs tie; latest release (r=2) ranks first (rank 1).
+	in := MustInstance(1, 3, []int64{0, 1, 2, 3}, []int64{2, 1, 1, 5})
+	ranks := in.Ranks()
+	want := []int{3, 2, 1, 4} // by job ID in release order
+	for id, r := range ranks {
+		if r != want[id] {
+			t.Errorf("rank[%d] = %d, want %d", id, r, want[id])
+		}
+	}
+}
+
+func TestRanksArePermutation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(30)
+		rel := make([]int64, n)
+		w := make([]int64, n)
+		for i := range rel {
+			rel[i] = int64(rng.IntN(20))
+			w[i] = 1 + int64(rng.IntN(4))
+		}
+		in := MustInstance(1, 3, rel, w)
+		ranks := in.Ranks()
+		seen := make([]bool, n+1)
+		for _, r := range ranks {
+			if r < 1 || r > n || seen[r] {
+				t.Fatalf("ranks %v not a permutation of 1..%d", ranks, n)
+			}
+			seen[r] = true
+		}
+		// Ranks must be monotone in weight.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if in.Jobs[a].Weight < in.Jobs[b].Weight && ranks[a] > ranks[b] {
+					t.Fatalf("lighter job %d ranked above heavier %d", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCalendarCovers(t *testing.T) {
+	c := Calendar{{Machine: 0, Start: 5}, {Machine: 1, Start: 0}}
+	const T = 3
+	cases := []struct {
+		m    int
+		t    int64
+		want bool
+	}{
+		{0, 4, false}, {0, 5, true}, {0, 7, true}, {0, 8, false},
+		{1, 0, true}, {1, 2, true}, {1, 3, false}, {2, 5, false},
+	}
+	for _, tc := range cases {
+		if got := c.Covers(tc.m, tc.t, T); got != tc.want {
+			t.Errorf("Covers(%d,%d) = %v, want %v", tc.m, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestScheduleBasicsAndCosts(t *testing.T) {
+	in := MustInstance(1, 4, []int64{0, 1, 9}, []int64{2, 1, 3})
+	s := NewSchedule(in.N())
+	s.Calibrate(0, 0)
+	s.Calibrate(0, 9)
+	s.Assign(0, 0, 0)  // flow 2*1
+	s.Assign(1, 0, 1)  // flow 1*1
+	s.Assign(2, 0, 10) // flow 3*2
+	if err := Validate(in, s); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if got := Flow(in, s); got != 2+1+6 {
+		t.Errorf("Flow = %d, want 9", got)
+	}
+	if got := WeightedCompletion(in, s); got != 2*1+1*2+3*11 {
+		t.Errorf("WeightedCompletion = %d, want 37", got)
+	}
+	if got := ReleaseWeightConstant(in); got != 0+1+27 {
+		t.Errorf("ReleaseWeightConstant = %d, want 28", got)
+	}
+	if Flow(in, s) != WeightedCompletion(in, s)-ReleaseWeightConstant(in) {
+		t.Error("flow/completion identity violated")
+	}
+	if got := TotalCost(in, s, 10); got != 20+9 {
+		t.Errorf("TotalCost = %d, want 29", got)
+	}
+	if got := s.Makespan(); got != 11 {
+		t.Errorf("Makespan = %d, want 11", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	in := MustInstance(2, 3, []int64{0, 2}, []int64{1, 1})
+	valid := func() *Schedule {
+		s := NewSchedule(2)
+		s.Calibrate(0, 0)
+		s.Calibrate(1, 2)
+		s.Assign(0, 0, 0)
+		s.Assign(1, 1, 2)
+		return s
+	}
+	if err := Validate(in, valid()); err != nil {
+		t.Fatalf("baseline schedule invalid: %v", err)
+	}
+
+	t.Run("unassigned job", func(t *testing.T) {
+		s := valid()
+		s.Assignments[1].Start = -1
+		if Validate(in, s) == nil {
+			t.Error("accepted unassigned job")
+		}
+	})
+	t.Run("before release", func(t *testing.T) {
+		s := valid()
+		s.Assign(1, 0, 1)
+		if Validate(in, s) == nil {
+			t.Error("accepted start before release")
+		}
+	})
+	t.Run("bad machine", func(t *testing.T) {
+		s := valid()
+		s.Assign(1, 2, 2)
+		if Validate(in, s) == nil {
+			t.Error("accepted machine out of range")
+		}
+	})
+	t.Run("uncalibrated slot", func(t *testing.T) {
+		s := valid()
+		s.Assign(1, 0, 5)
+		if Validate(in, s) == nil {
+			t.Error("accepted uncalibrated slot")
+		}
+	})
+	t.Run("slot collision", func(t *testing.T) {
+		s := valid()
+		s.Calendar = append(s.Calendar, Calibration{Machine: 0, Start: 2})
+		s.Assign(1, 0, 0)
+		if Validate(in, s) == nil {
+			t.Error("accepted two jobs in one slot")
+		}
+	})
+	t.Run("calibration bad machine", func(t *testing.T) {
+		s := valid()
+		s.Calibrate(7, 0)
+		if Validate(in, s) == nil {
+			t.Error("accepted calibration on machine 7")
+		}
+	})
+	t.Run("calibration negative time", func(t *testing.T) {
+		s := valid()
+		s.Calibrate(0, -3)
+		if Validate(in, s) == nil {
+			t.Error("accepted calibration at negative time")
+		}
+	})
+	t.Run("assignment count mismatch", func(t *testing.T) {
+		s := valid()
+		s.Assignments = s.Assignments[:1]
+		if Validate(in, s) == nil {
+			t.Error("accepted truncated assignments")
+		}
+	})
+}
+
+func TestIntervalJobs(t *testing.T) {
+	in := MustInstance(1, 3, []int64{0, 1, 6, 7}, []int64{1, 1, 1, 1})
+	s := NewSchedule(4)
+	s.Calibrate(0, 0)
+	s.Calibrate(0, 6)
+	s.Assign(0, 0, 0)
+	s.Assign(1, 0, 1)
+	s.Assign(2, 0, 6)
+	s.Assign(3, 0, 7)
+	if err := Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	starts, jobs := IntervalJobs(in, s, 0)
+	if len(starts) != 2 || starts[0] != 0 || starts[1] != 6 {
+		t.Fatalf("starts = %v, want [0 6]", starts)
+	}
+	if len(jobs[0]) != 2 || jobs[0][0] != 0 || jobs[0][1] != 1 {
+		t.Errorf("interval 0 jobs = %v", jobs[0])
+	}
+	if len(jobs[1]) != 2 || jobs[1][0] != 2 || jobs[1][1] != 3 {
+		t.Errorf("interval 1 jobs = %v", jobs[1])
+	}
+}
+
+func TestIntervalJobsOverlapAttributesLatest(t *testing.T) {
+	in := MustInstance(1, 5, []int64{0, 3}, []int64{1, 1})
+	s := NewSchedule(2)
+	s.Calibrate(0, 0)
+	s.Calibrate(0, 3)
+	s.Assign(0, 0, 0)
+	s.Assign(1, 0, 4) // covered by both [0,5) and [3,8); attribute to 3.
+	if err := Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	starts, jobs := IntervalJobs(in, s, 0)
+	if len(starts) != 2 {
+		t.Fatalf("starts = %v", starts)
+	}
+	if starts[1] != 3 || len(jobs[1]) != 1 || jobs[1][0] != 1 {
+		t.Errorf("job 1 not attributed to interval 3: starts=%v jobs=%v", starts, jobs)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	in := MustInstance(1, 3, []int64{0, 1}, []int64{1, 2})
+	in2 := in.Clone()
+	in2.Jobs[0].Weight = 99
+	if in.Jobs[0].Weight == 99 {
+		t.Error("Instance.Clone shares job storage")
+	}
+	s := NewSchedule(2)
+	s.Calibrate(0, 0)
+	s2 := s.Clone()
+	s2.Assign(0, 0, 0)
+	s2.Calendar[0].Start = 5
+	if s.Assignments[0].Start == 0 || s.Calendar[0].Start == 5 {
+		t.Error("Schedule.Clone shares storage")
+	}
+}
+
+func TestUnweightedAndTotals(t *testing.T) {
+	in := MustInstance(1, 3, []int64{0, 4, 2}, []int64{1, 1, 1})
+	if !in.Unweighted() {
+		t.Error("unit-weight instance reported weighted")
+	}
+	if in.TotalWeight() != 3 {
+		t.Errorf("TotalWeight = %d", in.TotalWeight())
+	}
+	if in.MaxRelease() != 4 {
+		t.Errorf("MaxRelease = %d", in.MaxRelease())
+	}
+	w := MustInstance(1, 3, []int64{0}, []int64{7})
+	if w.Unweighted() {
+		t.Error("weighted instance reported unweighted")
+	}
+}

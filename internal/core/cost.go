@@ -1,0 +1,46 @@
+package core
+
+// Flow returns the total weighted flow time of the schedule on the instance:
+// sum over jobs j of w_j * (t_j + 1 - r_j). It panics if any job is
+// unassigned; use Validate first for untrusted schedules.
+func Flow(in *Instance, s *Schedule) int64 {
+	var total int64
+	for _, j := range in.Jobs {
+		a := s.Assignments[j.ID]
+		if a.Start < 0 {
+			panic("core: Flow on schedule with unassigned job")
+		}
+		total += j.Flow(a.Start)
+	}
+	return total
+}
+
+// WeightedCompletion returns sum over jobs of w_j * (t_j + 1). It differs
+// from Flow by the instance constant sum_j w_j * r_j; the Section 4 dynamic
+// program works in completion-time space.
+func WeightedCompletion(in *Instance, s *Schedule) int64 {
+	var total int64
+	for _, j := range in.Jobs {
+		a := s.Assignments[j.ID]
+		if a.Start < 0 {
+			panic("core: WeightedCompletion on schedule with unassigned job")
+		}
+		total += j.Weight * (a.Start + 1)
+	}
+	return total
+}
+
+// ReleaseWeightConstant returns sum_j w_j * r_j, the constant relating flow
+// to weighted completion time: Flow = WeightedCompletion - this.
+func ReleaseWeightConstant(in *Instance) int64 {
+	var total int64
+	for _, j := range in.Jobs {
+		total += j.Weight * j.Release
+	}
+	return total
+}
+
+// TotalCost returns the online objective G*(#calibrations) + Flow.
+func TotalCost(in *Instance, s *Schedule, g int64) int64 {
+	return g*int64(s.NumCalibrations()) + Flow(in, s)
+}

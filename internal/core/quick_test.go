@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// quickInstance derives a small instance from fuzz inputs.
+func quickInstance(relSeeds []uint8, wSeeds []uint8, p uint8, t uint8) *Instance {
+	n := len(relSeeds)
+	if len(wSeeds) < n {
+		n = len(wSeeds)
+	}
+	if n > 24 {
+		n = 24
+	}
+	releases := make([]int64, n)
+	weights := make([]int64, n)
+	for i := 0; i < n; i++ {
+		releases[i] = int64(relSeeds[i] % 40)
+		weights[i] = 1 + int64(wSeeds[i]%9)
+	}
+	return MustInstance(1+int(p%3), 1+int64(t%8), releases, weights)
+}
+
+func TestQuickCanonicalizePreservesJobs(t *testing.T) {
+	f := func(relSeeds, wSeeds []uint8, p, tt uint8) bool {
+		in := quickInstance(relSeeds, wSeeds, p, tt)
+		got := in.Canonicalize()
+		if got.N() != in.N() {
+			return false
+		}
+		// Weight multiset preserved.
+		count := map[int64]int{}
+		for _, j := range in.Jobs {
+			count[j.Weight]++
+		}
+		for _, j := range got.Jobs {
+			count[j.Weight]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		// At most P jobs per release; releases never decreased in total.
+		perRelease := map[int64]int{}
+		var sumBefore, sumAfter int64
+		for _, j := range in.Jobs {
+			sumBefore += j.Release
+		}
+		for _, j := range got.Jobs {
+			perRelease[j.Release]++
+			sumAfter += j.Release
+		}
+		for _, c := range perRelease {
+			if c > in.P {
+				return false
+			}
+		}
+		return sumAfter >= sumBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRanksPermutationAndMonotone(t *testing.T) {
+	f := func(relSeeds, wSeeds []uint8, p, tt uint8) bool {
+		in := quickInstance(relSeeds, wSeeds, p, tt)
+		ranks := in.Ranks()
+		seen := make([]bool, in.N()+1)
+		for _, r := range ranks {
+			if r < 1 || r > in.N() || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		for a := range in.Jobs {
+			for b := range in.Jobs {
+				if in.Jobs[a].Weight < in.Jobs[b].Weight && ranks[a] > ranks[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFlowCompletionIdentity(t *testing.T) {
+	// For any valid schedule, Flow == WeightedCompletion - sum w_j r_j.
+	f := func(relSeeds, wSeeds []uint8, seed uint16) bool {
+		in := quickInstance(relSeeds, wSeeds, 0, 5).Canonicalize() // P=1
+		if in.N() == 0 {
+			return true
+		}
+		// Build an arbitrary valid schedule: one calibration covering each
+		// job at a pseudo-random offset.
+		rng := rand.New(rand.NewPCG(uint64(seed), 3))
+		s := NewSchedule(in.N())
+		used := map[int64]bool{}
+		for _, j := range in.Jobs {
+			t := j.Release + int64(rng.IntN(5))
+			for used[t] {
+				t++
+			}
+			used[t] = true
+			s.Calibrate(0, t)
+			s.Assign(j.ID, 0, t)
+		}
+		if err := Validate(in, s); err != nil {
+			return false
+		}
+		return Flow(in, s) == WeightedCompletion(in, s)-ReleaseWeightConstant(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCalendarCoversDefinition(t *testing.T) {
+	// Covers(m, t) must agree with the direct interval-membership check.
+	f := func(starts []uint8, machines []uint8, m uint8, t uint8, tt uint8) bool {
+		T := 1 + int64(tt%9)
+		var cal Calendar
+		for i := range starts {
+			mi := 0
+			if i < len(machines) {
+				mi = int(machines[i] % 3)
+			}
+			cal = append(cal, Calibration{Machine: mi, Start: int64(starts[i] % 50)})
+		}
+		qm, qt := int(m%3), int64(t%60)
+		want := false
+		for _, c := range cal {
+			if c.Machine == qm && c.Start <= qt && qt < c.Start+T {
+				want = true
+			}
+		}
+		return cal.Covers(qm, qt, T) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

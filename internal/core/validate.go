@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks that s is a correct schedule for in per Section 2 of the
+// paper:
+//
+//   - every job is assigned exactly once, to a machine in [0, P), at a time
+//     step no earlier than its release time;
+//   - no two jobs share a (machine, time step) slot;
+//   - every job runs in a calibrated time step of its machine, i.e. within
+//     [c.Start, c.Start+T) for some calibration c of that machine.
+//
+// Overlapping calibrations on one machine are permitted (they are merely
+// wasteful), as are calibrations that cover no job. The first violation
+// found is returned as a descriptive error; nil means the schedule is valid.
+func Validate(in *Instance, s *Schedule) error {
+	if len(s.Assignments) != len(in.Jobs) {
+		return fmt.Errorf("core: schedule has %d assignments for %d jobs", len(s.Assignments), len(in.Jobs))
+	}
+	for _, c := range s.Calendar {
+		if c.Machine < 0 || c.Machine >= in.P {
+			return fmt.Errorf("core: calibration on machine %d, want [0,%d)", c.Machine, in.P)
+		}
+		if c.Start < 0 {
+			return fmt.Errorf("core: calibration at negative time %d", c.Start)
+		}
+	}
+
+	type slot struct {
+		m int
+		t int64
+	}
+	seen := make(map[slot]int, len(in.Jobs))
+	for _, j := range in.Jobs {
+		a := s.Assignments[j.ID]
+		if a.Job != j.ID {
+			return fmt.Errorf("core: assignment slot %d holds job %d", j.ID, a.Job)
+		}
+		if a.Start < 0 {
+			return fmt.Errorf("core: job %d unassigned", j.ID)
+		}
+		if a.Machine < 0 || a.Machine >= in.P {
+			return fmt.Errorf("core: job %d on machine %d, want [0,%d)", j.ID, a.Machine, in.P)
+		}
+		if a.Start < j.Release {
+			return fmt.Errorf("core: job %d starts at %d before its release %d", j.ID, a.Start, j.Release)
+		}
+		k := slot{a.Machine, a.Start}
+		if prev, dup := seen[k]; dup {
+			return fmt.Errorf("core: jobs %d and %d share machine %d time %d", prev, j.ID, a.Machine, a.Start)
+		}
+		seen[k] = j.ID
+		if !s.Calendar.Covers(a.Machine, a.Start, in.T) {
+			return fmt.Errorf("core: job %d at time %d on machine %d is outside every calibrated interval", j.ID, a.Start, a.Machine)
+		}
+	}
+	return nil
+}
+
+// IntervalJobs groups the assigned jobs of machine m by the calibrated
+// interval that contains them, attributing each job to the latest interval
+// start covering it (so back-to-back or overlapping calibrations attribute
+// deterministically). It returns interval start times in increasing order
+// and, parallel to them, the job IDs in each interval sorted by start time.
+// Jobs on other machines are ignored. The schedule must be valid.
+func IntervalJobs(in *Instance, s *Schedule, m int) (starts []int64, jobs [][]int) {
+	var cals []int64
+	for _, c := range s.Calendar {
+		if c.Machine == m {
+			cals = append(cals, c.Start)
+		}
+	}
+	sort.Slice(cals, func(a, b int) bool { return cals[a] < cals[b] })
+	byStart := make(map[int64][]int)
+	for _, j := range in.Jobs {
+		a := s.Assignments[j.ID]
+		if a.Machine != m {
+			continue
+		}
+		// Latest calibration start <= a.Start whose interval covers it.
+		lo, hi := 0, len(cals)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cals[mid] <= a.Start {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		// All intervals share length T, so if the latest start <= a.Start
+		// does not cover the slot, no earlier one can.
+		if lo == 0 || cals[lo-1]+in.T <= a.Start {
+			panic("core: IntervalJobs on invalid schedule")
+		}
+		owner := cals[lo-1]
+		byStart[owner] = append(byStart[owner], j.ID)
+	}
+	for _, c := range cals {
+		if js, ok := byStart[c]; ok {
+			sort.Slice(js, func(a, b int) bool {
+				return s.Assignments[js[a]].Start < s.Assignments[js[b]].Start
+			})
+			starts = append(starts, c)
+			jobs = append(jobs, js)
+			delete(byStart, c)
+		}
+	}
+	return starts, jobs
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calibsched/internal/stats"
+	"calibsched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "e2",
+		Title: "Theorem 3.3: Algorithm 1 competitive ratio",
+		Claim: "Algorithm 1's cost is at most 3x the exact offline optimum across the arrival sweep.",
+		Run:   runE2,
+	})
+}
+
+func runE2(w io.Writer, cfg Config) (*Report, error) {
+	rep := newReport("e2", "Theorem 3.3: Algorithm 1 competitive ratio")
+	lambdas := []float64{0.05, 0.2, 0.5, 1.0, 2.0}
+	gs := []int64{4, 16, 64, 256}
+	ts := []int64{4, 16}
+	seeds := []uint64{1, 2, 3}
+	n := 60
+	if cfg.Quick {
+		lambdas = []float64{0.05, 0.5}
+		gs = []int64{16, 64}
+		ts = []int64{8}
+		seeds = []uint64{1}
+		n = 30
+	}
+
+	type cell struct {
+		lambda   float64
+		g, t     int64
+		ratios   []float64
+		arrivals string
+	}
+	type point struct {
+		lambda float64
+		g, t   int64
+	}
+	var points []point
+	for _, l := range lambdas {
+		for _, g := range gs {
+			for _, t := range ts {
+				points = append(points, point{l, g, t})
+			}
+		}
+	}
+	cells := parallelMap(cfg, len(points), func(i int) cell {
+		p := points[i]
+		c := cell{lambda: p.lambda, g: p.g, t: p.t, arrivals: "poisson"}
+		for _, seed := range seeds {
+			in := poissonSpec(n, 1, p.t, p.lambda, seed+cfg.Seed).MustBuild()
+			algCost, err := alg1Cost(in, p.g)
+			if err != nil {
+				panic(fmt.Sprintf("e2: %v", err))
+			}
+			opt, err := optTotal(in, p.g)
+			if err != nil {
+				panic(fmt.Sprintf("e2 opt: %v", err))
+			}
+			c.ratios = append(c.ratios, ratio(algCost, opt))
+		}
+		return c
+	})
+	// One bursty family as a second arrival shape.
+	bursty := parallelMap(cfg, len(gs), func(i int) cell {
+		g := gs[i]
+		t := ts[0]
+		c := cell{lambda: 0, g: g, t: t, arrivals: "bursty"}
+		for _, seed := range seeds {
+			spec := workload.Spec{
+				N: n, P: 1, T: t, Seed: seed + cfg.Seed,
+				Arrival: workload.ArrivalBursty, Burst: 5, Gap: 40, Jitter: 3,
+				Weights: workload.WeightUnit,
+			}
+			in := spec.MustBuild()
+			algCost, err := alg1Cost(in, g)
+			if err != nil {
+				panic(fmt.Sprintf("e2: %v", err))
+			}
+			opt, err := optTotal(in, g)
+			if err != nil {
+				panic(fmt.Sprintf("e2 opt: %v", err))
+			}
+			c.ratios = append(c.ratios, ratio(algCost, opt))
+		}
+		return c
+	})
+	cells = append(cells, bursty...)
+
+	tbl := stats.NewTable("arrivals", "lambda", "G", "T", "mean ratio", "max ratio")
+	globalMax := 0.0
+	for _, c := range cells {
+		s := stats.Summarize(c.ratios)
+		lambda := "-"
+		if c.arrivals == "poisson" {
+			lambda = stats.FormatFloat(c.lambda)
+		}
+		tbl.AddRow(c.arrivals, lambda, c.g, c.t, s.Mean, s.Max)
+		if s.Max > globalMax {
+			globalMax = s.Max
+		}
+		if s.Max > 3.0+1e-9 {
+			rep.violate("ratio %.4f exceeds 3 at arrivals=%s lambda=%.2f G=%d T=%d",
+				s.Max, c.arrivals, c.lambda, c.g, c.t)
+		}
+	}
+	if err := tbl.Write(w); err != nil {
+		return nil, err
+	}
+	rep.set("max_ratio", "%.4f", globalMax)
+	WriteReport(w, rep)
+	return rep, nil
+}

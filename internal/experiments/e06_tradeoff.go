@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calibsched/internal/offline"
+	"calibsched/internal/simul"
+	"calibsched/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "e6",
+		Title: "Flow versus calibration budget tradeoff",
+		Claim: "Optimal flow(K) is non-increasing in the budget; the G-cost optimum sits at the K minimizing G*K + flow(K) — the throughput/calibration tradeoff motivating the paper.",
+		Run:   runE6,
+	})
+}
+
+func runE6(w io.Writer, cfg Config) (*Report, error) {
+	rep := newReport("e6", "Flow versus calibration budget tradeoff")
+	n := 40
+	if cfg.Quick {
+		n = 24
+	}
+	t := int64(8)
+	g := int64(32)
+	in := poissonSpec(n, 1, t, 0.3, 11+cfg.Seed).MustBuild()
+
+	flows, err := offline.BudgetSweep(in, in.N())
+	if err != nil {
+		return nil, err
+	}
+	minK := int(simul.CeilDiv(int64(in.N()), t))
+	tbl := stats.NewTable("K", "optimal flow", fmt.Sprintf("total cost (G=%d)", g))
+	bestK, bestCost := -1, int64(0)
+	prev := int64(-1)
+	for k, f := range flows {
+		if f == offline.Unschedulable {
+			if k >= minK {
+				rep.violate("budget %d >= ceil(n/T) reported unschedulable", k)
+			}
+			continue
+		}
+		total := g*int64(k) + f
+		tbl.AddRow(k, f, total)
+		if bestK < 0 || total < bestCost {
+			bestK, bestCost = k, total
+		}
+		if prev >= 0 && f > prev {
+			rep.violate("flow increased from %d to %d between budgets %d and %d", prev, f, k-1, k)
+		}
+		prev = f
+	}
+	if err := tbl.Write(w); err != nil {
+		return nil, err
+	}
+
+	optTotalCost, optK, _, err := offline.OptimalTotalCost(in, g)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "\nG-cost optimum: total %d at K=%d (sweep found %d at K=%d)\n",
+		optTotalCost, optK, bestCost, bestK)
+	if optTotalCost != bestCost {
+		rep.violate("OptimalTotalCost %d disagrees with sweep minimum %d", optTotalCost, bestCost)
+	}
+	// The interesting shape: the chosen K is interior — more than the
+	// feasibility minimum (so flow matters) and fewer than one per job (so
+	// calibrations matter).
+	if bestK <= minK || bestK >= in.N() {
+		rep.set("note", "optimum at boundary K=%d", bestK)
+	}
+	rep.set("best_k", "%d", bestK)
+	rep.set("min_feasible_k", "%d", minK)
+	rep.set("best_total", "%d", bestCost)
+	WriteReport(w, rep)
+	return rep, nil
+}

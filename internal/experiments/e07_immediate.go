@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calibsched/internal/online"
+	"calibsched/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "e7",
+		Title: "Ablation: Algorithm 1 immediate-calibration rule",
+		Claim: "Disabling the 'previous interval had flow < G/2' rule keeps schedules valid but changes the cost profile; both variants stay within the 3x bound on the sweep.",
+		Run:   runE7,
+	})
+}
+
+func runE7(w io.Writer, cfg Config) (*Report, error) {
+	rep := newReport("e7", "Ablation: Algorithm 1 immediate-calibration rule")
+	lambdas := []float64{0.05, 0.2, 0.5, 1.0}
+	gs := []int64{16, 64, 256}
+	seeds := []uint64{1, 2, 3}
+	n := 60
+	t := int64(8)
+	if cfg.Quick {
+		lambdas = []float64{0.2, 1.0}
+		gs = []int64{64}
+		seeds = []uint64{1}
+		n = 30
+	}
+
+	type point struct {
+		lambda float64
+		g      int64
+	}
+	var points []point
+	for _, l := range lambdas {
+		for _, g := range gs {
+			points = append(points, point{l, g})
+		}
+	}
+	type cell struct {
+		point
+		withRatios, withoutRatios []float64
+	}
+	cells := parallelMap(cfg, len(points), func(i int) cell {
+		p := points[i]
+		c := cell{point: p}
+		for _, seed := range seeds {
+			in := poissonSpec(n, 1, t, p.lambda, seed+cfg.Seed).MustBuild()
+			opt, err := optTotal(in, p.g)
+			if err != nil {
+				panic(fmt.Sprintf("e7: %v", err))
+			}
+			withCost, err := alg1Cost(in, p.g)
+			if err != nil {
+				panic(fmt.Sprintf("e7: %v", err))
+			}
+			withoutCost, err := alg1Cost(in, p.g, online.WithoutImmediateCalibrations())
+			if err != nil {
+				panic(fmt.Sprintf("e7: %v", err))
+			}
+			c.withRatios = append(c.withRatios, ratio(withCost, opt))
+			c.withoutRatios = append(c.withoutRatios, ratio(withoutCost, opt))
+		}
+		return c
+	})
+
+	tbl := stats.NewTable("lambda", "G", "ratio with rule", "ratio without", "delta")
+	maxWith, maxWithout := 0.0, 0.0
+	for _, c := range cells {
+		sw := stats.Summarize(c.withRatios)
+		so := stats.Summarize(c.withoutRatios)
+		tbl.AddRow(c.lambda, c.g, sw.Mean, so.Mean, so.Mean-sw.Mean)
+		if sw.Max > maxWith {
+			maxWith = sw.Max
+		}
+		if so.Max > maxWithout {
+			maxWithout = so.Max
+		}
+		if sw.Max > 3.0+1e-9 {
+			rep.violate("with-rule ratio %.4f exceeds 3 at lambda=%.2f G=%d", sw.Max, c.lambda, c.g)
+		}
+	}
+	if err := tbl.Write(w); err != nil {
+		return nil, err
+	}
+	rep.set("max_with", "%.4f", maxWith)
+	rep.set("max_without", "%.4f", maxWithout)
+	WriteReport(w, rep)
+	return rep, nil
+}

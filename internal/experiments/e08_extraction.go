@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calibsched/internal/online"
+	"calibsched/internal/stats"
+	"calibsched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "e8",
+		Title: "Ablation: Algorithm 2 extraction order (paper line-13 typo)",
+		Claim: "Scheduling the heaviest waiting job first (per Observation 2.1 and Lemma 3.5) dominates the paper's literal 'smallest weight' line 13 on weighted workloads.",
+		Run:   runE8,
+	})
+}
+
+func runE8(w io.Writer, cfg Config) (*Report, error) {
+	rep := newReport("e8", "Ablation: Algorithm 2 extraction order")
+	laws := []workload.WeightKind{workload.WeightUniform, workload.WeightZipf, workload.WeightBimodal}
+	lambdas := []float64{0.3, 1.0}
+	gs := []int64{16, 128}
+	seeds := []uint64{1, 2, 3, 4}
+	n := 50
+	t := int64(8)
+	if cfg.Quick {
+		laws = []workload.WeightKind{workload.WeightBimodal}
+		lambdas = []float64{1.0}
+		gs = []int64{64}
+		seeds = []uint64{1, 2}
+		n = 30
+	}
+
+	type point struct {
+		law    workload.WeightKind
+		lambda float64
+		g      int64
+	}
+	var points []point
+	for _, law := range laws {
+		for _, l := range lambdas {
+			for _, g := range gs {
+				points = append(points, point{law, l, g})
+			}
+		}
+	}
+	type cell struct {
+		point
+		heavy, light []float64
+	}
+	cells := parallelMap(cfg, len(points), func(i int) cell {
+		p := points[i]
+		c := cell{point: p}
+		for _, seed := range seeds {
+			in := weightedSpec(n, t, p.lambda, p.law, seed+cfg.Seed).MustBuild()
+			opt, err := optTotal(in, p.g)
+			if err != nil {
+				panic(fmt.Sprintf("e8: %v", err))
+			}
+			heavyCost, err := alg2Cost(in, p.g)
+			if err != nil {
+				panic(fmt.Sprintf("e8: %v", err))
+			}
+			lightCost, err := alg2Cost(in, p.g, online.WithLightestFirst())
+			if err != nil {
+				panic(fmt.Sprintf("e8: %v", err))
+			}
+			c.heavy = append(c.heavy, ratio(heavyCost, opt))
+			c.light = append(c.light, ratio(lightCost, opt))
+		}
+		return c
+	})
+
+	tbl := stats.NewTable("weights", "lambda", "G", "heaviest-first", "lightest-first", "light/heavy")
+	var heavyMeans, lightMeans []float64
+	for _, c := range cells {
+		sh := stats.Summarize(c.heavy)
+		sl := stats.Summarize(c.light)
+		tbl.AddRow(string(c.law), c.lambda, c.g, sh.Mean, sl.Mean, sl.Mean/sh.Mean)
+		heavyMeans = append(heavyMeans, sh.Mean)
+		lightMeans = append(lightMeans, sl.Mean)
+	}
+	if err := tbl.Write(w); err != nil {
+		return nil, err
+	}
+	hm := stats.Summarize(heavyMeans).Mean
+	lm := stats.Summarize(lightMeans).Mean
+	fmt.Fprintf(w, "\noverall mean ratio: heaviest-first %.4f, lightest-first %.4f\n", hm, lm)
+	if hm > lm+1e-9 {
+		rep.violate("heaviest-first (%.4f) did not dominate lightest-first (%.4f) overall", hm, lm)
+	}
+	rep.set("heaviest_mean", "%.4f", hm)
+	rep.set("lightest_mean", "%.4f", lm)
+	WriteReport(w, rep)
+	return rep, nil
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calibsched/internal/baseline"
+	"calibsched/internal/core"
+	"calibsched/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "e9",
+		Title: "Algorithm 1 versus naive baselines",
+		Claim: "Algorithm 1 stays within its 3x bound everywhere while calibrate-immediately and always-calibrated blow up on sparse traffic (ratio growing with G) and periodic calibration needs per-instance tuning.",
+		Run:   runE9,
+	})
+}
+
+func runE9(w io.Writer, cfg Config) (*Report, error) {
+	rep := newReport("e9", "Algorithm 1 versus naive baselines")
+	type point struct {
+		regime string
+		lambda float64
+		g      int64
+	}
+	var points []point
+	gs := []int64{16, 128, 1024}
+	if cfg.Quick {
+		gs = []int64{16, 128}
+	}
+	for _, g := range gs {
+		points = append(points, point{"sparse", 0.02, g}, point{"dense", 1.0, g})
+	}
+	seeds := []uint64{1, 2}
+	n := 60
+	t := int64(8)
+	if cfg.Quick {
+		seeds = []uint64{1}
+		n = 30
+	}
+
+	type cell struct {
+		point
+		ratios map[string]float64 // baseline name -> mean ratio vs OPT
+	}
+	names := []string{"alg1", "immediate", "always-on", "periodic(T)", "periodic(4T)", "flow-threshold"}
+	cells := parallelMap(cfg, len(points), func(i int) cell {
+		p := points[i]
+		sums := map[string]float64{}
+		for _, seed := range seeds {
+			in := poissonSpec(n, 1, t, p.lambda, seed+cfg.Seed).MustBuild()
+			opt, err := optTotal(in, p.g)
+			if err != nil {
+				panic(fmt.Sprintf("e9: %v", err))
+			}
+			costs := map[string]int64{}
+			if c, err := alg1Cost(in, p.g); err == nil {
+				costs["alg1"] = c
+			} else {
+				panic(fmt.Sprintf("e9 alg1: %v", err))
+			}
+			if s, err := baseline.Immediate(in, p.g); err == nil {
+				costs["immediate"] = core.TotalCost(in, s, p.g)
+			} else {
+				panic(fmt.Sprintf("e9 immediate: %v", err))
+			}
+			if s, err := baseline.AlwaysCalibrated(in, p.g); err == nil {
+				costs["always-on"] = core.TotalCost(in, s, p.g)
+			} else {
+				panic(fmt.Sprintf("e9 always: %v", err))
+			}
+			if s, err := baseline.Periodic(in, p.g, t); err == nil {
+				costs["periodic(T)"] = core.TotalCost(in, s, p.g)
+			} else {
+				panic(fmt.Sprintf("e9 periodic: %v", err))
+			}
+			if s, err := baseline.Periodic(in, p.g, 4*t); err == nil {
+				costs["periodic(4T)"] = core.TotalCost(in, s, p.g)
+			} else {
+				panic(fmt.Sprintf("e9 periodic4: %v", err))
+			}
+			if s, err := baseline.FlowThreshold(in, p.g); err == nil {
+				costs["flow-threshold"] = core.TotalCost(in, s, p.g)
+			} else {
+				panic(fmt.Sprintf("e9 flow: %v", err))
+			}
+			for name, c := range costs {
+				sums[name] += ratio(c, opt)
+			}
+		}
+		out := cell{point: p, ratios: map[string]float64{}}
+		for name, s := range sums {
+			out.ratios[name] = s / float64(len(seeds))
+		}
+		return out
+	})
+
+	header := append([]string{"regime", "lambda", "G"}, names...)
+	anyHeader := make([]string, len(header))
+	copy(anyHeader, header)
+	tbl := stats.NewTable(anyHeader...)
+	maxAlg1 := 0.0
+	beatenSomewhere := false
+	for _, c := range cells {
+		row := []any{c.regime, c.lambda, c.g}
+		for _, name := range names {
+			row = append(row, c.ratios[name])
+		}
+		tbl.AddRow(row...)
+		if c.ratios["alg1"] > maxAlg1 {
+			maxAlg1 = c.ratios["alg1"]
+		}
+		if c.ratios["alg1"] > 3.0+1e-9 {
+			rep.violate("alg1 ratio %.3f exceeds 3 at %s G=%d", c.ratios["alg1"], c.regime, c.g)
+		}
+		// The motivating shape: on sparse traffic with large G, at least
+		// one naive baseline must be much worse than Algorithm 1.
+		if c.regime == "sparse" && c.g >= 128 {
+			for _, name := range []string{"immediate", "always-on"} {
+				if c.ratios[name] > 2*c.ratios["alg1"] {
+					beatenSomewhere = true
+				}
+			}
+		}
+	}
+	if err := tbl.Write(w); err != nil {
+		return nil, err
+	}
+	if !beatenSomewhere {
+		rep.violate("no naive baseline exceeded 2x Algorithm 1's ratio on sparse traffic with large G")
+	}
+	rep.set("max_alg1_ratio", "%.4f", maxAlg1)
+	WriteReport(w, rep)
+	return rep, nil
+}

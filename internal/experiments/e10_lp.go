@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"calibsched/internal/baseline"
+	"calibsched/internal/core"
+	"calibsched/internal/lp"
+	"calibsched/internal/offline"
+	"calibsched/internal/online"
+	"calibsched/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "e10",
+		Title: "Figures 1 and 2: primal-dual machinery",
+		Claim: "Every schedule embeds feasibly into the Fig. 1 primal with objective equal to its cost; the mechanical dual satisfies strong duality; the LP optimum lower-bounds the exact OPT.",
+		Run:   runE10,
+	})
+}
+
+func runE10(w io.Writer, cfg Config) (*Report, error) {
+	rep := newReport("e10", "Figures 1 and 2: primal-dual machinery")
+	type point struct {
+		p    int
+		n    int
+		g, t int64
+		seed uint64
+	}
+	var points []point
+	seeds := []uint64{1, 2, 3, 4}
+	if cfg.Quick {
+		seeds = []uint64{1, 2}
+	}
+	for _, p := range []int{1, 2} {
+		for _, seed := range seeds {
+			points = append(points, point{p: p, n: 5, g: 4, t: 3, seed: seed})
+		}
+	}
+
+	type result struct {
+		point
+		embeds   int
+		lpOpt    float64
+		dualOpt  float64
+		bruteOpt int64
+		err      string
+	}
+	results := parallelMap(cfg, len(points), func(i int) result {
+		p := points[i]
+		r := result{point: p}
+		in := poissonSpec(p.n, p.p, p.t, 0.8, p.seed+cfg.Seed).MustBuild()
+
+		// Candidate schedules from several algorithms.
+		var scheds []*core.Schedule
+		if res, err := online.Alg3(in, p.g); err == nil {
+			scheds = append(scheds, res.Schedule)
+		}
+		if s, err := baseline.Immediate(in, p.g); err == nil {
+			scheds = append(scheds, s)
+		}
+		if s, err := baseline.AlwaysCalibrated(in, p.g); err == nil {
+			scheds = append(scheds, s)
+		}
+
+		horizon := lp.DefaultHorizon(in, p.g)
+		for _, s := range scheds {
+			if m := s.Makespan() + 1; m > horizon {
+				horizon = m
+			}
+		}
+		clp, err := lp.NewCalibrationLP(in, p.g, horizon)
+		if err != nil {
+			r.err = err.Error()
+			return r
+		}
+		for _, s := range scheds {
+			x, err := clp.Embed(s)
+			if err != nil {
+				r.err = err.Error()
+				return r
+			}
+			if err := clp.Problem.FeasibleAt(x, 1e-6); err != nil {
+				r.err = fmt.Sprintf("embedding infeasible: %v", err)
+				return r
+			}
+			if got, want := clp.Problem.Objective(x), float64(core.TotalCost(in, s, p.g)); math.Abs(got-want) > 1e-6 {
+				r.err = fmt.Sprintf("embedded objective %f != cost %f", got, want)
+				return r
+			}
+			r.embeds++
+		}
+		r.lpOpt, err = clp.LowerBound()
+		if err != nil {
+			r.err = err.Error()
+			return r
+		}
+		dual := lp.Dual(clp.Problem)
+		dsol, err := dual.Solve()
+		if err != nil || dsol.Status != lp.Optimal {
+			r.err = fmt.Sprintf("dual solve: %v %v", err, dsol)
+			return r
+		}
+		r.dualOpt = lp.DualObjective(dsol)
+		total, _, err := offline.BruteForceTotalCost(in, p.g)
+		if err != nil {
+			r.err = err.Error()
+			return r
+		}
+		r.bruteOpt = total
+		return r
+	})
+
+	tbl := stats.NewTable("P", "n", "G", "seed", "embeds ok", "LP opt", "dual opt", "exact OPT")
+	for _, r := range results {
+		if r.err != "" {
+			rep.violate("P=%d seed=%d: %s", r.p, r.seed, r.err)
+			continue
+		}
+		tbl.AddRow(r.p, r.n, r.g, r.seed, r.embeds, r.lpOpt, r.dualOpt, r.bruteOpt)
+		if math.Abs(r.lpOpt-r.dualOpt) > 1e-4*(1+math.Abs(r.lpOpt)) {
+			rep.violate("strong duality gap at P=%d seed=%d: primal %f dual %f", r.p, r.seed, r.lpOpt, r.dualOpt)
+		}
+		if r.lpOpt > float64(r.bruteOpt)+1e-4 {
+			rep.violate("LP optimum %f exceeds exact OPT %d at P=%d seed=%d", r.lpOpt, r.bruteOpt, r.p, r.seed)
+		}
+	}
+	if err := tbl.Write(w); err != nil {
+		return nil, err
+	}
+	rep.set("pairs", "%d", len(results))
+	WriteReport(w, rep)
+	return rep, nil
+}

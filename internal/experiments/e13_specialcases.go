@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"calibsched/internal/baseline"
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+	"calibsched/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "e13",
+		Title: "Section 3 special cases: G/T < 1 and G > T^2",
+		Claim: "For G <= T every algorithm schedules each arriving job immediately (Algorithm 1 coincides with calibrate-on-demand); for G > T^2 the immediate-calibration rule is droppable (the paper's simplification remark) with no measured cost change beyond noise, and both variants stay within the 3x bound.",
+		Run:   runE13,
+	})
+}
+
+func runE13(w io.Writer, cfg Config) (*Report, error) {
+	rep := newReport("e13", "Section 3 special cases: G/T < 1 and G > T^2")
+
+	// Part 1: G <= T. The count trigger |Q|*T >= G fires the moment any
+	// job waits, so Algorithm 1 must schedule every job at its release and
+	// match the Immediate baseline exactly (same calendar, same
+	// assignments up to calibration bookkeeping -> same cost).
+	type smallPoint struct {
+		g, t int64
+		seed uint64
+	}
+	var pts []smallPoint
+	seeds := []uint64{1, 2, 3}
+	if cfg.Quick {
+		seeds = []uint64{1}
+	}
+	for _, tt := range []int64{4, 16, 64} {
+		for _, g := range []int64{0, 1, tt / 2, tt} {
+			for _, s := range seeds {
+				pts = append(pts, smallPoint{g, tt, s})
+			}
+		}
+	}
+	n := 60
+	if cfg.Quick {
+		n = 30
+	}
+	type smallRow struct {
+		smallPoint
+		allAtRelease  bool
+		matchesOnCost bool
+		alg, imm      int64
+	}
+	rows := parallelMap(cfg, len(pts), func(i int) smallRow {
+		p := pts[i]
+		in := poissonSpec(n, 1, p.t, 0.4, p.seed+cfg.Seed).MustBuild()
+		res, err := online.Alg1(in, p.g)
+		if err != nil {
+			panic(fmt.Sprintf("e13: %v", err))
+		}
+		r := smallRow{smallPoint: p, allAtRelease: true}
+		for _, j := range in.Jobs {
+			if res.Schedule.Start(j.ID) != j.Release {
+				r.allAtRelease = false
+			}
+		}
+		imm, err := baseline.Immediate(in, p.g)
+		if err != nil {
+			panic(fmt.Sprintf("e13: %v", err))
+		}
+		r.alg = core.TotalCost(in, res.Schedule, p.g)
+		r.imm = core.TotalCost(in, imm, p.g)
+		r.matchesOnCost = r.alg == r.imm
+		return r
+	})
+	tbl := stats.NewTable("T", "G", "seed", "all at release", "alg1 cost", "immediate cost")
+	for _, r := range rows {
+		tbl.AddRow(r.t, r.g, r.seed, r.allAtRelease, r.alg, r.imm)
+		if !r.allAtRelease {
+			rep.violate("G=%d <= T=%d but a job was delayed", r.g, r.t)
+		}
+		if !r.matchesOnCost {
+			rep.violate("G=%d T=%d seed=%d: alg1 cost %d != immediate %d", r.g, r.t, r.seed, r.alg, r.imm)
+		}
+	}
+	if err := tbl.Write(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w)
+
+	// Part 2: G > T^2 (T < G/T). The paper notes the immediate
+	// calibrations "can be removed entirely" in this regime with equal or
+	// better bounds. Measure both variants against OPT.
+	type bigPoint struct {
+		g, t int64
+	}
+	var bpts []bigPoint
+	for _, tt := range []int64{2, 4, 8} {
+		for _, g := range []int64{tt*tt + 1, 4 * tt * tt, 16 * tt * tt} {
+			bpts = append(bpts, bigPoint{g, tt})
+		}
+	}
+	if cfg.Quick {
+		bpts = bpts[:4]
+	}
+	type bigRow struct {
+		bigPoint
+		withRatio, withoutRatio float64
+		immediates              int
+	}
+	brows := parallelMap(cfg, len(bpts), func(i int) bigRow {
+		p := bpts[i]
+		var sumWith, sumWithout float64
+		imms := 0
+		for _, seed := range seeds {
+			in := poissonSpec(n, 1, p.t, 0.4, seed+cfg.Seed+77).MustBuild()
+			opt, err := optTotal(in, p.g)
+			if err != nil {
+				panic(fmt.Sprintf("e13: %v", err))
+			}
+			res, err := online.Alg1(in, p.g)
+			if err != nil {
+				panic(fmt.Sprintf("e13: %v", err))
+			}
+			for _, tr := range res.Triggers {
+				if tr == online.TriggerImmediate {
+					imms++
+				}
+			}
+			withoutCost, err := alg1Cost(in, p.g, online.WithoutImmediateCalibrations())
+			if err != nil {
+				panic(fmt.Sprintf("e13: %v", err))
+			}
+			sumWith += ratio(core.TotalCost(in, res.Schedule, p.g), opt)
+			sumWithout += ratio(withoutCost, opt)
+		}
+		return bigRow{
+			bigPoint:     p,
+			withRatio:    sumWith / float64(len(seeds)),
+			withoutRatio: sumWithout / float64(len(seeds)),
+			immediates:   imms,
+		}
+	})
+	tbl2 := stats.NewTable("T", "G", "immediate fires", "ratio with rule", "ratio without")
+	for _, r := range brows {
+		tbl2.AddRow(r.t, r.g, r.immediates, r.withRatio, r.withoutRatio)
+		if r.withRatio > 3.0+1e-9 || r.withoutRatio > 3.0+1e-9 {
+			rep.violate("T=%d G=%d: a variant exceeded the 3x bound (%.3f / %.3f)",
+				r.t, r.g, r.withRatio, r.withoutRatio)
+		}
+	}
+	if err := tbl2.Write(w); err != nil {
+		return nil, err
+	}
+	rep.set("grid_points", "%d", len(rows)+len(brows))
+	WriteReport(w, rep)
+	return rep, nil
+}

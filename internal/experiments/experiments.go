@@ -1,0 +1,146 @@
+// Package experiments defines the reproduction harness: one experiment per
+// claim of the paper (see DESIGN.md section 4 for the index). Each
+// experiment generates its workloads, runs the algorithms under test
+// against exact or certified baselines, renders a table, and judges
+// whether the paper's predicted shape holds.
+//
+// Experiments run their parameter grids on a worker pool sized to the
+// machine; all workloads are seeded, so tables are bit-for-bit
+// reproducible at a given configuration.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Quick shrinks parameter grids to keep CI fast; full tables are
+	// produced with Quick = false (the calibbench default).
+	Quick bool
+	// Workers bounds grid parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Seed offsets every workload seed, for robustness re-runs.
+	Seed uint64
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Report is an experiment outcome: headline values plus a pass/fail
+// verdict for the paper's predicted shape.
+type Report struct {
+	ID    string
+	Title string
+	// Pass records whether every claimed bound/shape held.
+	Pass bool
+	// Violations lists each claim violation found (empty when Pass).
+	Violations []string
+	// Headline holds key measured numbers for EXPERIMENTS.md.
+	Headline map[string]string
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Pass: true, Headline: map[string]string{}}
+}
+
+func (r *Report) violate(format string, args ...any) {
+	r.Pass = false
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) set(key string, format string, args ...any) {
+	r.Headline[key] = fmt.Sprintf(format, args...)
+}
+
+// Experiment is one reproduction unit.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(w io.Writer, cfg Config) (*Report, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ByID finds an experiment by its ID (e.g. "e1").
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// parallelMap runs fn over 0..n-1 on the config's worker pool and returns
+// results in index order. fn must be safe for concurrent use.
+func parallelMap[T any](cfg Config, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	workers := cfg.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// WriteReport renders the standard footer after an experiment table.
+func WriteReport(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "\nverdict: ")
+	if r.Pass {
+		fmt.Fprintf(w, "PASS")
+	} else {
+		fmt.Fprintf(w, "FAIL")
+	}
+	keys := make([]string, 0, len(r.Headline))
+	for k := range r.Headline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %s=%s", k, r.Headline[k])
+	}
+	fmt.Fprintln(w)
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "violation: %s\n", v)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registry holds %d experiments, want 17", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"} {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found a nonexistent experiment")
+	}
+}
+
+// TestAllExperimentsPassQuick runs the whole harness on the reduced grids;
+// every claim of the paper must hold.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness skipped in -short mode")
+	}
+	cfg := Config{Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			rep, err := e.Run(&buf, cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", e.ID, err, buf.String())
+			}
+			if rep == nil {
+				t.Fatalf("%s returned no report", e.ID)
+			}
+			if !rep.Pass {
+				t.Fatalf("%s verdict FAIL:\n%s\n%s", e.ID, strings.Join(rep.Violations, "\n"), buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no table output", e.ID)
+			}
+		})
+	}
+}
+
+func TestParallelMapOrderAndCoverage(t *testing.T) {
+	cfg := Config{Workers: 4}
+	got := parallelMap(cfg, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d = %d", i, v)
+		}
+	}
+	// Single-element and empty cases.
+	if got := parallelMap(cfg, 1, func(i int) int { return 7 }); len(got) != 1 || got[0] != 7 {
+		t.Fatal("single-element parallelMap wrong")
+	}
+	if got := parallelMap(cfg, 0, func(i int) int { return 0 }); len(got) != 0 {
+		t.Fatal("empty parallelMap wrong")
+	}
+}
+
+func TestWriteReportRendersVerdict(t *testing.T) {
+	rep := newReport("eX", "test")
+	rep.set("k", "%d", 42)
+	var buf bytes.Buffer
+	WriteReport(&buf, rep)
+	if !strings.Contains(buf.String(), "PASS") || !strings.Contains(buf.String(), "k=42") {
+		t.Errorf("report = %q", buf.String())
+	}
+	rep.violate("broken %d", 7)
+	buf.Reset()
+	WriteReport(&buf, rep)
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), "broken 7") {
+		t.Errorf("report = %q", buf.String())
+	}
+}

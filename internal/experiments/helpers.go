@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"calibsched/internal/core"
+	"calibsched/internal/offline"
+	"calibsched/internal/online"
+	"calibsched/internal/workload"
+)
+
+// ratio returns a/b as float, treating b == 0 as ratio 1 when a == 0.
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return float64(a) // degenerate; callers avoid zero OPT
+	}
+	return float64(a) / float64(b)
+}
+
+// optTotal is the exact offline optimum of the online objective.
+func optTotal(in *core.Instance, g int64) (int64, error) {
+	total, _, _, err := offline.OptimalTotalCost(in, g)
+	return total, err
+}
+
+// alg1Cost runs Algorithm 1 and returns its total cost.
+func alg1Cost(in *core.Instance, g int64, opts ...online.Option) (int64, error) {
+	res, err := online.Alg1(in, g, opts...)
+	if err != nil {
+		return 0, err
+	}
+	return core.TotalCost(in, res.Schedule, g), nil
+}
+
+// alg2Cost runs Algorithm 2 and returns its total cost.
+func alg2Cost(in *core.Instance, g int64, opts ...online.Option) (int64, error) {
+	res, err := online.Alg2(in, g, opts...)
+	if err != nil {
+		return 0, err
+	}
+	return core.TotalCost(in, res.Schedule, g), nil
+}
+
+// poissonSpec is the standard arrival sweep instance.
+func poissonSpec(n int, p int, t int64, lambda float64, seed uint64) workload.Spec {
+	return workload.Spec{
+		N: n, P: p, T: t, Seed: seed,
+		Arrival: workload.ArrivalPoisson, Lambda: lambda,
+		Weights: workload.WeightUnit,
+	}
+}
+
+// weightedSpec crosses Poisson arrivals with a weight law.
+func weightedSpec(n int, t int64, lambda float64, law workload.WeightKind, seed uint64) workload.Spec {
+	s := poissonSpec(n, 1, t, lambda, seed)
+	s.Weights = law
+	switch law {
+	case workload.WeightUniform:
+		s.WMax = 10
+	case workload.WeightZipf:
+		s.WMax = 50
+		s.ZipfS = 1.5
+	case workload.WeightBimodal:
+		s.Light, s.Heavy, s.PHeavy = 1, 100, 0.05
+	}
+	return s
+}

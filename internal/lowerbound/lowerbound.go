@@ -1,0 +1,125 @@
+// Package lowerbound implements the Lemma 3.1 adversary: no deterministic
+// online algorithm for single-machine unweighted calibration scheduling is
+// better than (2 - o(1))-competitive.
+//
+// The adversary releases a job at time 0 and watches the algorithm's first
+// decision. If the algorithm calibrates at time 0 (eagerly), the adversary
+// releases one more job at time T, forcing a second calibration (case 1:
+// cost 2G+2 versus OPT's G+3). If the algorithm waits, the adversary
+// floods one job per step through T-1, making the early calibration it
+// skipped the right call (case 2: cost at least 2T+G versus OPT's T+G).
+//
+// Against a *deterministic* online algorithm the adversary can be realized
+// offline: the decision at time 0 depends only on the arrivals at time 0,
+// so probing the algorithm on the single-job prefix instance reveals which
+// branch it takes, and the final instance is then fixed.
+package lowerbound
+
+import (
+	"fmt"
+
+	"calibsched/internal/core"
+	"calibsched/internal/offline"
+	"calibsched/internal/online"
+	"calibsched/internal/workload"
+)
+
+// Algorithm is any deterministic single-machine online algorithm under the
+// G-cost objective, returning its full schedule.
+type Algorithm func(in *core.Instance, g int64) (*core.Schedule, error)
+
+// Outcome reports one adversary game.
+type Outcome struct {
+	// CaseOne is true when the algorithm calibrated at time 0 and the
+	// adversary answered with a job at time T.
+	CaseOne bool
+	// Instance is the final adversarial instance.
+	Instance *core.Instance
+	// AlgCost and OptCost are the algorithm's and the exact offline
+	// optimum's total costs (G*calibrations + flow).
+	AlgCost, OptCost int64
+	// Ratio is AlgCost / OptCost.
+	Ratio float64
+}
+
+// Play runs the adversary against alg with calibration length T and cost G.
+func Play(alg Algorithm, t, g int64) (*Outcome, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("lowerbound: T = %d, want >= 2", t)
+	}
+	// Probe: a single job at time 0. Determinism plus the online
+	// information model mean the algorithm's time-0 decision here equals
+	// its decision on any instance whose time-0 arrivals match.
+	probe := core.MustInstance(1, t, []int64{0}, []int64{1})
+	ps, err := alg(probe, g)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: probe run: %w", err)
+	}
+	calibratedAtZero := false
+	for _, c := range ps.Calendar {
+		if c.Start == 0 {
+			calibratedAtZero = true
+			break
+		}
+	}
+
+	var in *core.Instance
+	if calibratedAtZero {
+		in = workload.AdversaryCalibrateEarly(t)
+	} else {
+		in = workload.AdversaryWait(t)
+	}
+	s, err := alg(in, g)
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: adversarial run: %w", err)
+	}
+	if err := core.Validate(in, s); err != nil {
+		return nil, fmt.Errorf("lowerbound: algorithm produced invalid schedule: %w", err)
+	}
+	algCost := core.TotalCost(in, s, g)
+
+	var optCost int64
+	if calibratedAtZero {
+		// Case 1 has two jobs; the exact DP is instantaneous.
+		optCost, _, _, err = offline.OptimalTotalCost(in, g)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: offline optimum: %w", err)
+		}
+	} else {
+		// Case 2 has T consecutive unit jobs, so OPT = T + G exactly: any
+		// schedule pays flow >= T (one unit per job) and >= 1 calibration,
+		// and calibrating at time 0 runs every job at its release,
+		// achieving that bound. Using the closed form keeps the adversary
+		// usable at T in the thousands, where the O(Kn^3) DP would not be.
+		opt, aerr := online.AssignTimes(in, []int64{0})
+		if aerr != nil {
+			return nil, fmt.Errorf("lowerbound: certifying case-2 optimum: %w", aerr)
+		}
+		optCost = core.TotalCost(in, opt, g)
+		if want := t + g; optCost != want {
+			return nil, fmt.Errorf("lowerbound: case-2 certificate cost %d, want %d", optCost, want)
+		}
+	}
+	out := &Outcome{
+		CaseOne:  calibratedAtZero,
+		Instance: in,
+		AlgCost:  algCost,
+		OptCost:  optCost,
+	}
+	if optCost > 0 {
+		out.Ratio = float64(algCost) / float64(optCost)
+	}
+	return out, nil
+}
+
+// CaseOneBound returns Lemma 3.1's case-1 ratio (2G+2)/(G+3) that an
+// eagerly calibrating algorithm cannot beat.
+func CaseOneBound(g int64) float64 {
+	return float64(2*g+2) / float64(g+3)
+}
+
+// CaseTwoBound returns Lemma 3.1's case-2 ratio (2T+G)/(T+G) that a
+// hesitant algorithm cannot beat.
+func CaseTwoBound(t, g int64) float64 {
+	return float64(2*t+g) / float64(t+g)
+}

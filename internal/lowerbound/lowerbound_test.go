@@ -1,0 +1,128 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"calibsched/internal/baseline"
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+)
+
+func alg1(in *core.Instance, g int64) (*core.Schedule, error) {
+	res, err := online.Alg1(in, g)
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+func TestPlayAgainstAlg1EagerBranch(t *testing.T) {
+	// T >= G: Algorithm 1's count trigger fires at time 0, so the
+	// adversary plays case 1 and the ratio approaches (2G+2)/(G+3).
+	out, err := Play(alg1, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CaseOne {
+		t.Fatal("expected case 1 (algorithm calibrates at 0)")
+	}
+	want := float64(2*32+2) / float64(32+3)
+	if math.Abs(out.Ratio-want) > 1e-9 {
+		t.Errorf("ratio = %.4f, want %.4f", out.Ratio, want)
+	}
+	if out.AlgCost != 2*32+2 {
+		t.Errorf("alg cost = %d, want %d", out.AlgCost, 2*32+2)
+	}
+	if out.OptCost != 32+3 {
+		t.Errorf("opt cost = %d, want %d", out.OptCost, 32+3)
+	}
+}
+
+func TestPlayAgainstFlowThresholdWaitBranch(t *testing.T) {
+	// The pure ski-rental baseline waits when G is large, so the
+	// adversary floods (case 2).
+	alg := func(in *core.Instance, g int64) (*core.Schedule, error) {
+		return baseline.FlowThreshold(in, g)
+	}
+	out, err := Play(alg, 16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CaseOne {
+		t.Fatal("expected case 2 (algorithm waits at time 0)")
+	}
+	if out.Instance.N() != 16 {
+		t.Errorf("case-2 instance has %d jobs, want T=16", out.Instance.N())
+	}
+	// Lemma 3.1: the algorithm pays at least 2T + G... but only claims it
+	// for algorithms that never calibrate before time 1; our baseline
+	// calibrates later, so just check the ratio is at least 1 and OPT
+	// matches T + G (calibrate at 0, every job at release).
+	if out.OptCost != 16+100 {
+		t.Errorf("opt = %d, want %d", out.OptCost, 116)
+	}
+	if out.Ratio < 1 {
+		t.Errorf("ratio = %.3f < 1", out.Ratio)
+	}
+}
+
+func TestRatioApproachesTwo(t *testing.T) {
+	// Against Algorithm 1 with T = G (eager branch), the ratio
+	// (2G+2)/(G+3) approaches 2 from below as G grows.
+	prev := 0.0
+	for _, g := range []int64{4, 16, 64, 256, 1024} {
+		out, err := Play(alg1, g, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Ratio <= prev {
+			t.Errorf("G=%d: ratio %.5f did not increase (prev %.5f)", g, out.Ratio, prev)
+		}
+		if out.Ratio >= 2 {
+			t.Errorf("G=%d: ratio %.5f >= 2", g, out.Ratio)
+		}
+		prev = out.Ratio
+	}
+	if prev < 1.95 {
+		t.Errorf("ratio at G=1024 = %.4f, want > 1.95", prev)
+	}
+}
+
+func TestBoundFormulas(t *testing.T) {
+	if got := CaseOneBound(1); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("CaseOneBound(1) = %f, want 1", got)
+	}
+	if got := CaseTwoBound(10, 0); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("CaseTwoBound(10,0) = %f, want 2", got)
+	}
+	// Monotone toward 2.
+	if CaseOneBound(100) <= CaseOneBound(10) {
+		t.Error("CaseOneBound not increasing in G")
+	}
+	if CaseTwoBound(1000, 10) <= CaseTwoBound(100, 10) {
+		t.Error("CaseTwoBound not increasing in T")
+	}
+}
+
+func TestPlayRejectsTinyT(t *testing.T) {
+	if _, err := Play(alg1, 1, 10); err == nil {
+		t.Error("accepted T=1")
+	}
+}
+
+// TestAlgorithmsNeverBeatTheLowerBoundStory sanity-checks the lemma: the
+// measured ratio never exceeds each algorithm's proven upper bound.
+func TestAlgorithmsNeverBeatTheLowerBoundStory(t *testing.T) {
+	for _, g := range []int64{2, 8, 32, 128} {
+		for _, tt := range []int64{2, 4, 16, 64} {
+			out, err := Play(alg1, tt, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Ratio > 3.0+1e-9 {
+				t.Errorf("T=%d G=%d: Algorithm 1 ratio %.3f exceeds its bound 3", tt, g, out.Ratio)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lp
+
+import (
+	"fmt"
+
+	"calibsched/internal/core"
+)
+
+// CalibrationLP is the time-indexed primal of Figure 1 over a finite
+// horizon [0, H): variables f_{t,j} (job j incurs flow at step t), c_{t,m}
+// (an interval begins on machine m at t), and a_{j,m} (job j assigned to
+// machine m), objective
+//
+//	minimize  sum_{t,j} w_j * f_{t,j} + G * sum_{t,m} c_{t,m}
+//
+// subject to the paper's four constraint families:
+//
+//  1. f_{t,j} + sum_{t'=max(0,r_j-T+1)}^{t} c_{t',m} - a_{j,m} >= 0
+//     for all j, t >= r_j, m — until some calibration on j's machine can
+//     serve it, the job keeps flowing. (The paper prints the window's
+//     lower end as r_j - T; an interval started before r_j - T + 1 ends
+//     at or before r_j and cannot run j, so the tightened window is the
+//     evident intent and remains valid for every schedule.)
+//  2. sum_{j: r_j < t} (f_{t,j} - f_{t-1,j}) + sum_m sum_{t'=max(0,t-T)}^{t}
+//     c_{t',m} >= 0 for all t — flow can drop by at most one per machine
+//     per step, and only near calibrations.
+//  3. sum_m a_{j,m} >= 1 for all j.
+//  4. f_{r_j,j} = 1 for all j.
+//
+// Every valid schedule that finishes within the horizon maps to a feasible
+// 0/1 point with objective equal to its total cost (Embed), so the LP
+// optimum lower-bounds OPT.
+//
+// The paper states the LP for the unweighted Section 3.3 setting (w_j =
+// 1); weighting the objective is the evident generalization and keeps
+// every constraint valid for every schedule, so the optimum remains a
+// certified lower bound — experiment E15 uses it to evaluate the weighted
+// multi-machine extension.
+type CalibrationLP struct {
+	Problem *Problem
+	in      *core.Instance
+	g       int64
+	horizon int64
+	nf      int // number of f variables (horizon*n)
+	nc      int // number of c variables (horizon*P)
+}
+
+// fVar, cVar, aVar index into the flat variable vector.
+func (l *CalibrationLP) fVar(t int64, j int) int { return int(t)*l.in.N() + j }
+func (l *CalibrationLP) cVar(t int64, m int) int { return l.nf + int(t)*l.in.P + m }
+func (l *CalibrationLP) aVar(j, m int) int       { return l.nf + l.nc + j*l.in.P + m }
+
+// DefaultHorizon returns a horizon certainly containing an optimal
+// schedule: in any optimum of the G-cost objective no job waits more than
+// G+T steps (a dedicated calibration at its release would otherwise be
+// cheaper, since weights are >= 1), so maxRelease + G + T + 2 time steps
+// suffice.
+func DefaultHorizon(in *core.Instance, g int64) int64 {
+	return in.MaxRelease() + g + in.T + 2
+}
+
+// NewCalibrationLP builds the Figure 1 primal for the instance (weighted
+// objective; see the type comment). Horizon must cover every schedule of
+// interest; DefaultHorizon(in, g) is always safe for optimal schedules.
+func NewCalibrationLP(in *core.Instance, g, horizon int64) (*CalibrationLP, error) {
+	if g < 0 {
+		return nil, fmt.Errorf("lp: negative G %d", g)
+	}
+	if horizon <= in.MaxRelease() {
+		return nil, fmt.Errorf("lp: horizon %d does not cover last release %d", horizon, in.MaxRelease())
+	}
+	n := in.N()
+	l := &CalibrationLP{
+		in:      in,
+		g:       g,
+		horizon: horizon,
+		nf:      int(horizon) * n,
+		nc:      int(horizon) * in.P,
+	}
+	total := l.nf + l.nc + n*in.P
+	prob := &Problem{C: make([]float64, total)}
+	for t := int64(0); t < horizon; t++ {
+		for j := 0; j < n; j++ {
+			prob.C[l.fVar(t, j)] = float64(in.Jobs[j].Weight)
+		}
+		for m := 0; m < in.P; m++ {
+			prob.C[l.cVar(t, m)] = float64(g)
+		}
+	}
+
+	// Family 1.
+	for j := 0; j < n; j++ {
+		rj := in.Jobs[j].Release
+		for t := rj; t < horizon; t++ {
+			for m := 0; m < in.P; m++ {
+				a := make([]float64, total)
+				a[l.fVar(t, j)] = 1
+				lo := rj - in.T + 1
+				if lo < 0 {
+					lo = 0
+				}
+				for tp := lo; tp <= t; tp++ {
+					a[l.cVar(tp, m)] += 1
+				}
+				a[l.aVar(j, m)] = -1
+				prob.Constraints = append(prob.Constraints, Constraint{A: a, Rel: GE, B: 0})
+			}
+		}
+	}
+	// Family 2.
+	for t := int64(1); t < horizon; t++ {
+		a := make([]float64, total)
+		for j := 0; j < n; j++ {
+			if in.Jobs[j].Release < t {
+				a[l.fVar(t, j)] += 1
+				a[l.fVar(t-1, j)] -= 1
+			}
+		}
+		lo := t - in.T
+		if lo < 0 {
+			lo = 0
+		}
+		for m := 0; m < in.P; m++ {
+			for tp := lo; tp <= t; tp++ {
+				a[l.cVar(tp, m)] += 1
+			}
+		}
+		prob.Constraints = append(prob.Constraints, Constraint{A: a, Rel: GE, B: 0})
+	}
+	// Family 3.
+	for j := 0; j < n; j++ {
+		a := make([]float64, total)
+		for m := 0; m < in.P; m++ {
+			a[l.aVar(j, m)] = 1
+		}
+		prob.Constraints = append(prob.Constraints, Constraint{A: a, Rel: GE, B: 1})
+	}
+	// Family 4.
+	for j := 0; j < n; j++ {
+		a := make([]float64, total)
+		a[l.fVar(in.Jobs[j].Release, j)] = 1
+		prob.Constraints = append(prob.Constraints, Constraint{A: a, Rel: EQ, B: 1})
+	}
+	l.Problem = prob
+	return l, nil
+}
+
+// Embed maps a valid schedule (finishing within the horizon) to the
+// canonical 0/1 primal point: f_{t,j} = 1 while j waits (r_j <= t <= start),
+// c_{t,m} = 1 where intervals begin, a_{j,m} = 1 on j's machine. The
+// point's objective equals the schedule's total cost.
+func (l *CalibrationLP) Embed(s *core.Schedule) ([]float64, error) {
+	x := make([]float64, l.Problem.NumVars())
+	for _, j := range l.in.Jobs {
+		a := s.Assignments[j.ID]
+		if a.Start+1 > l.horizon {
+			return nil, fmt.Errorf("lp: job %d finishes at %d beyond horizon %d", j.ID, a.Start+1, l.horizon)
+		}
+		for t := j.Release; t <= a.Start; t++ {
+			x[l.fVar(t, j.ID)] = 1
+		}
+		x[l.aVar(j.ID, a.Machine)] = 1
+	}
+	for _, c := range s.Calendar {
+		if c.Start >= l.horizon {
+			return nil, fmt.Errorf("lp: calibration at %d beyond horizon %d", c.Start, l.horizon)
+		}
+		x[l.cVar(c.Start, c.Machine)] += 1
+	}
+	return x, nil
+}
+
+// LowerBound solves the LP and returns its optimum: a certified lower
+// bound on the total cost of any schedule completing within the horizon.
+func (l *CalibrationLP) LowerBound() (float64, error) {
+	sol, err := l.Problem.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != Optimal {
+		return 0, fmt.Errorf("lp: primal solve status %v", sol.Status)
+	}
+	return sol.Objective, nil
+}

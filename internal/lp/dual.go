@@ -1,0 +1,56 @@
+package lp
+
+// Dual mechanically constructs the LP dual of a minimization problem with
+// nonnegative variables, mirroring how Figure 2 of the paper is obtained
+// from Figure 1.
+//
+// The primal min{c.x : rows, x >= 0} is first normalized so every row is a
+// ">=" row (LE rows are negated; EQ rows become a GE pair). The dual is
+// then max{b.y : A^T y <= c, y >= 0}, returned — to stay within Problem's
+// minimize-only convention — as min{(-b).y : A^T y <= c, y >= 0}; callers
+// negate the reported objective to read the dual bound. Weak duality:
+// -dual.Objective <= primal optimum for every pair of feasible points.
+func Dual(p *Problem) *Problem {
+	n := p.NumVars()
+	// Normalize to GE rows.
+	type row struct {
+		a []float64
+		b float64
+	}
+	var rows []row
+	for _, c := range p.Constraints {
+		switch c.Rel {
+		case GE:
+			rows = append(rows, row{c.A, c.B})
+		case LE:
+			neg := make([]float64, n)
+			for j := range c.A {
+				neg[j] = -c.A[j]
+			}
+			rows = append(rows, row{neg, -c.B})
+		case EQ:
+			neg := make([]float64, n)
+			for j := range c.A {
+				neg[j] = -c.A[j]
+			}
+			rows = append(rows, row{c.A, c.B}, row{neg, -c.B})
+		}
+	}
+	m := len(rows)
+	dual := &Problem{C: make([]float64, m)}
+	for i, r := range rows {
+		dual.C[i] = -r.b // minimize -b.y  ==  maximize b.y
+	}
+	for j := 0; j < n; j++ {
+		a := make([]float64, m)
+		for i, r := range rows {
+			a[i] = r.a[j]
+		}
+		dual.AddConstraint(a, LE, p.C[j])
+	}
+	return dual
+}
+
+// DualObjective converts a Dual() solution objective back to the
+// maximization reading used in weak-duality statements.
+func DualObjective(sol *Solution) float64 { return -sol.Objective }

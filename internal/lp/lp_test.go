@@ -1,0 +1,440 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/baseline"
+	"calibsched/internal/core"
+	"calibsched/internal/offline"
+	"calibsched/internal/online"
+)
+
+func TestSimplexTextbook(t *testing.T) {
+	// min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> x=2, y=6, obj -36.
+	p := &Problem{C: []float64{-3, -5}}
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Objective+36) > 1e-6 || math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-6) > 1e-6 {
+		t.Fatalf("got x=%v obj=%f, want (2,6) obj -36", sol.X, sol.Objective)
+	}
+}
+
+func TestSimplexGEAndEQ(t *testing.T) {
+	// min x + 2y s.t. x + y >= 3, x == 1 -> y=2, obj 5.
+	p := &Problem{C: []float64{1, 2}}
+	p.AddConstraint([]float64{1, 1}, GE, 3)
+	p.AddConstraint([]float64{1, 0}, EQ, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-6 {
+		t.Fatalf("status %v obj %f, want optimal 5", sol.Status, sol.Objective)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := &Problem{C: []float64{1}}
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := &Problem{C: []float64{-1, 0}}
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -4 (i.e. x >= 4).
+	p := &Problem{C: []float64{1}}
+	p.AddConstraint([]float64{-1}, LE, -4)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-4) > 1e-6 {
+		t.Fatalf("got %v %f, want optimal 4", sol.Status, sol.Objective)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Classic degenerate corner; Bland's rule must terminate.
+	p := &Problem{C: []float64{-0.75, 150, -0.02, 6}}
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective+0.05) > 1e-6 {
+		t.Fatalf("got %v %f, want optimal -0.05", sol.Status, sol.Objective)
+	}
+}
+
+func TestSimplexDimensionMismatch(t *testing.T) {
+	p := &Problem{C: []float64{1, 2}}
+	p.Constraints = append(p.Constraints, Constraint{A: []float64{1}, Rel: GE, B: 0})
+	if _, err := p.Solve(); err == nil {
+		t.Error("accepted mismatched constraint width")
+	}
+}
+
+func TestFeasibleAt(t *testing.T) {
+	p := &Problem{C: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 1}, GE, 2)
+	p.AddConstraint([]float64{1, 0}, LE, 5)
+	p.AddConstraint([]float64{0, 1}, EQ, 1)
+	if err := p.FeasibleAt([]float64{1, 1}, 1e-9); err != nil {
+		t.Errorf("feasible point rejected: %v", err)
+	}
+	if err := p.FeasibleAt([]float64{0.5, 1}, 1e-9); err == nil {
+		t.Error("infeasible point accepted (GE violated)")
+	}
+	if err := p.FeasibleAt([]float64{6, 1}, 1e-9); err == nil {
+		t.Error("infeasible point accepted (LE violated)")
+	}
+	if err := p.FeasibleAt([]float64{1, 2}, 1e-9); err == nil {
+		t.Error("infeasible point accepted (EQ violated)")
+	}
+	if err := p.FeasibleAt([]float64{-1, 1}, 1e-9); err == nil {
+		t.Error("negative coordinate accepted")
+	}
+	if err := p.FeasibleAt([]float64{1}, 1e-9); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}
+
+// TestStrongDualityRandom: for random feasible bounded LPs, the dual
+// optimum (maximization reading) must match the primal optimum.
+func TestStrongDualityRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 15))
+	solved := 0
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.IntN(4)
+		m := 1 + rng.IntN(4)
+		p := &Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = float64(1 + rng.IntN(9)) // positive costs keep it bounded
+		}
+		for i := 0; i < m; i++ {
+			a := make([]float64, n)
+			for j := range a {
+				a[j] = float64(rng.IntN(5))
+			}
+			p.AddConstraint(a, GE, float64(rng.IntN(10)))
+		}
+		psol, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psol.Status != Optimal {
+			continue // all-zero row with positive rhs etc.
+		}
+		d := Dual(p)
+		dsol, err := d.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dsol.Status != Optimal {
+			t.Fatalf("trial %d: primal optimal but dual %v", trial, dsol.Status)
+		}
+		if math.Abs(DualObjective(dsol)-psol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: dual %f != primal %f", trial, DualObjective(dsol), psol.Objective)
+		}
+		solved++
+	}
+	if solved < 50 {
+		t.Fatalf("only %d/120 duality pairs solved; generator too degenerate", solved)
+	}
+}
+
+// TestWeakDualityEverywhere: any feasible dual point's objective is at most
+// any feasible primal point's.
+func TestWeakDualityEverywhere(t *testing.T) {
+	p := &Problem{C: []float64{2, 3}}
+	p.AddConstraint([]float64{1, 1}, GE, 4)
+	p.AddConstraint([]float64{1, 3}, GE, 6)
+	d := Dual(p)
+	dsol, err := d.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	primalPoints := [][]float64{{4, 1}, {0, 4}, {3, 1}, {6, 6}}
+	for _, x := range primalPoints {
+		if err := p.FeasibleAt(x, 1e-9); err != nil {
+			t.Fatalf("test point infeasible: %v", err)
+		}
+		if DualObjective(dsol) > p.Objective(x)+1e-9 {
+			t.Errorf("weak duality violated: dual %f > primal %f at %v",
+				DualObjective(dsol), p.Objective(x), x)
+		}
+	}
+}
+
+func TestCalibrationLPRejects(t *testing.T) {
+	in := core.MustInstance(1, 3, []int64{5}, []int64{1})
+	if _, err := NewCalibrationLP(in, 5, 5); err == nil {
+		t.Error("accepted horizon not covering releases")
+	}
+	if _, err := NewCalibrationLP(in, -1, 20); err == nil {
+		t.Error("accepted negative G")
+	}
+}
+
+func TestScheduleEmbedsFeasiblyWithExactObjective(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 34))
+	for trial := 0; trial < 40; trial++ {
+		p := 1 + rng.IntN(2)
+		n := 1 + rng.IntN(4)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(6))
+			weights[i] = 1
+		}
+		in := core.MustInstance(p, int64(1+rng.IntN(3)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(6))
+
+		res, err := online.Alg3(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := res.Schedule
+
+		horizon := sched.Makespan() + 1
+		if dh := DefaultHorizon(in, g); dh > horizon {
+			horizon = dh
+		}
+		clp, err := NewCalibrationLP(in, g, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := clp.Embed(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clp.Problem.FeasibleAt(x, 1e-7); err != nil {
+			t.Fatalf("trial %d: schedule embedding infeasible: %v", trial, err)
+		}
+		if got, want := clp.Problem.Objective(x), float64(core.TotalCost(in, sched, g)); math.Abs(got-want) > 1e-7 {
+			t.Fatalf("trial %d: embedded objective %f != schedule cost %f", trial, got, want)
+		}
+	}
+}
+
+func TestLPLowerBoundsBruteOptimum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 89))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(3)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(5))
+			weights[i] = 1
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(3)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(5))
+
+		optTotal, _, err := offline.BruteForceTotalCost(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clp, err := NewCalibrationLP(in, g, DefaultHorizon(in, g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := clp.LowerBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > float64(optTotal)+1e-4 {
+			t.Fatalf("trial %d: LP lower bound %f exceeds OPT %d (T=%d G=%d jobs %v)",
+				trial, lb, optTotal, in.T, g, in.Jobs)
+		}
+		if lb < 0 {
+			t.Fatalf("trial %d: negative lower bound %f", trial, lb)
+		}
+	}
+}
+
+func TestLPLowerBoundMultiMachine(t *testing.T) {
+	// Two machines, jobs best served by one calibration each or shared —
+	// the LP bound must sit below a known-good schedule's cost.
+	in := core.MustInstance(2, 3, []int64{0, 0, 1, 4}, []int64{1, 1, 1, 1}).Canonicalize()
+	g := int64(3)
+	res, err := online.Alg3(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algCost := core.TotalCost(in, res.Schedule, g)
+	horizon := res.Schedule.Makespan() + 1
+	if dh := DefaultHorizon(in, g); dh > horizon {
+		horizon = dh
+	}
+	clp, err := NewCalibrationLP(in, g, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := clp.LowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(algCost) < lb-1e-4 {
+		t.Fatalf("algorithm cost %d below LP lower bound %f", algCost, lb)
+	}
+	if lb <= 0 {
+		t.Fatalf("vacuous lower bound %f", lb)
+	}
+}
+
+// TestWeightedLPLowerBoundsBruteOptimum: the weighted objective keeps the
+// LP a valid relaxation.
+func TestWeightedLPLowerBoundsBruteOptimum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 17))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.IntN(3)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(5))
+			weights[i] = 1 + int64(rng.IntN(4))
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(3)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(5))
+		optTotal, optSched, err := offline.BruteForceTotalCost(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clp, err := NewCalibrationLP(in, g, DefaultHorizon(in, g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := clp.LowerBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > float64(optTotal)+1e-4 {
+			t.Fatalf("trial %d: weighted LP bound %f exceeds OPT %d (T=%d G=%d jobs %v)",
+				trial, lb, optTotal, in.T, g, in.Jobs)
+		}
+		// The optimal schedule must embed with objective equal to its cost.
+		if optSched.Makespan() < DefaultHorizon(in, g) {
+			x, err := clp.Embed(optSched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := clp.Problem.FeasibleAt(x, 1e-7); err != nil {
+				t.Fatalf("trial %d: OPT embedding infeasible: %v", trial, err)
+			}
+			if got, want := clp.Problem.Objective(x), float64(optTotal); math.Abs(got-want) > 1e-7 {
+				t.Fatalf("trial %d: embedded objective %f != OPT %f", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestBaselineCostsRespectLPBound(t *testing.T) {
+	in := core.MustInstance(1, 4, []int64{0, 2, 9}, []int64{1, 1, 1})
+	g := int64(4)
+	clp, err := NewCalibrationLP(in, g, DefaultHorizon(in, g)+20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := clp.LowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baseline.Immediate(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(core.TotalCost(in, s, g)) < lb-1e-4 {
+		t.Fatal("baseline cost below LP lower bound")
+	}
+}
+
+// TestParallelSolveMatchesSerial: the parallel pivot is bit-identical to
+// the serial one on a large calibration LP.
+func TestParallelSolveMatchesSerial(t *testing.T) {
+	in := core.MustInstance(2, 3, []int64{0, 2, 3, 5, 8, 9, 11}, []int64{1, 1, 1, 1, 1, 1, 1})
+	clp, err := NewCalibrationLP(in, 5, DefaultHorizon(in, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := *clp.Problem
+	serial.Workers = 1
+	ssol, err := serial.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := *clp.Problem
+	par.Workers = 4
+	psol, err := par.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssol.Status != Optimal || psol.Status != Optimal {
+		t.Fatalf("statuses %v / %v", ssol.Status, psol.Status)
+	}
+	if ssol.Objective != psol.Objective {
+		t.Fatalf("parallel objective %v != serial %v", psol.Objective, ssol.Objective)
+	}
+	for j := range ssol.X {
+		if ssol.X[j] != psol.X[j] {
+			t.Fatalf("x[%d] differs: %v vs %v", j, ssol.X[j], psol.X[j])
+		}
+	}
+}
+
+func BenchmarkCalibrationLPSolveSerial(b *testing.B) {
+	in := core.MustInstance(3, 3, []int64{0, 2, 3, 5, 8, 9, 11, 14}, []int64{1, 1, 1, 1, 1, 1, 1, 1})
+	for i := 0; i < b.N; i++ {
+		clp, err := NewCalibrationLP(in, 6, DefaultHorizon(in, 6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clp.Problem.Workers = 1
+		if _, err := clp.Problem.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCalibrationLPSolveParallel(b *testing.B) {
+	in := core.MustInstance(3, 3, []int64{0, 2, 3, 5, 8, 9, 11, 14}, []int64{1, 1, 1, 1, 1, 1, 1, 1})
+	for i := 0; i < b.N; i++ {
+		clp, err := NewCalibrationLP(in, 6, DefaultHorizon(in, 6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clp.Problem.Workers = 0 // GOMAXPROCS
+		if _, err := clp.Problem.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

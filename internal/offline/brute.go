@@ -1,0 +1,142 @@
+package offline
+
+import (
+	"fmt"
+
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+)
+
+// CandidateStarts returns the calibration start times that suffice for an
+// optimal single-machine schedule: by Lemma 4.2 some optimal schedule has
+// every interval end right after a job scheduled at its release time, so
+// starts can be restricted to {max(0, r_j + 1 - T)}. The list is sorted
+// and deduplicated.
+func CandidateStarts(in *core.Instance) []int64 {
+	seen := make(map[int64]bool, in.N())
+	var out []int64
+	for _, j := range in.Jobs {
+		s := j.Release + 1 - in.T
+		if s < 0 {
+			s = 0
+		}
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	// Jobs are sorted by release, so the starts are already nondecreasing;
+	// dedup preserved order.
+	return out
+}
+
+// forEachMultiset enumerates every multiset of cands with at most maxSize
+// elements and per-candidate multiplicity at most maxMult, invoking fn with
+// a scratch slice (valid only during the call).
+func forEachMultiset(cands []int64, maxMult, maxSize int, fn func([]int64)) {
+	cur := make([]int64, 0, maxSize)
+	var rec func(i int)
+	rec = func(i int) {
+		fn(cur)
+		if len(cur) >= maxSize {
+			return
+		}
+		for j := i; j < len(cands); j++ {
+			count := 0
+			for _, c := range cur {
+				if c == cands[j] {
+					count++
+				}
+			}
+			if count >= maxMult {
+				continue
+			}
+			cur = append(cur, cands[j])
+			rec(j)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+}
+
+// BruteForce finds the optimal flow with at most k calibrations by
+// enumerating calibration-time multisets from CandidateStarts (multiplicity
+// up to P for multi-machine instances) and assigning jobs via Observation
+// 2.1. Exponential in k; intended for cross-validating the DP on small
+// instances. It returns an error when no feasible schedule exists.
+func BruteForce(in *core.Instance, k int) (*DPResult, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("offline: negative budget %d", k)
+	}
+	if in.N() == 0 {
+		return &DPResult{Schedule: core.NewSchedule(0)}, nil
+	}
+	return bruteOver(in, CandidateStarts(in), k)
+}
+
+// ExhaustiveFlow is BruteForce over every integer start in [0, maxRelease
+// + n] instead of the Lemma 4.2 candidates; it exists to validate the
+// candidate restriction on tiny instances. The horizon extends n past the
+// last release so instances with duplicate release times (whose jobs
+// necessarily spill past maxRelease) remain coverable.
+func ExhaustiveFlow(in *core.Instance, k int) (*DPResult, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("offline: negative budget %d", k)
+	}
+	if in.N() == 0 {
+		return &DPResult{Schedule: core.NewSchedule(0)}, nil
+	}
+	var cands []int64
+	for t := int64(0); t <= in.MaxRelease()+int64(in.N()); t++ {
+		cands = append(cands, t)
+	}
+	return bruteOver(in, cands, k)
+}
+
+func bruteOver(in *core.Instance, cands []int64, k int) (*DPResult, error) {
+	maxMult := in.P
+	best := inf
+	var bestSched *core.Schedule
+	forEachMultiset(cands, maxMult, k, func(times []int64) {
+		s, err := online.AssignTimes(in, times)
+		if err != nil {
+			return
+		}
+		if f := core.Flow(in, s); f < best {
+			best = f
+			bestSched = s
+		}
+	})
+	if bestSched == nil {
+		return nil, fmt.Errorf("offline: no feasible schedule with %d calibrations", k)
+	}
+	return &DPResult{Flow: best, Schedule: bestSched}, nil
+}
+
+// BruteForceTotalCost minimizes the online objective G*#calibrations +
+// flow by exhaustive search over candidate multisets of every size up to
+// n*P. Exponential; for cross-validation and tiny adversarial instances.
+func BruteForceTotalCost(in *core.Instance, g int64) (total int64, sched *core.Schedule, err error) {
+	if g < 0 {
+		return 0, nil, fmt.Errorf("offline: negative G %d", g)
+	}
+	if in.N() == 0 {
+		return 0, core.NewSchedule(0), nil
+	}
+	best := inf
+	var bestSched *core.Schedule
+	forEachMultiset(CandidateStarts(in), in.P, in.N(), func(times []int64) {
+		s, aerr := online.AssignTimes(in, times)
+		if aerr != nil {
+			return
+		}
+		if c := core.TotalCost(in, s, g); c < best {
+			best = c
+			bestSched = s
+		}
+	})
+	if bestSched == nil {
+		return 0, nil, fmt.Errorf("offline: no feasible schedule found")
+	}
+	return best, bestSched, nil
+}

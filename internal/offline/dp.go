@@ -1,0 +1,464 @@
+// Package offline implements Section 4 of the paper: the exact dynamic
+// program (Propositions 1 and 2) that minimizes total weighted flow time on
+// one machine under a budget of K calibrations, together with brute-force
+// optima used to cross-validate it and utilities that convert between the
+// budget model and the online cost model (budget sweep, G-cost optimum).
+//
+// The DP works over jobs sorted by strictly increasing release time (the
+// paper's normal form; see Instance.Canonicalize) and in weighted
+// completion-time space; flow is recovered by subtracting the instance
+// constant sum_j w_j r_j.
+//
+// Structure recap (Section 4.1): some optimal schedule decomposes into
+// groups of consecutive jobs {u..v}, each served by exactly
+// ceil((v-u+1)/T) intervals of which all but possibly the last are full,
+// the last interval anchored to end right after job v runs at its release
+// time (job v is critical, Lemma 4.2 / Definition 4.4). Proposition 1
+// searches the group decomposition; Proposition 2 computes the cost of one
+// group by repeatedly peeling the lowest-rank (lightest) job e, which is
+// always scheduled either at its release time, or as the last job of the
+// busy prefix [b, b+s) of the group's final interval, or — if the group
+// splits at a multiple-of-T prefix — inside an earlier subgroup.
+package offline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"calibsched/internal/core"
+	"calibsched/internal/simul"
+)
+
+// Unschedulable marks budget entries for which no feasible schedule exists
+// (fewer than ceil(n/T) calibrations).
+const Unschedulable = int64(-1)
+
+const inf = int64(math.MaxInt64) / 4
+
+// DPResult is the outcome of the exact offline solver.
+type DPResult struct {
+	// Flow is the minimum total weighted flow with the given budget.
+	Flow int64
+	// Schedule achieves Flow; its calendar is a minimal greedy cover of
+	// the chosen slots and uses at most the budget.
+	Schedule *core.Schedule
+}
+
+// choiceKind tags how a Proposition 2 state resolved.
+type choiceKind uint8
+
+const (
+	choiceEmpty choiceKind = iota
+	choiceAtRelease
+	choiceBusyPrefix
+	choiceSplit
+)
+
+type choice struct {
+	kind  choiceKind
+	e     int   // job index (1-based) for AtRelease/BusyPrefix
+	slot  int64 // start slot for e
+	split int   // split job j for Split
+}
+
+type solver struct {
+	n    int
+	T    int64
+	rel  []int64 // 1-based
+	w    []int64 // 1-based
+	rank []int   // 1-based job index -> rank in 1..n
+
+	// pre[mu][j] = #{i in 1..j : rank_i > mu}; cnt(u,j,mu) is a prefix
+	// difference.
+	pre [][]int32
+
+	fMemo   map[uint64]int64
+	fChoice map[uint64]choice
+
+	// Proposition 1 layer (memoized): key k*(n+1)+v.
+	fMemoTop   map[int]int64
+	fChoiceTop map[int]int
+	relWeight  int64
+}
+
+func key(u, v, mu int) uint64 {
+	return uint64(u)<<42 | uint64(v)<<21 | uint64(mu)
+}
+
+func newSolver(in *core.Instance) (*solver, error) {
+	if in.P != 1 {
+		return nil, fmt.Errorf("offline: DP requires P = 1, got %d", in.P)
+	}
+	n := in.N()
+	for i := 1; i < n; i++ {
+		if in.Jobs[i].Release == in.Jobs[i-1].Release {
+			return nil, fmt.Errorf("offline: DP requires distinct release times (canonicalize first); jobs %d and %d share release %d", i-1, i, in.Jobs[i].Release)
+		}
+	}
+	s := &solver{
+		n:          n,
+		T:          in.T,
+		rel:        make([]int64, n+1),
+		w:          make([]int64, n+1),
+		rank:       make([]int, n+1),
+		fMemo:      make(map[uint64]int64),
+		fChoice:    make(map[uint64]choice),
+		fMemoTop:   make(map[int]int64),
+		fChoiceTop: make(map[int]int),
+	}
+	ranks := in.Ranks()
+	for i, j := range in.Jobs {
+		s.rel[i+1] = j.Release
+		s.w[i+1] = j.Weight
+		s.rank[i+1] = ranks[j.ID]
+		s.relWeight += j.Weight * j.Release
+	}
+	s.pre = make([][]int32, n+1)
+	for mu := 0; mu <= n; mu++ {
+		row := make([]int32, n+1)
+		for j := 1; j <= n; j++ {
+			row[j] = row[j-1]
+			if s.rank[j] > mu {
+				row[j]++
+			}
+		}
+		s.pre[mu] = row
+	}
+	return s, nil
+}
+
+// cnt returns |J(u,j,mu)| = #{i in u..j : rank_i > mu}; zero when j < u.
+func (s *solver) cnt(u, j, mu int) int64 {
+	if j < u {
+		return 0
+	}
+	return int64(s.pre[mu][j] - s.pre[mu][u-1])
+}
+
+// minRankAbove returns the index of the job in u..v with the smallest rank
+// exceeding mu, or 0 if none.
+func (s *solver) minRankAbove(u, v, mu int) int {
+	best := 0
+	bestRank := math.MaxInt
+	for i := u; i <= v; i++ {
+		if r := s.rank[i]; r > mu && r < bestRank {
+			bestRank = r
+			best = i
+		}
+	}
+	return best
+}
+
+// prefixS computes Definition 4.5's s for the state (u,v,mu): the smallest
+// h >= 0 with h == |{j in J : r_j < b+h}| (mod T), where b = rel[v]+1-T.
+// Lemma 4.6: the machine is busy throughout [b, b+s) and every job is
+// scheduled at its release during [b+s, b+T).
+func (s *solver) prefixS(u, v, mu int) int64 {
+	b := s.rel[v] + 1 - s.T
+	// Collect the releases of J(u,v,mu) in increasing order (indices are
+	// already in release order).
+	var rels []int64
+	for i := u; i <= v; i++ {
+		if s.rank[i] > mu {
+			rels = append(rels, s.rel[i])
+		}
+	}
+	ptr := 0
+	for h := int64(0); h <= s.T; h++ {
+		for ptr < len(rels) && rels[ptr] < b+h {
+			ptr++
+		}
+		if h%s.T == int64(ptr)%s.T {
+			return h
+		}
+	}
+	// A fixed point always exists in [0, T]: h mod T sweeps every residue
+	// while the count changes by at most one per step.
+	panic("offline: no busy-prefix fixed point; unreachable")
+}
+
+// f computes Proposition 2: the minimum total weighted completion time of
+// J(u,v,mu) scheduled in exactly ceil(|J|/T) intervals, all full except
+// possibly the last, which occupies [rel[v]+1-T, rel[v]+1).
+func (s *solver) f(u, v, mu int) int64 {
+	if s.cnt(u, v, mu) == 0 {
+		return 0
+	}
+	k := key(u, v, mu)
+	if val, ok := s.fMemo[k]; ok {
+		return val
+	}
+	// Mark in progress to surface accidental cycles during development.
+	s.fMemo[k] = inf
+	val, ch := s.solveF(u, v, mu)
+	s.fMemo[k] = val
+	s.fChoice[k] = ch
+	return val
+}
+
+func (s *solver) solveF(u, v, mu int) (int64, choice) {
+	b := s.rel[v] + 1 - s.T
+	e := s.minRankAbove(u, v, mu)
+
+	// Psi: jobs j in J(u, v-1, mu) whose prefix count |J(u,j,mu)| is a
+	// positive multiple of T. jLast is the one with the latest release.
+	var psi []int
+	for j := u; j <= v-1; j++ {
+		if s.rank[j] > mu && s.cnt(u, j, mu)%s.T == 0 {
+			psi = append(psi, j)
+		}
+	}
+	if len(psi) > 0 {
+		jLast := psi[len(psi)-1]
+		if b <= s.rel[jLast] {
+			// The full prefix intervals cannot fit before the final
+			// interval: infeasible as a single group.
+			return inf, choice{}
+		}
+	}
+
+	sPrefix := s.prefixS(u, v, mu)
+	best := inf
+	var bestCh choice
+
+	if s.rel[e] >= b+sPrefix {
+		// Job e is released in the everything-at-release suffix of the
+		// final interval: schedule it at its release time.
+		if rest := s.f(u, v, s.rank[e]); rest < inf {
+			if c := rest + s.w[e]*(s.rel[e]+1); c < best {
+				best = c
+				bestCh = choice{kind: choiceAtRelease, e: e, slot: s.rel[e]}
+			}
+		}
+	} else if sPrefix > 0 {
+		// Job e is delayed: as the lightest job it takes the last slot of
+		// the busy prefix, completing at b+s.
+		if rest := s.f(u, v, s.rank[e]); rest < inf {
+			if c := rest + s.w[e]*(b+sPrefix); c < best {
+				best = c
+				bestCh = choice{kind: choiceBusyPrefix, e: e, slot: b + sPrefix - 1}
+			}
+		}
+	}
+
+	for _, j := range psi {
+		if s.rel[j] < s.rel[e] {
+			continue // e must lie in the left part for a split at j
+		}
+		left := s.f(u, j, mu)
+		if left >= inf {
+			continue
+		}
+		right := s.f(j+1, v, mu)
+		if right >= inf {
+			continue
+		}
+		if c := left + right; c < best {
+			best = c
+			bestCh = choice{kind: choiceSplit, split: j}
+		}
+	}
+	return best, bestCh
+}
+
+// emitF writes the slots chosen for state (u,v,mu) into starts[jobIndex].
+func (s *solver) emitF(u, v, mu int, starts []int64) {
+	for s.cnt(u, v, mu) > 0 {
+		ch, ok := s.fChoice[key(u, v, mu)]
+		if !ok {
+			panic("offline: missing DP choice during reconstruction")
+		}
+		switch ch.kind {
+		case choiceAtRelease, choiceBusyPrefix:
+			starts[ch.e] = ch.slot
+			mu = s.rank[ch.e]
+		case choiceSplit:
+			s.emitF(u, ch.split, mu, starts)
+			u = ch.split + 1
+		default:
+			panic("offline: empty choice for nonempty state")
+		}
+	}
+}
+
+// Solve runs Proposition 1 for budgets 0..maxK and returns the F table:
+// flows[k] is the optimal total weighted flow with at most k calibrations,
+// or Unschedulable. The returned function reconstructs a schedule for a
+// feasible budget.
+// fTable returns F(k, v): the minimum total weighted completion time of
+// jobs 1..v using at most k calibrations (Proposition 1), computed by
+// memoized recursion so that callers probing only a few budgets (the
+// ternary search) touch only the states they need.
+func (s *solver) fTable(k, v int) int64 {
+	if v == 0 {
+		return 0
+	}
+	if k <= 0 || int64(k)*s.T < int64(v) {
+		return inf
+	}
+	key := k*(s.n+1) + v
+	if val, ok := s.fMemoTop[key]; ok {
+		return val
+	}
+	best := inf
+	bestU := 0
+	for u := 1; u <= v; u++ {
+		need := int(simul.CeilDiv(int64(v-u+1), s.T))
+		if need > k {
+			continue
+		}
+		prev := s.fTable(k-need, u-1)
+		if prev >= inf {
+			continue
+		}
+		g := s.f(u, v, 0)
+		if g >= inf {
+			continue
+		}
+		if c := prev + g; c < best {
+			best = c
+			bestU = u
+		}
+	}
+	s.fMemoTop[key] = best
+	s.fChoiceTop[key] = bestU
+	return best
+}
+
+// flowAt returns the optimal total weighted flow with at most k
+// calibrations, or Unschedulable.
+func (s *solver) flowAt(k int) int64 {
+	val := s.fTable(k, s.n)
+	if val >= inf {
+		return Unschedulable
+	}
+	return val - s.relWeight
+}
+
+// rebuild reconstructs a schedule achieving flowAt(k); nil if infeasible.
+func (s *solver) rebuild(k int) *core.Schedule {
+	if s.flowAt(k) == Unschedulable {
+		return nil
+	}
+	starts := make([]int64, s.n+1)
+	v := s.n
+	kk := k
+	for v > 0 {
+		u, ok := s.fChoiceTop[kk*(s.n+1)+v]
+		if !ok || u == 0 {
+			panic("offline: broken F reconstruction chain")
+		}
+		s.emitF(u, v, 0, starts)
+		kk -= int(simul.CeilDiv(int64(v-u+1), s.T))
+		v = u - 1
+	}
+	return scheduleFromStarts(s, starts)
+}
+
+func (s *solver) solve(maxK int) (flows []int64, rebuild func(k int) *core.Schedule) {
+	flows = make([]int64, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		flows[k] = s.flowAt(k)
+	}
+	return flows, s.rebuild
+}
+
+// scheduleFromStarts builds a schedule from 1-based per-job start slots,
+// deriving a minimal calendar by greedy interval covering.
+func scheduleFromStarts(s *solver, starts []int64) *core.Schedule {
+	sched := core.NewSchedule(s.n)
+	order := make([]int, s.n)
+	for i := range order {
+		order[i] = i + 1
+	}
+	sort.Slice(order, func(a, b int) bool { return starts[order[a]] < starts[order[b]] })
+	coveredUntil := int64(math.MinInt64)
+	for _, j := range order {
+		t := starts[j]
+		if t >= coveredUntil {
+			sched.Calibrate(0, t)
+			coveredUntil = t + s.T
+		}
+		// Job IDs equal index-1: solver indices follow instance order.
+		sched.Assign(j-1, 0, t)
+	}
+	return sched
+}
+
+// OptimalFlow solves the offline problem exactly: the minimum total
+// weighted flow on one machine using at most k calibrations (Theorem 4.7).
+// The instance must have distinct release times. It returns an error if k
+// calibrations cannot fit all jobs (k*T < n).
+func OptimalFlow(in *core.Instance, k int) (*DPResult, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("offline: negative budget %d", k)
+	}
+	if in.N() == 0 {
+		return &DPResult{Flow: 0, Schedule: core.NewSchedule(0)}, nil
+	}
+	s, err := newSolver(in)
+	if err != nil {
+		return nil, err
+	}
+	flows, rebuild := s.solve(k)
+	if flows[k] == Unschedulable {
+		return nil, fmt.Errorf("offline: %d calibrations of length %d cannot schedule %d jobs", k, in.T, in.N())
+	}
+	sched := rebuild(k)
+	return &DPResult{Flow: flows[k], Schedule: sched}, nil
+}
+
+// BudgetSweep returns flows[k] for k = 0..maxK: the optimal total weighted
+// flow using at most k calibrations, with Unschedulable where no feasible
+// schedule exists. One DP run serves the whole sweep.
+func BudgetSweep(in *core.Instance, maxK int) ([]int64, error) {
+	if maxK < 0 {
+		return nil, fmt.Errorf("offline: negative budget %d", maxK)
+	}
+	if in.N() == 0 {
+		return make([]int64, maxK+1), nil
+	}
+	s, err := newSolver(in)
+	if err != nil {
+		return nil, err
+	}
+	flows, _ := s.solve(maxK)
+	return flows, nil
+}
+
+// OptimalTotalCost converts the budget model to the online objective: it
+// returns min over k of G*k + OptimalFlow(k), the offline optimum of the
+// Section 3 cost, plus the minimizing budget and a schedule achieving it.
+// (The paper observes this reduction — "we can use a binary search to find
+// the optimal calibration budget"; a full sweep is exact and just as cheap
+// here because one DP run yields every budget.)
+func OptimalTotalCost(in *core.Instance, g int64) (total int64, bestK int, sched *core.Schedule, err error) {
+	if g < 0 {
+		return 0, 0, nil, fmt.Errorf("offline: negative G %d", g)
+	}
+	if in.N() == 0 {
+		return 0, 0, core.NewSchedule(0), nil
+	}
+	s, err := newSolver(in)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	maxK := in.N() // more calibrations than jobs never help
+	flows, rebuild := s.solve(maxK)
+	best := inf
+	bestK = -1
+	for k := 0; k <= maxK; k++ {
+		if flows[k] == Unschedulable {
+			continue
+		}
+		if c := g*int64(k) + flows[k]; c < best {
+			best = c
+			bestK = k
+		}
+	}
+	if bestK < 0 {
+		return 0, 0, nil, fmt.Errorf("offline: no feasible schedule (empty budget range)")
+	}
+	return best, bestK, rebuild(bestK), nil
+}

@@ -1,0 +1,50 @@
+package offline
+
+import (
+	"testing"
+
+	"calibsched/internal/core"
+)
+
+// FuzzDPMatchesBrute drives the Section 4 DP against the brute-force
+// optimum from fuzzer-chosen instances. Run with `go test -fuzz
+// FuzzDPMatchesBrute ./internal/offline` for continuous search; the seed
+// corpus runs in normal test mode.
+func FuzzDPMatchesBrute(f *testing.F) {
+	f.Add([]byte{0, 3, 7}, []byte{1, 2, 3}, uint8(3))
+	f.Add([]byte{0, 1, 2, 3, 4}, []byte{5, 4, 3, 2, 1}, uint8(2))
+	f.Add([]byte{9}, []byte{9}, uint8(1))
+	f.Add([]byte{0, 10, 20, 21}, []byte{1, 1, 9, 1}, uint8(4))
+	f.Fuzz(func(t *testing.T, relSeeds, wSeeds []byte, tt uint8) {
+		n := len(relSeeds)
+		if len(wSeeds) < n {
+			n = len(wSeeds)
+		}
+		if n == 0 || n > 7 {
+			return
+		}
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := 0; i < n; i++ {
+			releases[i] = int64(relSeeds[i] % 18)
+			weights[i] = 1 + int64(wSeeds[i]%6)
+		}
+		in := core.MustInstance(1, 1+int64(tt%5), releases, weights).Canonicalize()
+		flows, err := BudgetSweep(in, in.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= in.N(); k++ {
+			brute, berr := BruteForce(in, k)
+			if flows[k] == Unschedulable {
+				if berr == nil {
+					t.Fatalf("k=%d: DP unschedulable, brute %d (T=%d jobs %v)", k, brute.Flow, in.T, in.Jobs)
+				}
+				continue
+			}
+			if berr != nil || brute.Flow != flows[k] {
+				t.Fatalf("k=%d: DP %d != brute (T=%d jobs %v)", k, flows[k], in.T, in.Jobs)
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package offline
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/core"
+)
+
+// TestFlowConvexity: the Pareto frontier flow(k) must be convex in k —
+// the property underlying the paper's binary-search remark.
+func TestFlowConvexity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 13))
+	for trial := 0; trial < 500; trial++ {
+		in := tinyInstance(rng, 10, 30, 6, 6)
+		flows, err := BudgetSweep(in, in.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check second differences over the feasible range.
+		var feas []int64
+		for _, f := range flows {
+			if f != Unschedulable {
+				feas = append(feas, f)
+			}
+		}
+		for i := 2; i < len(feas); i++ {
+			if feas[i-1]-feas[i] > feas[i-2]-feas[i-1] {
+				t.Fatalf("trial %d: flow(k) not convex: %v (T=%d jobs %v)", trial, feas, in.T, in.Jobs)
+			}
+		}
+	}
+}
+
+// TestTernaryMatchesSweep: the ternary search must find the exact optimum
+// the sweep finds, on every instance, while probing fewer budgets.
+func TestTernaryMatchesSweep(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 17))
+	for trial := 0; trial < 400; trial++ {
+		in := tinyInstance(rng, 12, 40, 6, 6)
+		g := int64(rng.IntN(60))
+		want, _, _, err := OptimalTotalCost(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, bestK, probes, sched, err := TotalCostSearch(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: ternary %d != sweep %d (G=%d T=%d jobs %v)",
+				trial, got, want, g, in.T, in.Jobs)
+		}
+		if err := core.Validate(in, sched); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if c := core.TotalCost(in, sched, g); c != got {
+			t.Fatalf("trial %d: schedule cost %d != reported %d", trial, c, got)
+		}
+		if sched.NumCalibrations() > bestK {
+			t.Fatalf("trial %d: %d calibrations > bestK %d", trial, sched.NumCalibrations(), bestK)
+		}
+		if probes > in.N()+1 {
+			t.Fatalf("trial %d: probed %d budgets for n=%d", trial, probes, in.N())
+		}
+	}
+}
+
+func TestTernaryProbesLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 19))
+	n := 120
+	releases := make([]int64, n)
+	weights := make([]int64, n)
+	for i := range releases {
+		releases[i] = int64(rng.IntN(1000))
+		weights[i] = 1 + int64(rng.IntN(8))
+	}
+	in := core.MustInstance(1, 8, releases, weights).Canonicalize()
+	_, _, probes, _, err := TotalCostSearch(in, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ternary search on [ceil(n/T), n] probes O(log n) budgets; allow a
+	// generous constant.
+	if probes > 40 {
+		t.Fatalf("probed %d budgets for n=%d; expected O(log n)", probes, n)
+	}
+}
+
+func TestTernarySearchEdges(t *testing.T) {
+	empty := core.MustInstance(1, 4, nil, nil)
+	total, _, _, sched, err := TotalCostSearch(empty, 10)
+	if err != nil || total != 0 || sched.NumCalibrations() != 0 {
+		t.Fatalf("empty instance: %d %v", total, err)
+	}
+	if _, _, _, _, err := TotalCostSearch(empty, -1); err == nil {
+		t.Error("negative G accepted")
+	}
+	single := core.MustInstance(1, 4, []int64{5}, []int64{3})
+	total, bestK, _, _, err := TotalCostSearch(single, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestK != 1 || total != 7+3 {
+		t.Fatalf("single job: total %d bestK %d, want 10/1", total, bestK)
+	}
+	multi := core.MustInstance(2, 4, []int64{0}, []int64{1})
+	if _, _, _, _, err := TotalCostSearch(multi, 5); err == nil {
+		t.Error("P=2 accepted")
+	}
+}

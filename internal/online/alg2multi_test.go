@@ -1,0 +1,114 @@
+package online
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/core"
+)
+
+func TestAlg2MultiValidOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 5))
+	for trial := 0; trial < 400; trial++ {
+		p := 1 + rng.IntN(3)
+		in := randomInstance(rng, p, true)
+		g := int64(rng.IntN(60))
+		res, err := Alg2Multi(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Validate(in, res.Schedule); err != nil {
+			t.Fatalf("trial %d (P=%d G=%d T=%d): %v", trial, p, g, in.T, err)
+		}
+		if len(res.Triggers) != res.Schedule.NumCalibrations() {
+			t.Fatalf("trial %d: %d triggers for %d calibrations",
+				trial, len(res.Triggers), res.Schedule.NumCalibrations())
+		}
+	}
+}
+
+func TestAlg2MultiFastMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(72, 6))
+	for trial := 0; trial < 400; trial++ {
+		p := 1 + rng.IntN(3)
+		in := randomInstance(rng, p, true)
+		g := int64(rng.IntN(60))
+		fast, err := Alg2Multi(in, g, WithoutObservationReplay())
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := Alg2Multi(in, g, WithoutObservationReplay(), WithNaiveStepping())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSchedule(fast.Schedule, naive.Schedule) {
+			t.Fatalf("trial %d (P=%d G=%d T=%d): fast != naive", trial, p, g, in.T)
+		}
+	}
+}
+
+func TestAlg2MultiReplayNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(73, 7))
+	for trial := 0; trial < 200; trial++ {
+		p := 1 + rng.IntN(3)
+		in := randomInstance(rng, p, true)
+		g := int64(rng.IntN(60))
+		explicit, err := Alg2Multi(in, g, WithoutObservationReplay())
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := Alg2Multi(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if core.Flow(in, replayed.Schedule) > core.Flow(in, explicit.Schedule) {
+			t.Fatalf("trial %d: replay increased flow", trial)
+		}
+	}
+}
+
+func TestAlg2MultiServesHeavyJobsFirst(t *testing.T) {
+	// Two machines, one covered interval, heavy job arrives later but must
+	// run before lighter queued work.
+	in := core.MustInstance(2, 6, []int64{0, 0, 1}, []int64{1, 1, 50})
+	res, err := Alg2Multi(in, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	heavy := in.Jobs[2] // weight 50 at release 1
+	if heavy.Weight != 50 {
+		t.Fatalf("job ordering changed: %+v", in.Jobs)
+	}
+	if res.Schedule.Start(heavy.ID) != heavy.Release {
+		t.Errorf("heavy job starts at %d, want its release %d",
+			res.Schedule.Start(heavy.ID), heavy.Release)
+	}
+}
+
+func TestAlg2MultiUnweightedSanityVsAlg3(t *testing.T) {
+	// On unweighted instances Alg2Multi's weight trigger equals Algorithm
+	// 3's count trigger, so costs should track closely (not necessarily
+	// equal: the queue-full trigger differs).
+	rng := rand.New(rand.NewPCG(74, 8))
+	for trial := 0; trial < 100; trial++ {
+		p := 1 + rng.IntN(3)
+		in := randomInstance(rng, p, false)
+		g := int64(rng.IntN(40))
+		a2m, err := Alg2Multi(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a3, err := Alg3(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, c3 := core.TotalCost(in, a2m.Schedule, g), core.TotalCost(in, a3.Schedule, g)
+		if c2 > 3*c3+3 || c3 > 3*c2+3 {
+			t.Fatalf("trial %d (P=%d G=%d T=%d): costs diverged wildly: %d vs %d",
+				trial, p, g, in.T, c2, c3)
+		}
+	}
+}

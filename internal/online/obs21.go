@@ -1,0 +1,147 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"calibsched/internal/core"
+	"calibsched/internal/queue"
+	"calibsched/internal/simul"
+)
+
+// AssignTimes implements Observation 2.1 of the paper: given only the
+// calibration times, it calibrates machines in round-robin order (by
+// ascending calibration time) and list-schedules jobs, at every time step
+// running on each calibrated machine the heaviest waiting job, breaking
+// ties by earliest release time. The paper proves the resulting assignment
+// minimizes total weighted flow among all schedules using exactly these
+// calibration times.
+//
+// It returns an error if the calendar has insufficient calibrated capacity
+// to schedule every job.
+func AssignTimes(in *core.Instance, times []int64) (*core.Schedule, error) {
+	sorted := make([]int64, len(times))
+	copy(sorted, times)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	cal := make(core.Calendar, len(sorted))
+	for i, s := range sorted {
+		cal[i] = core.Calibration{Machine: i % in.P, Start: s}
+	}
+	return AssignCalendar(in, cal)
+}
+
+// AssignCalendar is AssignTimes for a calendar whose machine placement is
+// already fixed: it runs the Observation 2.1 list scheduler (heaviest
+// waiting job first, ties by earliest release) against the given
+// calibrated intervals. For P = 1 it is exactly AssignTimes; for P > 1 the
+// optimality guarantee of Observation 2.1 is proved for round-robin
+// placements, which AssignTimes constructs.
+func AssignCalendar(in *core.Instance, cal core.Calendar) (*core.Schedule, error) {
+	return assignCalendar(in, cal, queue.ByWeightDesc)
+}
+
+// AssignTimesFIFO is AssignTimes restricted to release-time order: at every
+// step each calibrated machine runs the earliest-released waiting job.
+// Among release-ordered schedules this assignment is optimal for the given
+// times (the Observation 2.1 exchange argument applies verbatim with the
+// FIFO order), which makes it the building block for computing OPT_r, the
+// release-order optimum of Section 3.2.
+func AssignTimesFIFO(in *core.Instance, times []int64) (*core.Schedule, error) {
+	sorted := make([]int64, len(times))
+	copy(sorted, times)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	cal := make(core.Calendar, len(sorted))
+	for i, s := range sorted {
+		cal[i] = core.Calibration{Machine: i % in.P, Start: s}
+	}
+	return assignCalendar(in, cal, queue.ByRelease)
+}
+
+func assignCalendar(in *core.Instance, cal core.Calendar, order func(a, b core.Job) bool) (*core.Schedule, error) {
+	// Per-machine sorted interval starts. Intervals all have length in.T,
+	// so "covered at t" is decided by the latest start <= t.
+	starts := make([][]int64, in.P)
+	var all []int64
+	for _, c := range cal {
+		if c.Machine < 0 || c.Machine >= in.P {
+			return nil, fmt.Errorf("online: calendar calibrates machine %d of %d", c.Machine, in.P)
+		}
+		starts[c.Machine] = append(starts[c.Machine], c.Start)
+		all = append(all, c.Start)
+	}
+	for m := range starts {
+		sort.Slice(starts[m], func(a, b int) bool { return starts[m][a] < starts[m][b] })
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+
+	covered := func(m int, t int64) bool {
+		s := starts[m]
+		// Latest start <= t.
+		lo, hi := 0, len(s)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s[mid] <= t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo > 0 && t < s[lo-1]+in.T
+	}
+	// nextStartAfter returns the earliest calibration start > t, or -1.
+	nextStartAfter := func(t int64) int64 {
+		i := sort.Search(len(all), func(i int) bool { return all[i] > t })
+		if i == len(all) {
+			return -1
+		}
+		return all[i]
+	}
+
+	q := queue.NewJobQueue(order)
+	arr := simul.NewArrivals(in)
+	sched := core.NewSchedule(in.N())
+	sched.Calendar = append(core.Calendar(nil), cal...)
+
+	t := int64(0)
+	for arr.Remaining() > 0 || !q.Empty() {
+		if q.Empty() {
+			nt, ok := arr.NextTime()
+			if !ok {
+				break
+			}
+			if nt > t {
+				t = nt
+			}
+		}
+		for _, j := range arr.PopAt(t) {
+			q.Push(j)
+		}
+		scheduled := false
+		for m := 0; m < in.P && !q.Empty(); m++ {
+			if covered(m, t) {
+				j := q.Pop()
+				sched.Assign(j.ID, m, t)
+				scheduled = true
+			}
+		}
+		if scheduled {
+			t++
+			continue
+		}
+		// Queue is waiting with no calibrated machine at t (or empty, in
+		// which case the top of the loop jumps): skip to the next moment
+		// coverage can begin.
+		if q.Empty() {
+			continue
+		}
+		next := nextStartAfter(t)
+		if na, ok := arr.NextTime(); ok && (next < 0 || na < next) {
+			next = na
+		}
+		if next <= t {
+			return nil, fmt.Errorf("online: calendar has insufficient capacity: %d jobs waiting at time %d with no calibrated slot remaining", q.Len(), t)
+		}
+		t = next
+	}
+	return sched, nil
+}

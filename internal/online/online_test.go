@@ -1,0 +1,585 @@
+package online
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/core"
+	"calibsched/internal/workload"
+)
+
+// randomInstance builds a small random instance for differential tests.
+func randomInstance(rng *rand.Rand, p int, weighted bool) *core.Instance {
+	n := 1 + rng.IntN(12)
+	releases := make([]int64, n)
+	weights := make([]int64, n)
+	for i := range releases {
+		releases[i] = int64(rng.IntN(25))
+		if weighted {
+			weights[i] = 1 + int64(rng.IntN(6))
+		} else {
+			weights[i] = 1
+		}
+	}
+	t := int64(1 + rng.IntN(8))
+	in := core.MustInstance(p, t, releases, weights)
+	return in.Canonicalize()
+}
+
+func sameSchedule(a, b *core.Schedule) bool {
+	ac, bc := a.Calendar.Sorted(), b.Calendar.Sorted()
+	if len(ac) != len(bc) {
+		return false
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	if len(a.Assignments) != len(b.Assignments) {
+		return false
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAlg1SingleJobFlowTrigger(t *testing.T) {
+	// One job at time 0, G=10, T=5: waiting flow f(t) = t+2 reaches G at
+	// t=8, so Algorithm 1 calibrates and schedules at 8.
+	in := core.MustInstance(1, 5, []int64{0}, []int64{1})
+	res, err := Alg1(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule.Calendar) != 1 || res.Schedule.Calendar[0].Start != 8 {
+		t.Fatalf("calendar = %v, want one calibration at 8", res.Schedule.Calendar)
+	}
+	if res.Schedule.Start(0) != 8 {
+		t.Errorf("job start = %d, want 8", res.Schedule.Start(0))
+	}
+	if res.Triggers[0] != TriggerFlow {
+		t.Errorf("trigger = %v, want flow", res.Triggers[0])
+	}
+	if got := core.TotalCost(in, res.Schedule, 10); got != 19 {
+		t.Errorf("total cost = %d, want 19", got)
+	}
+}
+
+func TestAlg1CountTrigger(t *testing.T) {
+	// T >= G makes a single waiting job satisfy |Q|*T >= G immediately.
+	in := core.MustInstance(1, 20, []int64{0}, []int64{1})
+	res, err := Alg1(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Calendar[0].Start != 0 || res.Triggers[0] != TriggerCount {
+		t.Fatalf("want count-triggered calibration at 0, got start %d trigger %v",
+			res.Schedule.Calendar[0].Start, res.Triggers[0])
+	}
+	if res.Schedule.Start(0) != 0 {
+		t.Errorf("job start = %d, want 0", res.Schedule.Start(0))
+	}
+}
+
+func TestAlg1ImmediateCalibration(t *testing.T) {
+	// G=10, T=5. Jobs at 0 and 1 count-trigger at t=1 (2*5 >= 10) and run
+	// at 1,2 with flows 2+2 = 4 < G/2 = 5, so the arrival at 6 (right
+	// after the interval [1,6) ends) calibrates immediately.
+	in := core.MustInstance(1, 5, []int64{0, 1, 6}, []int64{1, 1, 1})
+	res, err := Alg1(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	cal := res.Schedule.Calendar.Sorted()
+	if len(cal) != 2 || cal[0].Start != 1 || cal[1].Start != 6 {
+		t.Fatalf("calendar = %v, want calibrations at 1 and 6", cal)
+	}
+	if res.Triggers[0] != TriggerCount {
+		t.Errorf("first trigger = %v, want count", res.Triggers[0])
+	}
+	if res.Triggers[1] != TriggerImmediate {
+		t.Errorf("second trigger = %v, want immediate", res.Triggers[1])
+	}
+	if res.Schedule.Start(2) != 6 {
+		t.Errorf("third job starts at %d, want 6", res.Schedule.Start(2))
+	}
+	// With the rule disabled the third job must instead wait.
+	res2, err := Alg1(in, 10, WithoutImmediateCalibrations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Triggers[1] == TriggerImmediate {
+		t.Error("immediate trigger fired despite WithoutImmediateCalibrations")
+	}
+	if res2.Schedule.Start(2) <= 6 {
+		t.Errorf("without immediate rule job 2 starts at %d, want delayed past 6",
+			res2.Schedule.Start(2))
+	}
+}
+
+func TestAlg1RequiresSingleMachineUnweighted(t *testing.T) {
+	multi := core.MustInstance(2, 5, []int64{0}, []int64{1})
+	if _, err := Alg1(multi, 10); err == nil {
+		t.Error("Alg1 accepted P=2")
+	}
+	weighted := core.MustInstance(1, 5, []int64{0}, []int64{2})
+	if _, err := Alg1(weighted, 10); err == nil {
+		t.Error("Alg1 accepted weighted jobs")
+	}
+	if _, err := Alg1(core.MustInstance(1, 5, []int64{0}, []int64{1}), -1); err == nil {
+		t.Error("Alg1 accepted negative G")
+	}
+}
+
+func TestAlg1ZeroCalibrationCost(t *testing.T) {
+	// G=0: every waiting job should be scheduled at its release time.
+	in := core.MustInstance(1, 3, []int64{0, 4, 9}, []int64{1, 1, 1})
+	res, err := Alg1(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs {
+		if res.Schedule.Start(j.ID) != j.Release {
+			t.Errorf("job %d starts at %d, want release %d", j.ID, res.Schedule.Start(j.ID), j.Release)
+		}
+	}
+}
+
+func TestAlg1FastMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 1))
+	for trial := 0; trial < 500; trial++ {
+		in := randomInstance(rng, 1, false)
+		g := int64(rng.IntN(40))
+		fast, err := Alg1(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := Alg1(in, g, WithNaiveStepping())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Validate(in, fast.Schedule); err != nil {
+			t.Fatalf("trial %d: fast schedule invalid: %v", trial, err)
+		}
+		if !sameSchedule(fast.Schedule, naive.Schedule) {
+			t.Fatalf("trial %d (G=%d, T=%d): fast %v/%v != naive %v/%v",
+				trial, g, in.T,
+				fast.Schedule.Calendar, fast.Schedule.Assignments,
+				naive.Schedule.Calendar, naive.Schedule.Assignments)
+		}
+	}
+}
+
+func TestAlg1ReleaseOrderPreserved(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 100; trial++ {
+		in := randomInstance(rng, 1, false)
+		res, err := Alg1(in, int64(rng.IntN(30)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < in.N(); i++ {
+			if res.Schedule.Start(i) <= res.Schedule.Start(i-1) {
+				t.Fatalf("trial %d: jobs %d,%d scheduled out of release order", trial, i-1, i)
+			}
+		}
+	}
+}
+
+func TestAlg2WeightedExample(t *testing.T) {
+	// G=12, T=4. Heavy job (w=5) at 0: weight trigger 5*4 >= 12 fires at
+	// t=0, so it is scheduled immediately.
+	in := core.MustInstance(1, 4, []int64{0}, []int64{5})
+	res, err := Alg2(in, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Start(0) != 0 || res.Triggers[0] != TriggerWeight {
+		t.Fatalf("start %d trigger %v, want 0/weight", res.Schedule.Start(0), res.Triggers[0])
+	}
+}
+
+func TestAlg2QueueFullTrigger(t *testing.T) {
+	// T=2, G=100: weight trigger needs queued weight >= 50; flow needs 100.
+	// Two light queued jobs hit |Q| = T = 2 first.
+	in := core.MustInstance(1, 2, []int64{0, 1}, []int64{1, 1})
+	res, err := Alg2(in, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triggers[0] != TriggerQueueFull {
+		t.Fatalf("trigger = %v, want queue-full", res.Triggers[0])
+	}
+	if res.Schedule.Calendar[0].Start != 1 {
+		t.Errorf("calibrated at %d, want 1", res.Schedule.Calendar[0].Start)
+	}
+}
+
+func TestAlg2SchedulesHeaviestFirst(t *testing.T) {
+	// Three jobs queued when the machine calibrates; the heaviest must run
+	// first regardless of release order.
+	in := core.MustInstance(1, 3, []int64{0, 1, 2}, []int64{1, 2, 4})
+	res, err := Alg2(in, 21) // weight trigger: sum*3 >= 21 -> sum >= 7 at t=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Calendar[0].Start != 2 {
+		t.Fatalf("calibrated at %d, want 2", res.Schedule.Calendar[0].Start)
+	}
+	// Job 2 (w=4) at t=2, job 1 (w=2) at 3, job 0 (w=1) at 4.
+	if res.Schedule.Start(2) != 2 || res.Schedule.Start(1) != 3 || res.Schedule.Start(0) != 4 {
+		t.Errorf("starts = %d,%d,%d; want heaviest first 2,3,4",
+			res.Schedule.Start(2), res.Schedule.Start(1), res.Schedule.Start(0))
+	}
+	// Lightest-first ablation reverses the order.
+	res2, err := Alg2(in, 21, WithLightestFirst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Schedule.Start(0) >= res2.Schedule.Start(2) {
+		t.Error("lightest-first did not schedule the light job first")
+	}
+}
+
+func TestAlg2FastMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(202, 2))
+	for trial := 0; trial < 500; trial++ {
+		in := randomInstance(rng, 1, true)
+		g := int64(rng.IntN(60))
+		for _, opt := range [][]Option{nil, {WithLightestFirst()}} {
+			fast, err := Alg2(in, g, opt...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := Alg2(in, g, append(opt, WithNaiveStepping())...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.Validate(in, fast.Schedule); err != nil {
+				t.Fatalf("trial %d: invalid: %v", trial, err)
+			}
+			if !sameSchedule(fast.Schedule, naive.Schedule) {
+				t.Fatalf("trial %d (G=%d): fast != naive", trial, g)
+			}
+		}
+	}
+}
+
+func TestAlg3SingleMachineAgreesWithSpirit(t *testing.T) {
+	// On P=1 Algorithm 3 still must produce a valid schedule with the same
+	// job set; sanity-check against Alg1-style costs.
+	in := core.MustInstance(1, 5, []int64{0, 1, 2}, []int64{1, 1, 1})
+	res, err := Alg3(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlg3FastMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(303, 3))
+	for trial := 0; trial < 500; trial++ {
+		p := 1 + rng.IntN(3)
+		in := randomInstance(rng, p, false)
+		g := int64(rng.IntN(60))
+		fast, err := Alg3(in, g, WithoutObservationReplay())
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := Alg3(in, g, WithoutObservationReplay(), WithNaiveStepping())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Validate(in, fast.Schedule); err != nil {
+			t.Fatalf("trial %d (P=%d G=%d T=%d): invalid: %v", trial, p, g, in.T, err)
+		}
+		if !sameSchedule(fast.Schedule, naive.Schedule) {
+			t.Fatalf("trial %d (P=%d G=%d T=%d): fast != naive\nfast:  %v\nnaive: %v",
+				trial, p, g, in.T, fast.Schedule.Assignments, naive.Schedule.Assignments)
+		}
+	}
+}
+
+func TestAlg3ReplayNeverWorse(t *testing.T) {
+	// Observation 2.1 replay is optimal for the calendar, so it can only
+	// lower the flow relative to the explicit packing.
+	rng := rand.New(rand.NewPCG(404, 4))
+	for trial := 0; trial < 300; trial++ {
+		p := 1 + rng.IntN(3)
+		in := randomInstance(rng, p, false)
+		g := int64(rng.IntN(60))
+		explicit, err := Alg3(in, g, WithoutObservationReplay())
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := Alg3(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Validate(in, replayed.Schedule); err != nil {
+			t.Fatalf("trial %d: replay invalid: %v", trial, err)
+		}
+		if len(replayed.Schedule.Calendar) != len(explicit.Schedule.Calendar) {
+			t.Fatalf("trial %d: replay changed the calendar size", trial)
+		}
+		ef := core.Flow(in, explicit.Schedule)
+		rf := core.Flow(in, replayed.Schedule)
+		if rf > ef {
+			t.Fatalf("trial %d (P=%d G=%d T=%d): replay flow %d > explicit %d",
+				trial, p, g, in.T, rf, ef)
+		}
+	}
+}
+
+func TestAlg3RejectsWeighted(t *testing.T) {
+	in := core.MustInstance(2, 5, []int64{0}, []int64{3})
+	if _, err := Alg3(in, 10); err == nil {
+		t.Error("Alg3 accepted weighted jobs")
+	}
+}
+
+func TestAssignTimesSimple(t *testing.T) {
+	// Two jobs, one calibration at time 1 covering [1,4): heaviest first.
+	in := core.MustInstance(1, 3, []int64{0, 1}, []int64{1, 5})
+	s, err := AssignTimes(in, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Start(1) != 1 || s.Start(0) != 2 {
+		t.Errorf("starts = %d,%d; want heavy at 1, light at 2", s.Start(1), s.Start(0))
+	}
+}
+
+func TestAssignTimesRoundRobin(t *testing.T) {
+	in := core.MustInstance(2, 3, []int64{0, 0}, []int64{1, 1})
+	s, err := AssignTimes(in, []int64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	// Both jobs run at time 0, one per machine.
+	if s.Start(0) != 0 || s.Start(1) != 0 {
+		t.Errorf("starts = %d,%d, want both 0", s.Start(0), s.Start(1))
+	}
+	if s.Assignments[0].Machine == s.Assignments[1].Machine {
+		t.Error("both jobs on one machine")
+	}
+}
+
+func TestAssignTimesInsufficientCapacity(t *testing.T) {
+	in := core.MustInstance(1, 2, []int64{0, 1, 2}, []int64{1, 1, 1})
+	if _, err := AssignTimes(in, []int64{0}); err == nil {
+		t.Error("accepted calendar with 2 slots for 3 jobs")
+	}
+	if _, err := AssignTimes(in, nil); err == nil {
+		t.Error("accepted empty calendar for nonempty instance")
+	}
+	// Calibration entirely before the last job's release.
+	late := core.MustInstance(1, 2, []int64{10}, []int64{1})
+	if _, err := AssignTimes(late, []int64{0}); err == nil {
+		t.Error("accepted calendar ending before release")
+	}
+}
+
+func TestAssignCalendarRejectsBadMachine(t *testing.T) {
+	in := core.MustInstance(1, 2, []int64{0}, []int64{1})
+	_, err := AssignCalendar(in, core.Calendar{{Machine: 3, Start: 0}})
+	if err == nil {
+		t.Error("accepted calendar with machine out of range")
+	}
+}
+
+// TestAssignTimesOptimalOnTinyInstances exhaustively checks Observation 2.1:
+// among all assignments of jobs to the calendar's calibrated slots, the
+// list schedule has minimum total weighted flow.
+func TestAssignTimesOptimalOnTinyInstances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 8))
+	for trial := 0; trial < 200; trial++ {
+		p := 1 + rng.IntN(2)
+		n := 1 + rng.IntN(4)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(6))
+			weights[i] = 1 + int64(rng.IntN(4))
+		}
+		in := core.MustInstance(p, int64(1+rng.IntN(3)), releases, weights)
+		// Random calendar of up to 3 calibrations.
+		var times []int64
+		for k := 0; k <= rng.IntN(3); k++ {
+			times = append(times, int64(rng.IntN(8)))
+		}
+		got, err := AssignTimes(in, times)
+		if err != nil {
+			continue // infeasible calendar; nothing to compare
+		}
+		if err := core.Validate(in, got); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bestAssignmentBrute(in, got.Calendar)
+		if gotFlow := core.Flow(in, got); gotFlow != want {
+			t.Fatalf("trial %d: list schedule flow %d, brute-force best %d (times %v)",
+				trial, gotFlow, want, times)
+		}
+	}
+}
+
+// bestAssignmentBrute enumerates all ways to place jobs into the calendar's
+// calibrated (machine, time) slots and returns the minimum total flow.
+func bestAssignmentBrute(in *core.Instance, cal core.Calendar) int64 {
+	type slot struct {
+		m int
+		t int64
+	}
+	seen := map[slot]bool{}
+	var slots []slot
+	for _, c := range cal {
+		for dt := int64(0); dt < in.T; dt++ {
+			s := slot{c.Machine, c.Start + dt}
+			if !seen[s] {
+				seen[s] = true
+				slots = append(slots, s)
+			}
+		}
+	}
+	const inf = int64(1) << 62
+	best := inf
+	used := make([]bool, len(slots))
+	var rec func(j int, acc int64)
+	rec = func(j int, acc int64) {
+		if acc >= best {
+			return
+		}
+		if j == in.N() {
+			best = acc
+			return
+		}
+		job := in.Jobs[j]
+		for si, s := range slots {
+			if used[si] || s.t < job.Release {
+				continue
+			}
+			used[si] = true
+			rec(j+1, acc+job.Flow(s.t))
+			used[si] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestAlg1OnGeneratedWorkloads(t *testing.T) {
+	// Larger smoke test: Poisson workloads at several densities must yield
+	// valid schedules with every trigger accounted for.
+	for _, lambda := range []float64{0.05, 0.3, 1.0} {
+		spec := workload.Spec{
+			N: 200, P: 1, T: 16, Seed: 9,
+			Arrival: workload.ArrivalPoisson, Lambda: lambda,
+		}
+		in := spec.MustBuild()
+		res, err := Alg1(in, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Validate(in, res.Schedule); err != nil {
+			t.Fatalf("lambda %.2f: %v", lambda, err)
+		}
+		if len(res.Triggers) != len(res.Schedule.Calendar) {
+			t.Fatalf("lambda %.2f: %d triggers for %d calibrations",
+				lambda, len(res.Triggers), len(res.Schedule.Calendar))
+		}
+	}
+}
+
+func TestTriggerString(t *testing.T) {
+	names := map[Trigger]string{
+		TriggerNone: "none", TriggerFlow: "flow", TriggerCount: "count",
+		TriggerWeight: "weight", TriggerQueueFull: "queue-full", TriggerImmediate: "immediate",
+	}
+	for tr, want := range names {
+		if tr.String() != want {
+			t.Errorf("%d.String() = %q, want %q", tr, tr.String(), want)
+		}
+	}
+}
+
+// TestRoundRobinPlacementOptimal validates the part of Observation 2.1
+// citing [8, Lemma 7]: assigning calibration times to machines in
+// round-robin order is as good as any other machine placement. For tiny
+// multi-machine calendars, compare AssignTimes against the best cost over
+// every possible machine placement of the same times (with the exhaustive
+// job-to-slot optimum evaluating each placement).
+func TestRoundRobinPlacementOptimal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(88, 21))
+	for trial := 0; trial < 120; trial++ {
+		p := 2 + rng.IntN(2)
+		n := 1 + rng.IntN(4)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(5))
+			weights[i] = 1 + int64(rng.IntN(4))
+		}
+		in := core.MustInstance(p, int64(1+rng.IntN(3)), releases, weights)
+		nTimes := 1 + rng.IntN(3)
+		times := make([]int64, nTimes)
+		for i := range times {
+			times[i] = int64(rng.IntN(6))
+		}
+
+		rr, err := AssignTimes(in, times)
+		if err != nil {
+			continue // infeasible even under round-robin; nothing to compare
+		}
+		rrCost := core.Flow(in, rr)
+
+		// Best over all machine placements.
+		best := int64(1) << 62
+		placement := make([]int, nTimes)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == nTimes {
+				cal := make(core.Calendar, nTimes)
+				for k, tm := range times {
+					cal[k] = core.Calibration{Machine: placement[k], Start: tm}
+				}
+				if f := bestAssignmentBrute(in, cal); f < best {
+					best = f
+				}
+				return
+			}
+			for m := 0; m < p; m++ {
+				placement[i] = m
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		if rrCost > best {
+			t.Fatalf("trial %d (P=%d times %v jobs %v): round-robin flow %d > best placement %d",
+				trial, p, times, in.Jobs, rrCost, best)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package online
+
+import (
+	"calibsched/internal/core"
+	"calibsched/internal/queue"
+	"calibsched/internal/simul"
+)
+
+// singlePolicy captures how Algorithms 1 and 2 differ inside the shared
+// single-machine engine.
+type singlePolicy struct {
+	order            func(a, b core.Job) bool
+	countTrigger     bool // Alg1: |Q| >= G/T (as T*|Q| >= G)
+	weightTrigger    bool // Alg2: sum w >= G/T (as T*sum >= G)
+	queueFullTrigger bool // Alg2: |Q| >= T
+	immediate        bool // Alg1: calibrate on arrival after a light interval
+}
+
+// Alg1 runs Algorithm 1 of the paper (online unweighted calibration on one
+// machine, 3-competitive). The instance must have P = 1 and unit weights.
+func Alg1(in *core.Instance, g int64, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	if err := checkInput(in, g, true, true); err != nil {
+		return nil, err
+	}
+	pol := singlePolicy{
+		order:        queue.ByRelease,
+		countTrigger: !o.FlowTriggerOnly,
+		immediate:    !o.NoImmediateCalibrations && !o.FlowTriggerOnly,
+	}
+	return runSingle(in, g, pol, o.Naive), nil
+}
+
+// Alg2 runs Algorithm 2 of the paper (online weighted calibration on one
+// machine, 12-competitive). The instance must have P = 1; weights are
+// arbitrary positive integers.
+func Alg2(in *core.Instance, g int64, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	if err := checkInput(in, g, true, false); err != nil {
+		return nil, err
+	}
+	order := queue.ByWeightDesc
+	if o.LightestFirst {
+		order = queue.ByWeightAsc
+	}
+	pol := singlePolicy{
+		order:            order,
+		weightTrigger:    !o.FlowTriggerOnly,
+		queueFullTrigger: !o.FlowTriggerOnly,
+	}
+	return runSingle(in, g, pol, o.Naive), nil
+}
+
+// runSingle is the shared engine for Algorithms 1 and 2. Each iteration of
+// the loop either consumes an arrival, calibrates, schedules at least one
+// job, or advances the clock to the next event (arrival or analytically
+// solved flow-trigger time), so the fast path runs in O((n + calibrations)
+// * queue cost) independent of the time horizon; with naive set the clock
+// instead advances one step at a time, matching the paper's pseudocode
+// line by line.
+func runSingle(in *core.Instance, g int64, pol singlePolicy, naive bool) *Result {
+	q := queue.NewJobQueue(pol.order)
+	arr := simul.NewArrivals(in)
+	sched := core.NewSchedule(in.N())
+	res := &Result{Schedule: sched}
+	T := in.T
+
+	var calStart, calEnd int64 = -1, -1
+	hadInterval := false
+	var intervalFlow int64 // flow of jobs scheduled in the most recent interval
+
+	calibrate := func(t int64, tr Trigger) {
+		sched.Calibrate(0, t)
+		res.Triggers = append(res.Triggers, tr)
+		res.FlowAtCalibration = append(res.FlowAtCalibration, q.FlowIfScheduledFrom(t))
+		calStart, calEnd = t, t+T
+		hadInterval = true
+		intervalFlow = 0
+	}
+
+	t := int64(0)
+	for arr.Remaining() > 0 || !q.Empty() {
+		// With an empty queue nothing can happen before the next arrival.
+		if q.Empty() {
+			nt, ok := arr.NextTime()
+			if !ok {
+				break
+			}
+			if nt > t {
+				t = nt
+			}
+		}
+		arrivedNow := false
+		for _, j := range arr.PopAt(t) {
+			q.Push(j)
+			arrivedNow = true
+		}
+
+		calibrated := calStart >= 0 && calStart <= t && t < calEnd
+		if !calibrated && !q.Empty() {
+			tr := TriggerNone
+			switch {
+			case pol.countTrigger && int64(q.Len())*T >= g:
+				tr = TriggerCount
+			case pol.weightTrigger && q.TotalWeight()*T >= g:
+				tr = TriggerWeight
+			case pol.queueFullTrigger && int64(q.Len()) >= T:
+				tr = TriggerQueueFull
+			default:
+				if q.FlowIfScheduledFrom(t+1) >= g {
+					tr = TriggerFlow
+				} else if pol.immediate && hadInterval && 2*intervalFlow < g && arrivedNow {
+					tr = TriggerImmediate
+				}
+			}
+			if tr != TriggerNone {
+				calibrate(t, tr)
+				calibrated = true
+			}
+		}
+
+		if calibrated && !q.Empty() {
+			if naive {
+				j := q.Pop()
+				sched.Assign(j.ID, 0, t)
+				intervalFlow += j.Flow(t)
+				t++
+				continue
+			}
+			// Batch-schedule until the interval ends, the queue drains, or
+			// an arrival could change the pop order.
+			end := calEnd
+			if na, ok := arr.NextTime(); ok && na < end {
+				end = na
+			}
+			for t < end && !q.Empty() {
+				j := q.Pop()
+				sched.Assign(j.ID, 0, t)
+				intervalFlow += j.Flow(t)
+				t++
+			}
+			continue
+		}
+
+		// Nothing happened at t: advance the clock.
+		if naive {
+			t++
+			continue
+		}
+		next := int64(-1)
+		if na, ok := arr.NextTime(); ok {
+			next = na
+		}
+		if !q.Empty() {
+			// The only trigger that can newly fire without an arrival is
+			// the flow trigger: solve for the smallest tau with
+			// f(tau+1) = W*(tau+1) + C >= G.
+			w, c := q.FlowCoefficients()
+			tau := simul.CeilDiv(g-c, w) - 1
+			if tau <= t {
+				tau = t + 1 // defensive: the trigger was just evaluated false at t
+			}
+			if next < 0 || tau < next {
+				next = tau
+			}
+		}
+		if next < 0 {
+			break
+		}
+		if next <= t {
+			next = t + 1
+		}
+		t = next
+	}
+	return res
+}

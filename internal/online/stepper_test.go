@@ -1,0 +1,153 @@
+package online
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/core"
+)
+
+// driveStepper runs a stepper over the instance's arrivals until all jobs
+// are scheduled, returning the assembled schedule and triggers.
+func driveStepper(st *Stepper, in *core.Instance) (*core.Schedule, []Trigger) {
+	byTime := map[int64][]core.Job{}
+	for _, j := range in.Jobs {
+		byTime[j.Release] = append(byTime[j.Release], j)
+	}
+	scheduled := 0
+	for scheduled < in.N() {
+		ev := st.Step(byTime[st.Now()])
+		if ev.Ran >= 0 {
+			scheduled++
+		}
+		if st.Now() > in.MaxRelease()+1_000_000 {
+			panic("stepper did not finish")
+		}
+	}
+	return st.Schedule(in.N()), st.Triggers()
+}
+
+func TestStepperMatchesBatchAlg1(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 1))
+	for trial := 0; trial < 300; trial++ {
+		in := randomInstance(rng, 1, false)
+		g := int64(rng.IntN(40))
+		batch, err := Alg1(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, triggers := driveStepper(NewAlg1Stepper(in.T, g), in)
+		if err := core.Validate(in, sched); err != nil {
+			t.Fatalf("trial %d: stepper schedule invalid: %v", trial, err)
+		}
+		if !sameSchedule(batch.Schedule, sched) {
+			t.Fatalf("trial %d (G=%d T=%d): stepper != batch\nbatch: %v\nstep:  %v",
+				trial, g, in.T, batch.Schedule.Assignments, sched.Assignments)
+		}
+		if len(triggers) != len(batch.Triggers) {
+			t.Fatalf("trial %d: %d triggers vs batch %d", trial, len(triggers), len(batch.Triggers))
+		}
+		for i := range triggers {
+			if triggers[i] != batch.Triggers[i] {
+				t.Fatalf("trial %d: trigger %d = %v, batch %v", trial, i, triggers[i], batch.Triggers[i])
+			}
+		}
+	}
+}
+
+func TestStepperMatchesBatchAlg2(t *testing.T) {
+	rng := rand.New(rand.NewPCG(62, 2))
+	for trial := 0; trial < 300; trial++ {
+		in := randomInstance(rng, 1, true)
+		g := int64(rng.IntN(50))
+		for _, opt := range [][]Option{nil, {WithLightestFirst()}} {
+			batch, err := Alg2(in, g, opt...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st *Stepper
+			if len(opt) == 0 {
+				st = NewAlg2Stepper(in.T, g)
+			} else {
+				st = NewAlg2Stepper(in.T, g, WithLightestFirst())
+			}
+			sched, _ := driveStepper(st, in)
+			if !sameSchedule(batch.Schedule, sched) {
+				t.Fatalf("trial %d (G=%d): stepper != batch", trial, g)
+			}
+		}
+	}
+}
+
+func TestStepperEvents(t *testing.T) {
+	// One job at 0, T=20 >= G=10: count trigger at step 0, job runs at 0.
+	st := NewAlg1Stepper(20, 10)
+	if st.CalibratedNow() {
+		t.Error("calibrated before any step")
+	}
+	ev := st.Step([]core.Job{{ID: 0, Release: 0, Weight: 1}})
+	if !ev.Calibrated || ev.Trigger != TriggerCount || ev.Ran != 0 || ev.Time != 0 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if st.Now() != 1 {
+		t.Errorf("Now = %d", st.Now())
+	}
+	if !st.CalibratedNow() {
+		t.Error("interval should cover step 1")
+	}
+	if st.Pending() != 0 {
+		t.Errorf("Pending = %d", st.Pending())
+	}
+	ev = st.Step(nil)
+	if ev.Calibrated || ev.Ran != -1 {
+		t.Errorf("idle step event = %+v", ev)
+	}
+}
+
+func TestStepperRejectsTimeTravel(t *testing.T) {
+	st := NewAlg1Stepper(5, 5)
+	st.Step(nil) // step 0
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on job released in the past")
+		}
+	}()
+	st.Step([]core.Job{{ID: 0, Release: 0, Weight: 1}}) // step 1 fed a release-0 job
+}
+
+// TestStepperAdaptiveAdversary drives the Lemma 3.1 adversary literally:
+// decisions are observed live instead of replayed.
+func TestStepperAdaptiveAdversary(t *testing.T) {
+	const T, G = 64, 32 // T >= G: Algorithm 1 calibrates at time 0
+	st := NewAlg1Stepper(T, G)
+	ev := st.Step([]core.Job{{ID: 0, Release: 0, Weight: 1}})
+	if !ev.Calibrated {
+		t.Fatal("expected eager calibration (T >= G)")
+	}
+	// Adversary answers with a job at time T.
+	for st.Now() < T {
+		st.Step(nil)
+	}
+	ran := -1
+	for steps := 0; ran == -1 && steps < 10*int(T+G); steps++ {
+		var arr []core.Job
+		if st.Now() == T {
+			arr = []core.Job{{ID: 1, Release: T, Weight: 1}}
+		}
+		ev := st.Step(arr)
+		if ev.Ran == 1 {
+			ran = 1
+		}
+	}
+	if ran != 1 {
+		t.Fatal("second job never ran")
+	}
+	sched := st.Schedule(2)
+	in := core.MustInstance(1, T, []int64{0, T}, []int64{1, 1})
+	if err := core.Validate(in, sched); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.TotalCost(in, sched, G); got != 2*G+2 {
+		t.Errorf("adversary case-1 cost = %d, want %d", got, 2*G+2)
+	}
+}

@@ -1,0 +1,233 @@
+// Package queue provides the priority queues used by the online calibration
+// algorithms: a generic binary heap plus job-specific orderings (earliest
+// release first for the unweighted algorithms, heaviest weight first with
+// earliest-release tie-break for the weighted algorithm, matching
+// Observation 2.1 of the paper).
+//
+// The heap is written from scratch rather than wrapping container/heap so
+// the hot paths are monomorphic and allocation-free after warm-up.
+package queue
+
+import "calibsched/internal/core"
+
+// Heap is a binary min-heap under the supplied less function. The zero
+// value is not usable; construct with New.
+type Heap[T any] struct {
+	data []T
+	less func(a, b T) bool
+}
+
+// New returns an empty heap ordered by less (the "smallest" element per
+// less is popped first).
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return len(h.data) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap[T]) Empty() bool { return len(h.data) == 0 }
+
+// Push inserts v.
+func (h *Heap[T]) Push(v T) {
+	h.data = append(h.data, v)
+	h.up(len(h.data) - 1)
+}
+
+// Peek returns the minimum element without removing it. It panics on an
+// empty heap.
+func (h *Heap[T]) Peek() T {
+	if len(h.data) == 0 {
+		panic("queue: Peek on empty heap")
+	}
+	return h.data[0]
+}
+
+// Pop removes and returns the minimum element. It panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	if len(h.data) == 0 {
+		panic("queue: Pop on empty heap")
+	}
+	top := h.data[0]
+	last := len(h.data) - 1
+	h.data[0] = h.data[last]
+	var zero T
+	h.data[last] = zero
+	h.data = h.data[:last]
+	if len(h.data) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Items returns the heap's backing slice in heap order (not sorted). The
+// slice must not be modified; it is exposed for iteration over the current
+// contents (e.g. summing queued weights).
+func (h *Heap[T]) Items() []T { return h.data }
+
+// Clear removes all elements, retaining capacity.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.data {
+		h.data[i] = zero
+	}
+	h.data = h.data[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.data[i], h.data[parent]) {
+			return
+		}
+		h.data[i], h.data[parent] = h.data[parent], h.data[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.data)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.data[l], h.data[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.data[r], h.data[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.data[i], h.data[smallest] = h.data[smallest], h.data[i]
+		i = smallest
+	}
+}
+
+// ByRelease orders jobs by earliest release time, breaking ties by ID.
+// This is the queue order of Algorithms 1 and 3.
+func ByRelease(a, b core.Job) bool {
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	return a.ID < b.ID
+}
+
+// ByWeightDesc orders jobs heaviest first, breaking ties by earliest
+// release then ID — the extraction order mandated by Observation 2.1 (and
+// used by Algorithm 2; see DESIGN.md note 1 on the paper's line-13 typo).
+func ByWeightDesc(a, b core.Job) bool {
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	return a.ID < b.ID
+}
+
+// ByWeightAsc orders jobs lightest first with the same tie-breaks; it
+// implements the paper's literal Algorithm 2 line 13 for the E8 ablation.
+func ByWeightAsc(a, b core.Job) bool {
+	if a.Weight != b.Weight {
+		return a.Weight < b.Weight
+	}
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	return a.ID < b.ID
+}
+
+// JobQueue is a heap of jobs with cached aggregate statistics: the total
+// weight of queued jobs and the sum of their release times, which together
+// let the online algorithms evaluate their calibration triggers in O(1).
+type JobQueue struct {
+	heap        *Heap[core.Job]
+	totalWeight int64
+	// weightedReleaseSum is sum of w_j * r_j over queued jobs; releaseSum
+	// is sum of r_j. Both are maintained incrementally.
+	weightedReleaseSum int64
+	releaseSum         int64
+}
+
+// NewJobQueue returns an empty job queue under the given order.
+func NewJobQueue(less func(a, b core.Job) bool) *JobQueue {
+	return &JobQueue{heap: New(less)}
+}
+
+// Len returns the number of queued jobs.
+func (q *JobQueue) Len() int { return q.heap.Len() }
+
+// Empty reports whether the queue is empty.
+func (q *JobQueue) Empty() bool { return q.heap.Empty() }
+
+// Push enqueues j.
+func (q *JobQueue) Push(j core.Job) {
+	q.heap.Push(j)
+	q.totalWeight += j.Weight
+	q.weightedReleaseSum += j.Weight * j.Release
+	q.releaseSum += j.Release
+}
+
+// Pop dequeues the front job.
+func (q *JobQueue) Pop() core.Job {
+	j := q.heap.Pop()
+	q.totalWeight -= j.Weight
+	q.weightedReleaseSum -= j.Weight * j.Release
+	q.releaseSum -= j.Release
+	return j
+}
+
+// Peek returns the front job without dequeueing.
+func (q *JobQueue) Peek() core.Job { return q.heap.Peek() }
+
+// TotalWeight returns the sum of queued job weights.
+func (q *JobQueue) TotalWeight() int64 { return q.totalWeight }
+
+// Jobs returns the queued jobs in heap order (not sorted); the slice must
+// not be modified.
+func (q *JobQueue) Jobs() []core.Job { return q.heap.Items() }
+
+// FlowIfScheduledFrom returns the total weighted flow the queued jobs would
+// incur if scheduled consecutively starting at time start, in the order the
+// queue would pop them. This is the quantity "f <- flow cost of scheduling
+// all j in Q starting at t+1" in Algorithms 1–3.
+//
+// For release-ordered unweighted queues (all weights 1) this is computed in
+// O(1) from cached sums: job k of m (k = 0..m-1) completes at start+k+1, so
+// f = sum_k (start+k+1 - r_k) = m*start + m(m+1)/2 - releaseSum.
+// For weighted queues the pop order matters, so the queue is copied and
+// drained (O(m log m)).
+func (q *JobQueue) FlowIfScheduledFrom(start int64) int64 {
+	w, c := q.FlowCoefficients()
+	return w*start + c
+}
+
+// FlowCoefficients returns (W, C) such that FlowIfScheduledFrom(start) ==
+// W*start + C for every start large enough that no queued job would begin
+// before its release (always true in the algorithms, which only evaluate f
+// at times >= every queued release). W is the total queued weight.
+//
+// For unit-weight release-ordered queues the constants come from cached
+// sums in O(1); weighted queues drain a copy in pop order, O(m log m).
+func (q *JobQueue) FlowCoefficients() (w, c int64) {
+	m := int64(q.heap.Len())
+	if m == 0 {
+		return 0, 0
+	}
+	if q.totalWeight == m { // all unit weights: order-independent
+		return m, m*(m+1)/2 - q.releaseSum
+	}
+	// Weighted: drain a copy in pop order. Job at position k (0-based)
+	// completes at start+k+1, contributing w_k*(start+k+1-r_k).
+	tmp := New(q.heap.less)
+	tmp.data = append(tmp.data, q.heap.data...)
+	var k int64
+	for !tmp.Empty() {
+		j := tmp.Pop()
+		c += j.Weight * (k + 1 - j.Release)
+		k++
+	}
+	return q.totalWeight, c
+}

@@ -1,0 +1,268 @@
+package queue
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"calibsched/internal/core"
+)
+
+func TestHeapSortsInts(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	in := []int{5, 3, 8, 1, 9, 2, 7, 2}
+	for _, v := range in {
+		h.Push(v)
+	}
+	want := append([]int(nil), in...)
+	sort.Ints(want)
+	for i, w := range want {
+		if h.Peek() != w {
+			t.Fatalf("peek %d = %d, want %d", i, h.Peek(), w)
+		}
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if !h.Empty() {
+		t.Error("heap not empty after draining")
+	}
+}
+
+func TestHeapPropertyMatchesSort(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := New(func(a, b int16) bool { return a < b })
+		for _, v := range vals {
+			h.Push(v)
+		}
+		want := append([]int16(nil), vals...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		for _, w := range want {
+			if h.Pop() != w {
+				return false
+			}
+		}
+		return h.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	h := New(func(a, b int) bool { return a < b })
+	var mirror []int
+	for op := 0; op < 2000; op++ {
+		if h.Len() == 0 || rng.IntN(3) > 0 {
+			v := rng.IntN(1000)
+			h.Push(v)
+			mirror = append(mirror, v)
+		} else {
+			got := h.Pop()
+			mini := 0
+			for i, v := range mirror {
+				if v < mirror[mini] {
+					mini = i
+				}
+			}
+			if got != mirror[mini] {
+				t.Fatalf("op %d: pop %d, want %d", op, got, mirror[mini])
+			}
+			mirror = append(mirror[:mini], mirror[mini+1:]...)
+		}
+	}
+}
+
+func TestHeapPanicsOnEmpty(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	for name, fn := range map[string]func(){
+		"Pop":  func() { h.Pop() },
+		"Peek": func() { h.Peek() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty heap did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHeapClear(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Push(3)
+	h.Push(1)
+	h.Clear()
+	if !h.Empty() || h.Len() != 0 {
+		t.Error("Clear left elements")
+	}
+	h.Push(2)
+	if h.Pop() != 2 {
+		t.Error("heap unusable after Clear")
+	}
+}
+
+func job(id int, r, w int64) core.Job { return core.Job{ID: id, Release: r, Weight: w} }
+
+func TestByReleaseOrder(t *testing.T) {
+	q := NewJobQueue(ByRelease)
+	q.Push(job(2, 5, 1))
+	q.Push(job(0, 1, 1))
+	q.Push(job(1, 1, 1))
+	if got := q.Pop().ID; got != 0 {
+		t.Errorf("first pop ID = %d, want 0 (release tie broken by ID)", got)
+	}
+	if got := q.Pop().ID; got != 1 {
+		t.Errorf("second pop ID = %d, want 1", got)
+	}
+	if got := q.Pop().ID; got != 2 {
+		t.Errorf("third pop ID = %d, want 2", got)
+	}
+}
+
+func TestByWeightDescOrder(t *testing.T) {
+	q := NewJobQueue(ByWeightDesc)
+	q.Push(job(0, 4, 2))
+	q.Push(job(1, 1, 9))
+	q.Push(job(2, 0, 2))
+	q.Push(job(3, 0, 9))
+	// Heaviest first; among weight 9, earliest release (r=0, ID 3) first.
+	wantIDs := []int{3, 1, 2, 0}
+	for i, want := range wantIDs {
+		if got := q.Pop().ID; got != want {
+			t.Errorf("pop %d ID = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestByWeightAscOrder(t *testing.T) {
+	q := NewJobQueue(ByWeightAsc)
+	q.Push(job(0, 4, 2))
+	q.Push(job(1, 1, 9))
+	q.Push(job(2, 0, 2))
+	wantIDs := []int{2, 0, 1}
+	for i, want := range wantIDs {
+		if got := q.Pop().ID; got != want {
+			t.Errorf("pop %d ID = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestJobQueueAggregates(t *testing.T) {
+	q := NewJobQueue(ByRelease)
+	q.Push(job(0, 3, 2))
+	q.Push(job(1, 5, 4))
+	if q.TotalWeight() != 6 {
+		t.Errorf("TotalWeight = %d, want 6", q.TotalWeight())
+	}
+	q.Pop()
+	if q.TotalWeight() != 4 {
+		t.Errorf("TotalWeight after pop = %d, want 4", q.TotalWeight())
+	}
+	if q.Len() != 1 || q.Empty() {
+		t.Error("length bookkeeping wrong")
+	}
+	if q.Peek().ID != 1 {
+		t.Error("Peek wrong")
+	}
+}
+
+// flowByDraining recomputes FlowIfScheduledFrom the slow, obviously correct
+// way for cross-checking.
+func flowByDraining(jobs []core.Job, less func(a, b core.Job) bool, start int64) int64 {
+	h := New(less)
+	for _, j := range jobs {
+		h.Push(j)
+	}
+	var f int64
+	t := start
+	for !h.Empty() {
+		f += h.Pop().Flow(t)
+		t++
+	}
+	return f
+}
+
+func TestFlowIfScheduledFromUnweightedClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.IntN(20)
+		var jobs []core.Job
+		start := int64(50 + rng.IntN(50))
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, job(i, int64(rng.IntN(50)), 1))
+		}
+		q := NewJobQueue(ByRelease)
+		for _, j := range jobs {
+			q.Push(j)
+		}
+		got := q.FlowIfScheduledFrom(start)
+		want := flowByDraining(jobs, ByRelease, start)
+		if got != want {
+			t.Fatalf("trial %d: closed form %d, drained %d (jobs %v start %d)", trial, got, want, jobs, start)
+		}
+	}
+}
+
+func TestFlowIfScheduledFromWeighted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 4))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.IntN(15)
+		var jobs []core.Job
+		start := int64(30 + rng.IntN(30))
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, job(i, int64(rng.IntN(30)), 1+int64(rng.IntN(9))))
+		}
+		q := NewJobQueue(ByWeightDesc)
+		for _, j := range jobs {
+			q.Push(j)
+		}
+		got := q.FlowIfScheduledFrom(start)
+		want := flowByDraining(jobs, ByWeightDesc, start)
+		if got != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, got, want)
+		}
+		// The queue must be unchanged by the computation.
+		if q.Len() != n {
+			t.Fatalf("FlowIfScheduledFrom mutated the queue: len %d, want %d", q.Len(), n)
+		}
+	}
+}
+
+func TestFlowIfScheduledFromEmpty(t *testing.T) {
+	q := NewJobQueue(ByRelease)
+	if got := q.FlowIfScheduledFrom(100); got != 0 {
+		t.Errorf("empty queue flow = %d, want 0", got)
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := New(func(a, b int64) bool { return a < b })
+	rng := rand.New(rand.NewPCG(1, 1))
+	vals := make([]int64, 1024)
+	for i := range vals {
+		vals[i] = rng.Int64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(vals[i%len(vals)])
+		if h.Len() > 512 {
+			h.Pop()
+		}
+	}
+}
+
+func BenchmarkJobQueueFlowUnweighted(b *testing.B) {
+	q := NewJobQueue(ByRelease)
+	for i := 0; i < 256; i++ {
+		q.Push(job(i, int64(i), 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = q.FlowIfScheduledFrom(300)
+	}
+}

@@ -1,0 +1,82 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"calibsched/internal/core"
+)
+
+// TestQuickFlowLinearity: FlowIfScheduledFrom is linear in the start time
+// with slope equal to the total queued weight.
+func TestQuickFlowLinearity(t *testing.T) {
+	f := func(relSeeds, wSeeds []uint8, delta uint8) bool {
+		q := NewJobQueue(ByWeightDesc)
+		n := len(relSeeds)
+		if len(wSeeds) < n {
+			n = len(wSeeds)
+		}
+		if n > 20 {
+			n = 20
+		}
+		for i := 0; i < n; i++ {
+			q.Push(core.Job{ID: i, Release: int64(relSeeds[i] % 30), Weight: 1 + int64(wSeeds[i]%7)})
+		}
+		base := int64(40)
+		d := int64(delta%16) + 1
+		f0 := q.FlowIfScheduledFrom(base)
+		f1 := q.FlowIfScheduledFrom(base + d)
+		return f1-f0 == d*q.TotalWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAggregatesMatchRecount: cached totals equal recomputed totals
+// after arbitrary push/pop interleavings.
+func TestQuickAggregatesMatchRecount(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewJobQueue(ByRelease)
+		id := 0
+		for _, op := range ops {
+			if q.Empty() || op%3 > 0 {
+				q.Push(core.Job{ID: id, Release: int64(op % 17), Weight: 1 + int64(op%5)})
+				id++
+			} else {
+				q.Pop()
+			}
+		}
+		var w int64
+		for _, j := range q.Jobs() {
+			w += j.Weight
+		}
+		return w == q.TotalWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHeapPopMonotone: successive pops never go backward under the
+// heap's order.
+func TestQuickHeapPopMonotone(t *testing.T) {
+	f := func(vals []int32) bool {
+		h := New(func(a, b int32) bool { return a < b })
+		for _, v := range vals {
+			h.Push(v)
+		}
+		prev, first := int32(0), true
+		for !h.Empty() {
+			v := h.Pop()
+			if !first && v < prev {
+				return false
+			}
+			prev, first = v, false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package simul
+
+import (
+	"testing"
+	"testing/quick"
+
+	"calibsched/internal/core"
+)
+
+func TestArrivalsGroupsByRelease(t *testing.T) {
+	in := core.MustInstance(2, 3, []int64{0, 0, 2, 5}, []int64{1, 2, 3, 4})
+	a := NewArrivals(in)
+	if a.Remaining() != 4 {
+		t.Fatalf("Remaining = %d", a.Remaining())
+	}
+	nt, ok := a.NextTime()
+	if !ok || nt != 0 {
+		t.Fatalf("NextTime = %d,%v", nt, ok)
+	}
+	if got := a.PopAt(0); len(got) != 2 {
+		t.Fatalf("PopAt(0) returned %d jobs", len(got))
+	}
+	if got := a.PopAt(1); len(got) != 0 {
+		t.Fatalf("PopAt(1) returned %d jobs", len(got))
+	}
+	nt, _ = a.NextTime()
+	if nt != 2 {
+		t.Fatalf("NextTime after 0 = %d", nt)
+	}
+	if got := a.PopAt(2); len(got) != 1 || got[0].Release != 2 {
+		t.Fatalf("PopAt(2) = %v", got)
+	}
+	if got := a.PopAt(5); len(got) != 1 {
+		t.Fatalf("PopAt(5) = %v", got)
+	}
+	if a.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after draining", a.Remaining())
+	}
+	if _, ok := a.NextTime(); ok {
+		t.Error("NextTime ok on drained stream")
+	}
+}
+
+func TestArrivalsPanicsOnRewind(t *testing.T) {
+	in := core.MustInstance(1, 3, []int64{1}, []int64{1})
+	a := NewArrivals(in)
+	defer func() {
+		if recover() == nil {
+			t.Error("PopAt past unconsumed jobs did not panic")
+		}
+	}()
+	a.PopAt(5)
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{10, 5, 2}, {11, 5, 3}, {0, 5, 0}, {-1, 5, 0}, {-5, 5, -1},
+		{-6, 5, -1}, {1, 1, 1}, {7, 3, 3}, {-7, 3, -2},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnBadDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv with divisor 0 did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+// TestQuickCeilDivDefinition: CeilDiv(a,b) is the unique q with
+// (q-1)*b < a <= q*b for positive b.
+func TestQuickCeilDivDefinition(t *testing.T) {
+	f := func(a int32, b uint8) bool {
+		bb := int64(b%50) + 1
+		q := CeilDiv(int64(a), bb)
+		return (q-1)*bb < int64(a) && int64(a) <= q*bb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

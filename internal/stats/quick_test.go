@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func toFloats(xs []int16) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// TestQuickSummaryBounds: mean and quantiles live within [min, max].
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return Summarize(nil).N == 0
+		}
+		s := Summarize(toFloats(xs))
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		for _, q := range []float64{s.P50, s.P90, s.P99} {
+			if q < s.Min-1e-9 || q > s.Max+1e-9 {
+				return false
+			}
+		}
+		return s.P50 <= s.P90+1e-9 && s.P90 <= s.P99+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQuantileMonotoneInQ: Quantile is nondecreasing in q.
+func TestQuickQuantileMonotoneInQ(t *testing.T) {
+	f := func(xs []int16, a, b uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		fs := toFloats(xs)
+		sort.Float64s(fs)
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(fs, qa) <= Quantile(fs, qb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLinearFitRecoversExactLines: a noiseless line is recovered
+// exactly.
+func TestQuickLinearFitRecoversExactLines(t *testing.T) {
+	f := func(slope, intercept int8, n uint8) bool {
+		m := int(n%16) + 2
+		x := make([]float64, m)
+		y := make([]float64, m)
+		for i := 0; i < m; i++ {
+			x[i] = float64(i)
+			y[i] = float64(slope)*x[i] + float64(intercept)
+		}
+		gs, gi := LinearFit(x, y)
+		return math.Abs(gs-float64(slope)) < 1e-9 && math.Abs(gi-float64(intercept)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

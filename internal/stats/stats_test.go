@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("stddev = %f", s.Stddev)
+	}
+	if math.Abs(s.GeometricMean-math.Pow(24, 0.25)) > 1e-12 {
+		t.Errorf("geomean = %f", s.GeometricMean)
+	}
+	if s.P50 != 2.5 {
+		t.Errorf("p50 = %f", s.P50)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary nonzero N")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.9, 46},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%f) = %f, want %f", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty sample")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %f, %f", slope, intercept)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = x^3 exactly.
+	x := []float64{2, 4, 8, 16}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = x[i] * x[i] * x[i]
+	}
+	if got := LogLogSlope(x, y); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("slope = %f, want 3", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("output = %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.500") {
+		t.Errorf("row = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "42") {
+		t.Errorf("row = %q", lines[3])
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(3) != "3" {
+		t.Errorf("FormatFloat(3) = %q", FormatFloat(3))
+	}
+	if FormatFloat(3.14159) != "3.142" {
+		t.Errorf("FormatFloat(pi) = %q", FormatFloat(3.14159))
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"calibsched/internal/core"
+)
+
+// Utilization describes how a schedule spends its calibrated capacity.
+type Utilization struct {
+	// Calibrations is the number of calibration events.
+	Calibrations int
+	// CoveredSlots counts distinct calibrated (machine, step) slots —
+	// overlapping calibrations do not double count.
+	CoveredSlots int64
+	// BusySlots counts slots running a job; IdleSlots = Covered - Busy.
+	BusySlots int64
+	// Busy is BusySlots / CoveredSlots in [0,1] (0 when nothing covered).
+	Busy float64
+	// Flow aggregates per-job weighted flow.
+	Flow, MaxJobFlow int64
+	MeanJobFlow      float64
+}
+
+// Utilize computes capacity usage for a valid schedule.
+func Utilize(in *core.Instance, s *core.Schedule) Utilization {
+	var u Utilization
+	u.Calibrations = s.NumCalibrations()
+
+	// Distinct covered slots per machine via interval merging.
+	perMachine := make(map[int][]int64)
+	for _, c := range s.Calendar {
+		perMachine[c.Machine] = append(perMachine[c.Machine], c.Start)
+	}
+	for _, starts := range perMachine {
+		sort.Slice(starts, func(a, b int) bool { return starts[a] < starts[b] })
+		var coveredTo int64 = -1
+		for _, st := range starts {
+			end := st + in.T
+			from := st
+			if from < coveredTo {
+				from = coveredTo
+			}
+			if end > from {
+				u.CoveredSlots += end - from
+			}
+			if end > coveredTo {
+				coveredTo = end
+			}
+		}
+	}
+	for _, j := range in.Jobs {
+		a := s.Assignments[j.ID]
+		if a.Start < 0 {
+			continue
+		}
+		u.BusySlots++
+		fl := j.Flow(a.Start)
+		u.Flow += fl
+		if fl > u.MaxJobFlow {
+			u.MaxJobFlow = fl
+		}
+	}
+	if u.CoveredSlots > 0 {
+		u.Busy = float64(u.BusySlots) / float64(u.CoveredSlots)
+	}
+	if in.N() > 0 {
+		u.MeanJobFlow = float64(u.Flow) / float64(in.N())
+	}
+	return u
+}
+
+// Comparison is one labelled schedule in a comparison table.
+type Comparison struct {
+	Name     string
+	Schedule *core.Schedule
+}
+
+// WriteComparison prints a side-by-side cost/utilization table for several
+// schedules of the same instance under calibration cost g, ordered as
+// given.
+func WriteComparison(w io.Writer, in *core.Instance, g int64, rows []Comparison) error {
+	header := fmt.Sprintf("%-24s %6s %10s %10s %8s %9s",
+		"schedule", "cals", "flow", "total", "busy%", "max flow")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		u := Utilize(in, r.Schedule)
+		line := fmt.Sprintf("%-24s %6d %10d %10d %7.1f%% %9d",
+			r.Name, u.Calibrations, u.Flow, core.TotalCost(in, r.Schedule, g), 100*u.Busy, u.MaxJobFlow)
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

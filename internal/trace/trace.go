@@ -1,0 +1,144 @@
+// Package trace renders and exports schedules: ASCII timelines for quick
+// inspection in examples and the calibsim CLI, and CSV/JSON exports for
+// downstream analysis.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"calibsched/internal/core"
+)
+
+// Timeline renders an ASCII Gantt view of the schedule, one row per
+// machine. Legend: '#' busy calibrated step, '-' idle calibrated step,
+// '.' uncalibrated step. A header row marks every tenth time step.
+func Timeline(in *core.Instance, s *core.Schedule) string {
+	horizon := s.Makespan()
+	for _, c := range s.Calendar {
+		if c.Start+in.T > horizon {
+			horizon = c.Start + in.T
+		}
+	}
+	if horizon == 0 {
+		return "(empty schedule)\n"
+	}
+	busy := make(map[[2]int64]int, len(s.Assignments))
+	for _, a := range s.Assignments {
+		if a.Start >= 0 {
+			busy[[2]int64{int64(a.Machine), a.Start}] = a.Job
+		}
+	}
+	var b strings.Builder
+	// Ruler (no trailing whitespace).
+	var ruler strings.Builder
+	ruler.WriteString("      ")
+	for t := int64(0); t < horizon; t++ {
+		if t%10 == 0 {
+			mark := strconv.FormatInt(t, 10)
+			ruler.WriteString(mark)
+			t += int64(len(mark)) - 1
+		} else {
+			ruler.WriteByte(' ')
+		}
+	}
+	b.WriteString(strings.TrimRight(ruler.String(), " "))
+	b.WriteByte('\n')
+	for m := 0; m < in.P; m++ {
+		fmt.Fprintf(&b, "m%-4d ", m)
+		for t := int64(0); t < horizon; t++ {
+			switch {
+			case func() bool { _, ok := busy[[2]int64{int64(m), t}]; return ok }():
+				b.WriteByte('#')
+			case s.Calendar.Covers(m, t, in.T):
+				b.WriteByte('-')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV emits one row per job: job,release,weight,machine,start,flow,
+// followed by one row per calibration: calibration,machine,start.
+func WriteCSV(w io.Writer, in *core.Instance, s *core.Schedule) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "id", "release", "weight", "machine", "start", "flow"}); err != nil {
+		return err
+	}
+	for _, j := range in.Jobs {
+		a := s.Assignments[j.ID]
+		rec := []string{
+			"job",
+			strconv.Itoa(j.ID),
+			strconv.FormatInt(j.Release, 10),
+			strconv.FormatInt(j.Weight, 10),
+			strconv.Itoa(a.Machine),
+			strconv.FormatInt(a.Start, 10),
+			strconv.FormatInt(j.Flow(a.Start), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	for i, c := range s.Calendar {
+		rec := []string{
+			"calibration",
+			strconv.Itoa(i),
+			"", "",
+			strconv.Itoa(c.Machine),
+			strconv.FormatInt(c.Start, 10),
+			"",
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Export is the JSON shape produced by WriteJSON.
+type Export struct {
+	P            int                `json:"machines"`
+	T            int64              `json:"calibration_length"`
+	Jobs         []ExportJob        `json:"jobs"`
+	Calibrations []core.Calibration `json:"calibrations"`
+	Flow         int64              `json:"total_weighted_flow"`
+}
+
+// ExportJob is one job row in Export.
+type ExportJob struct {
+	ID      int   `json:"id"`
+	Release int64 `json:"release"`
+	Weight  int64 `json:"weight"`
+	Machine int   `json:"machine"`
+	Start   int64 `json:"start"`
+	Flow    int64 `json:"flow"`
+}
+
+// WriteJSON emits the schedule as indented JSON.
+func WriteJSON(w io.Writer, in *core.Instance, s *core.Schedule) error {
+	e := Export{
+		P:            in.P,
+		T:            in.T,
+		Calibrations: append([]core.Calibration(nil), s.Calendar.Sorted()...),
+		Flow:         core.Flow(in, s),
+	}
+	for _, j := range in.Jobs {
+		a := s.Assignments[j.ID]
+		e.Jobs = append(e.Jobs, ExportJob{
+			ID: j.ID, Release: j.Release, Weight: j.Weight,
+			Machine: a.Machine, Start: a.Start, Flow: j.Flow(a.Start),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"calibsched/internal/core"
+)
+
+func sample() (*core.Instance, *core.Schedule) {
+	in := core.MustInstance(2, 3, []int64{0, 1}, []int64{1, 2})
+	s := core.NewSchedule(2)
+	s.Calibrate(0, 0)
+	s.Calibrate(1, 1)
+	s.Assign(0, 0, 0)
+	s.Assign(1, 1, 2)
+	return in, s
+}
+
+func TestTimeline(t *testing.T) {
+	in, s := sample()
+	got := Timeline(in, s)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline = %q", got)
+	}
+	// Machine 0: busy at 0, calibrated-idle at 1,2, uncovered at 3.
+	if !strings.Contains(lines[1], "#--.") {
+		t.Errorf("machine 0 row = %q", lines[1])
+	}
+	// Machine 1: uncovered 0, calibrated 1, busy 2, calibrated 3.
+	if !strings.Contains(lines[2], ".-#-") {
+		t.Errorf("machine 1 row = %q", lines[2])
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	in := core.MustInstance(1, 3, nil, nil)
+	if got := Timeline(in, core.NewSchedule(0)); !strings.Contains(got, "empty") {
+		t.Errorf("empty timeline = %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	in, s := sample()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in, s); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 jobs + 2 calibrations.
+	if len(records) != 5 {
+		t.Fatalf("records = %v", records)
+	}
+	if records[1][0] != "job" || records[1][6] != "1" {
+		t.Errorf("job row = %v", records[1])
+	}
+	if records[3][0] != "calibration" {
+		t.Errorf("calibration row = %v", records[3])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	in, s := sample()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in, s); err != nil {
+		t.Fatal(err)
+	}
+	var e Export
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.P != 2 || e.T != 3 || len(e.Jobs) != 2 || len(e.Calibrations) != 2 {
+		t.Fatalf("export = %+v", e)
+	}
+	if e.Flow != 1+2*2 {
+		t.Errorf("flow = %d, want 5", e.Flow)
+	}
+}
+
+func TestUtilize(t *testing.T) {
+	in := core.MustInstance(1, 4, []int64{0, 1}, []int64{1, 3})
+	s := core.NewSchedule(2)
+	s.Calibrate(0, 0)
+	s.Assign(0, 0, 0)
+	s.Assign(1, 0, 1)
+	u := Utilize(in, s)
+	if u.Calibrations != 1 || u.CoveredSlots != 4 || u.BusySlots != 2 {
+		t.Fatalf("utilization = %+v", u)
+	}
+	if u.Busy != 0.5 {
+		t.Errorf("busy = %f", u.Busy)
+	}
+	if u.Flow != 1+3 || u.MaxJobFlow != 3 || u.MeanJobFlow != 2 {
+		t.Errorf("flow stats = %+v", u)
+	}
+}
+
+func TestUtilizeOverlappingCalibrations(t *testing.T) {
+	// Overlapping intervals [0,4) and [2,6) cover 6 distinct slots.
+	in := core.MustInstance(1, 4, []int64{0}, []int64{1})
+	s := core.NewSchedule(1)
+	s.Calibrate(0, 0)
+	s.Calibrate(0, 2)
+	s.Assign(0, 0, 0)
+	u := Utilize(in, s)
+	if u.CoveredSlots != 6 {
+		t.Fatalf("covered = %d, want 6", u.CoveredSlots)
+	}
+	if u.Calibrations != 2 {
+		t.Fatalf("calibrations = %d", u.Calibrations)
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	in, s := sample()
+	var buf bytes.Buffer
+	err := WriteComparison(&buf, in, 7, []Comparison{
+		{Name: "a", Schedule: s},
+		{Name: "b", Schedule: s},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("comparison = %q", out)
+	}
+	if !strings.Contains(lines[0], "total") || !strings.Contains(lines[1], "a") {
+		t.Errorf("comparison = %q", out)
+	}
+}

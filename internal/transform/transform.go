@@ -1,0 +1,104 @@
+// Package transform implements Lemma 3.4 of the paper: any single-machine
+// schedule can be rewritten so jobs run in release-time order, with every
+// job scheduled no later than before (so flow does not increase) and at
+// most twice the original number of calibrations.
+//
+// The construction processes jobs from latest to earliest release and pulls
+// each job to min(its old slot, the slot just before the next-released
+// job). Pulled jobs may land on previously uncalibrated slots; those are
+// re-covered greedily, and Lemma 3.4's counting argument bounds the
+// additions by the original calibration count.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"calibsched/internal/core"
+)
+
+// ReleaseOrder rewrites a valid single-machine schedule into release-time
+// order per Lemma 3.4. The returned schedule starts every job no later
+// than s does and calibrates at most 2*len(s.Calendar) times. The input
+// schedule is not modified.
+func ReleaseOrder(in *core.Instance, s *core.Schedule) (*core.Schedule, error) {
+	if in.P != 1 {
+		return nil, fmt.Errorf("transform: ReleaseOrder requires P = 1, got %d", in.P)
+	}
+	if err := core.Validate(in, s); err != nil {
+		return nil, fmt.Errorf("transform: input schedule invalid: %w", err)
+	}
+	n := in.N()
+	out := core.NewSchedule(n)
+	out.Calendar = append(core.Calendar(nil), s.Calendar...)
+	if n == 0 {
+		return out, nil
+	}
+
+	// Jobs are indexed in release order (ties impossible only in canonical
+	// instances; for safety, order by (release, old start) so the sweep
+	// below stays consistent).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := in.Jobs[order[a]], in.Jobs[order[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return s.Start(ja.ID) < s.Start(jb.ID)
+	})
+
+	starts := make([]int64, n) // new start by position in `order`
+	last := len(order) - 1
+	starts[last] = s.Start(order[last])
+	for i := last - 1; i >= 0; i-- {
+		id := order[i]
+		t := s.Start(id)
+		if limit := starts[i+1] - 1; limit < t {
+			t = limit
+		}
+		if t < in.Jobs[id].Release {
+			// Lemma 3.4's invariant guarantees this cannot happen:
+			// starts[i+1] >= r_{i+1} >= r_i + 1.
+			panic("transform: release-order pull moved a job before its release")
+		}
+		starts[i] = t
+	}
+	for i, id := range order {
+		out.Assign(id, 0, starts[i])
+	}
+
+	// Cover newly occupied, previously uncalibrated slots greedily (each
+	// added interval starts at the first uncovered busy slot). Greedy
+	// covering is minimal, so Lemma 3.4's ceil(p/T) bound applies and the
+	// total stays within twice the original count.
+	coveredUntil := func(t int64) int64 {
+		// Return one past the covered range at t under the original
+		// calendar, or t if uncovered. Single machine: scan (calendars
+		// are small; callers are tests and experiments).
+		end := t
+		for _, c := range s.Calendar {
+			if c.Start <= t && t < c.Start+in.T {
+				if c.Start+in.T > end {
+					end = c.Start + in.T
+				}
+			}
+		}
+		return end
+	}
+	var extraEnd int64 = -1
+	for i := 0; i < n; i++ {
+		t := starts[i]
+		if t < extraEnd {
+			continue // covered by an interval we already added
+		}
+		if coveredUntil(t) > t {
+			continue // covered by the original calendar
+		}
+		out.Calibrate(0, t)
+		extraEnd = t + in.T
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package transform
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/baseline"
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+)
+
+func TestReleaseOrderPullsOutOfOrderJob(t *testing.T) {
+	// Schedule heavy job 1 (r=1) at 1 and light job 0 (r=0) at 5 inside a
+	// long interval: out of release order. The transform must pull job 0
+	// to time 0, which is uncalibrated in the original single interval
+	// starting at 1, so a second calibration appears.
+	in := core.MustInstance(1, 6, []int64{0, 1}, []int64{1, 9})
+	s := core.NewSchedule(2)
+	s.Calibrate(0, 1)
+	s.Assign(1, 0, 1)
+	s.Assign(0, 0, 5)
+	if err := core.Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReleaseOrder(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(in, got); err != nil {
+		t.Fatalf("transformed schedule invalid: %v", err)
+	}
+	if got.Start(0) != 0 || got.Start(1) != 1 {
+		t.Errorf("starts = %d,%d; want 0,1", got.Start(0), got.Start(1))
+	}
+	if got.NumCalibrations() != 2 {
+		t.Errorf("calibrations = %d, want 2 (original plus cover for slot 0)", got.NumCalibrations())
+	}
+}
+
+func TestReleaseOrderKeepsOrderedScheduleIntact(t *testing.T) {
+	in := core.MustInstance(1, 4, []int64{0, 2, 7}, []int64{1, 2, 3})
+	s := core.NewSchedule(3)
+	s.Calibrate(0, 0)
+	s.Calibrate(0, 7)
+	s.Assign(0, 0, 0)
+	s.Assign(1, 0, 2)
+	s.Assign(2, 0, 7)
+	got, err := ReleaseOrder(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		if got.Start(id) != s.Start(id) {
+			t.Errorf("job %d moved from %d to %d", id, s.Start(id), got.Start(id))
+		}
+	}
+	if got.NumCalibrations() != 2 {
+		t.Errorf("calibrations = %d, want 2 (no additions)", got.NumCalibrations())
+	}
+}
+
+func TestReleaseOrderRejects(t *testing.T) {
+	multi := core.MustInstance(2, 4, []int64{0}, []int64{1})
+	s := core.NewSchedule(1)
+	s.Calibrate(0, 0)
+	s.Assign(0, 0, 0)
+	if _, err := ReleaseOrder(multi, s); err == nil {
+		t.Error("accepted P=2")
+	}
+	in := core.MustInstance(1, 4, []int64{0}, []int64{1})
+	bad := core.NewSchedule(1) // unassigned job
+	if _, err := ReleaseOrder(in, bad); err == nil {
+		t.Error("accepted invalid input schedule")
+	}
+}
+
+func TestReleaseOrderEmpty(t *testing.T) {
+	in := core.MustInstance(1, 4, nil, nil)
+	got, err := ReleaseOrder(in, core.NewSchedule(0))
+	if err != nil || got.NumCalibrations() != 0 {
+		t.Fatalf("empty transform: %v, %d calibrations", err, got.NumCalibrations())
+	}
+}
+
+// TestReleaseOrderLemma34Properties checks the three guarantees of Lemma
+// 3.4 on schedules produced by real algorithms (Algorithm 2 schedules are
+// genuinely out of release order, so this exercises the pull).
+func TestReleaseOrderLemma34Properties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 41))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(12)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(30))
+			weights[i] = 1 + int64(rng.IntN(6))
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(6)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(40))
+
+		var s *core.Schedule
+		if trial%2 == 0 {
+			res, err := online.Alg2(in, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s = res.Schedule
+		} else {
+			var err error
+			s, err = baseline.Periodic(in, g, in.T+int64(rng.IntN(4)))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		got, err := ReleaseOrder(in, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Validate(in, got); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+		// (1) Release order.
+		for i := 1; i < n; i++ {
+			if got.Start(i) <= got.Start(i-1) {
+				t.Fatalf("trial %d: jobs %d,%d out of order (%d,%d)",
+					trial, i-1, i, got.Start(i-1), got.Start(i))
+			}
+		}
+		// (2) No job later; flow not increased.
+		for id := 0; id < n; id++ {
+			if got.Start(id) > s.Start(id) {
+				t.Fatalf("trial %d: job %d delayed %d -> %d", trial, id, s.Start(id), got.Start(id))
+			}
+		}
+		if core.Flow(in, got) > core.Flow(in, s) {
+			t.Fatalf("trial %d: flow increased", trial)
+		}
+		// (3) Calibrations at most doubled.
+		if got.NumCalibrations() > 2*s.NumCalibrations() {
+			t.Fatalf("trial %d: calibrations %d > 2*%d",
+				trial, got.NumCalibrations(), s.NumCalibrations())
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance hardens the instance parser: arbitrary input must never
+// panic, and every successfully parsed instance must round-trip through
+// WriteInstance to an equivalent instance.
+func FuzzReadInstance(f *testing.F) {
+	f.Add("1 5\n2\n0 1\n3 2\n")
+	f.Add("# comment\n2 3\n1\n4 7\n")
+	f.Add("")
+	f.Add("1 5\n-1\n")
+	f.Add("0 0\n0\n")
+	f.Add("1 5\n3\n0 1\n")
+	f.Add("1 1\n1\n9223372036854775807 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		in, err := ReadInstance(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, in); err != nil {
+			t.Fatalf("parsed instance failed to serialize: %v", err)
+		}
+		back, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if back.N() != in.N() || back.P != in.P || back.T != in.T {
+			t.Fatalf("round trip changed shape: %+v vs %+v", back, in)
+		}
+		for i := range in.Jobs {
+			if back.Jobs[i] != in.Jobs[i] {
+				t.Fatalf("round trip changed job %d", i)
+			}
+		}
+	})
+}

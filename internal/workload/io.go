@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"calibsched/internal/core"
+)
+
+// WriteInstance serializes an instance in the plain-text format understood
+// by ReadInstance and the cmd/ tools:
+//
+//	# comment lines allowed anywhere
+//	P T
+//	n
+//	r_0 w_0
+//	...
+//	r_{n-1} w_{n-1}
+func WriteInstance(w io.Writer, in *core.Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n%d\n", in.P, in.T, in.N())
+	for _, j := range in.Jobs {
+		fmt.Fprintf(bw, "%d %d\n", j.Release, j.Weight)
+	}
+	return bw.Flush()
+}
+
+// ReadInstance parses the WriteInstance format. Blank lines and lines
+// beginning with '#' are skipped.
+func ReadInstance(r io.Reader) (*core.Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, nil
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading header: %w", err)
+	}
+	var p int
+	var t int64
+	if _, err := fmt.Sscanf(header, "%d %d", &p, &t); err != nil {
+		return nil, fmt.Errorf("workload: bad header %q: %w", header, err)
+	}
+	countLine, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading job count: %w", err)
+	}
+	var n int
+	if _, err := fmt.Sscanf(countLine, "%d", &n); err != nil {
+		return nil, fmt.Errorf("workload: bad job count %q: %w", countLine, err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative job count %d", n)
+	}
+	// Grow with the input rather than trusting the declared count: a
+	// malicious or corrupted header must not drive a giant allocation
+	// (found by FuzzReadInstance).
+	var releases, weights []int64
+	for i := 0; i < n; i++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading job %d: %w", i, err)
+		}
+		var r, w int64
+		if _, err := fmt.Sscanf(line, "%d %d", &r, &w); err != nil {
+			return nil, fmt.Errorf("workload: bad job line %q: %w", line, err)
+		}
+		releases = append(releases, r)
+		weights = append(weights, w)
+	}
+	return core.NewInstance(p, t, releases, weights)
+}

@@ -1,0 +1,289 @@
+// Package workload generates the synthetic job instances used by the
+// experiment harness: arrival processes (Poisson, bursty, uniform, batch,
+// periodic) crossed with weight laws (unit, uniform, Zipf-like heavy tail,
+// bimodal), plus the adversarial instances from Lemma 3.1 of the paper.
+//
+// All generators are deterministic given a seed, so every experiment table
+// is exactly reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"calibsched/internal/core"
+)
+
+// NewRNG returns the package's deterministic PRNG for a seed. All
+// generators accept an *rand.Rand so callers can share or split streams.
+func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// PoissonReleases samples n arrival times from a Poisson process with rate
+// lambda (expected arrivals per time step), rounded onto the integer grid.
+// Release times are non-decreasing and start at the first arrival.
+func PoissonReleases(n int, lambda float64, rng *rand.Rand) []int64 {
+	if lambda <= 0 {
+		panic("workload: PoissonReleases needs lambda > 0")
+	}
+	releases := make([]int64, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += rng.ExpFloat64() / lambda
+		releases[i] = int64(t)
+	}
+	return releases
+}
+
+// BurstyReleases emits n jobs in bursts: burstSize jobs share each burst
+// time, bursts are gap steps apart, and each job is jittered by up to
+// jitter steps. With burstSize > 1 the result exercises the P>1 setting
+// (or canonicalization for P=1).
+func BurstyReleases(n, burstSize int, gap, jitter int64, rng *rand.Rand) []int64 {
+	if burstSize < 1 {
+		panic("workload: BurstyReleases needs burstSize >= 1")
+	}
+	if gap < 1 {
+		panic("workload: BurstyReleases needs gap >= 1")
+	}
+	releases := make([]int64, n)
+	for i := 0; i < n; i++ {
+		burst := int64(i / burstSize)
+		r := burst * gap
+		if jitter > 0 {
+			r += rng.Int64N(jitter + 1)
+		}
+		releases[i] = r
+	}
+	return releases
+}
+
+// UniformReleases samples n release times uniformly from [0, horizon).
+func UniformReleases(n int, horizon int64, rng *rand.Rand) []int64 {
+	if horizon < 1 {
+		panic("workload: UniformReleases needs horizon >= 1")
+	}
+	releases := make([]int64, n)
+	for i := range releases {
+		releases[i] = rng.Int64N(horizon)
+	}
+	return releases
+}
+
+// PeriodicReleases emits one job every period steps starting at 0.
+func PeriodicReleases(n int, period int64) []int64 {
+	if period < 1 {
+		panic("workload: PeriodicReleases needs period >= 1")
+	}
+	releases := make([]int64, n)
+	for i := range releases {
+		releases[i] = int64(i) * period
+	}
+	return releases
+}
+
+// BatchReleases splits n jobs into batches equal-size groups released at
+// times 0, spacing, 2*spacing, ...
+func BatchReleases(n, batches int, spacing int64) []int64 {
+	if batches < 1 {
+		panic("workload: BatchReleases needs batches >= 1")
+	}
+	releases := make([]int64, n)
+	per := (n + batches - 1) / batches
+	for i := range releases {
+		releases[i] = int64(i/per) * spacing
+	}
+	return releases
+}
+
+// UnitWeights returns n unit weights.
+func UnitWeights(n int) []int64 {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// UniformWeights samples n integer weights uniformly from [1, wmax].
+func UniformWeights(n int, wmax int64, rng *rand.Rand) []int64 {
+	if wmax < 1 {
+		panic("workload: UniformWeights needs wmax >= 1")
+	}
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1 + rng.Int64N(wmax)
+	}
+	return w
+}
+
+// ZipfWeights samples n weights from a truncated Zipf law on {1..wmax} with
+// exponent s > 0: P(w = k) proportional to k^-s. Heavier tails (small s)
+// produce the occasional very heavy job that stresses Algorithm 2's
+// weight-based trigger.
+func ZipfWeights(n int, s float64, wmax int64, rng *rand.Rand) []int64 {
+	if wmax < 1 || s <= 0 {
+		panic("workload: ZipfWeights needs wmax >= 1 and s > 0")
+	}
+	// Inverse-CDF sampling over the (small) support.
+	cdf := make([]float64, wmax)
+	sum := 0.0
+	for k := int64(1); k <= wmax; k++ {
+		sum += math.Pow(float64(k), -s)
+		cdf[k-1] = sum
+	}
+	w := make([]int64, n)
+	for i := range w {
+		u := rng.Float64() * sum
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		w[i] = int64(lo + 1)
+	}
+	return w
+}
+
+// BimodalWeights samples each weight as heavy with probability pHeavy, else
+// light.
+func BimodalWeights(n int, light, heavy int64, pHeavy float64, rng *rand.Rand) []int64 {
+	if light < 1 || heavy < 1 {
+		panic("workload: BimodalWeights needs positive weights")
+	}
+	w := make([]int64, n)
+	for i := range w {
+		if rng.Float64() < pHeavy {
+			w[i] = heavy
+		} else {
+			w[i] = light
+		}
+	}
+	return w
+}
+
+// ArrivalKind names an arrival process for Spec.
+type ArrivalKind string
+
+// Arrival processes understood by Spec.
+const (
+	ArrivalPoisson  ArrivalKind = "poisson"
+	ArrivalBursty   ArrivalKind = "bursty"
+	ArrivalUniform  ArrivalKind = "uniform"
+	ArrivalPeriodic ArrivalKind = "periodic"
+	ArrivalBatch    ArrivalKind = "batch"
+)
+
+// WeightKind names a weight law for Spec.
+type WeightKind string
+
+// Weight laws understood by Spec.
+const (
+	WeightUnit    WeightKind = "unit"
+	WeightUniform WeightKind = "uniform"
+	WeightZipf    WeightKind = "zipf"
+	WeightBimodal WeightKind = "bimodal"
+)
+
+// Spec is a declarative workload description; Build turns it into an
+// instance. Fields not used by the chosen kinds are ignored.
+type Spec struct {
+	Name string
+	N    int
+	P    int
+	T    int64
+	Seed uint64
+
+	Arrival ArrivalKind
+	Lambda  float64 // poisson: arrivals per step
+	Burst   int     // bursty: jobs per burst
+	Gap     int64   // bursty: steps between bursts
+	Jitter  int64   // bursty: per-job jitter
+	Horizon int64   // uniform: release range
+	Period  int64   // periodic: steps between releases
+	Batches int     // batch: number of batches
+	Spacing int64   // batch: steps between batches
+
+	Weights WeightKind
+	WMax    int64   // uniform/zipf: max weight
+	ZipfS   float64 // zipf: exponent
+	Light   int64   // bimodal
+	Heavy   int64   // bimodal
+	PHeavy  float64 // bimodal
+}
+
+// Build generates the instance described by the spec, canonicalized to the
+// paper's normal form (at most P jobs per release time).
+func (s Spec) Build() (*core.Instance, error) {
+	if s.N < 0 {
+		return nil, fmt.Errorf("workload: negative N %d", s.N)
+	}
+	rng := NewRNG(s.Seed)
+	var releases []int64
+	switch s.Arrival {
+	case ArrivalPoisson:
+		releases = PoissonReleases(s.N, s.Lambda, rng)
+	case ArrivalBursty:
+		releases = BurstyReleases(s.N, s.Burst, s.Gap, s.Jitter, rng)
+	case ArrivalUniform:
+		releases = UniformReleases(s.N, s.Horizon, rng)
+	case ArrivalPeriodic:
+		releases = PeriodicReleases(s.N, s.Period)
+	case ArrivalBatch:
+		releases = BatchReleases(s.N, s.Batches, s.Spacing)
+	default:
+		return nil, fmt.Errorf("workload: unknown arrival kind %q", s.Arrival)
+	}
+	var weights []int64
+	switch s.Weights {
+	case WeightUnit, "":
+		weights = UnitWeights(s.N)
+	case WeightUniform:
+		weights = UniformWeights(s.N, s.WMax, rng)
+	case WeightZipf:
+		weights = ZipfWeights(s.N, s.ZipfS, s.WMax, rng)
+	case WeightBimodal:
+		weights = BimodalWeights(s.N, s.Light, s.Heavy, s.PHeavy, rng)
+	default:
+		return nil, fmt.Errorf("workload: unknown weight kind %q", s.Weights)
+	}
+	in, err := core.NewInstance(s.P, s.T, releases, weights)
+	if err != nil {
+		return nil, err
+	}
+	return in.Canonicalize(), nil
+}
+
+// MustBuild is Build that panics on error, for tests and fixed specs.
+func (s Spec) MustBuild() *core.Instance {
+	in, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// AdversaryCalibrateEarly is case (1) of Lemma 3.1: a job at time 0 and —
+// if the online algorithm calibrated immediately — one more at time T.
+// An optimal offline schedule calibrates once at time 1 for cost G + 3,
+// while the eager algorithm pays 2G + 2.
+func AdversaryCalibrateEarly(t int64) *core.Instance {
+	return core.MustInstance(1, t, []int64{0, t}, []int64{1, 1})
+}
+
+// AdversaryWait is case (2) of Lemma 3.1: a job at time 0 and one more at
+// each step 1..T-1. An algorithm that hesitates at time 0 pays at least
+// 2T + G while OPT calibrates at 0 and pays T + G.
+func AdversaryWait(t int64) *core.Instance {
+	releases := make([]int64, t)
+	for i := range releases {
+		releases[i] = int64(i)
+	}
+	return core.MustInstance(1, t, releases, UnitWeights(int(t)))
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"calibsched/internal/core"
+)
+
+func TestPoissonReleasesMonotoneAndRateIsh(t *testing.T) {
+	rng := NewRNG(42)
+	rel := PoissonReleases(10000, 0.5, rng)
+	for i := 1; i < len(rel); i++ {
+		if rel[i] < rel[i-1] {
+			t.Fatalf("releases not monotone at %d: %d < %d", i, rel[i], rel[i-1])
+		}
+	}
+	// Mean inter-arrival should be near 1/lambda = 2.
+	span := float64(rel[len(rel)-1] - rel[0])
+	mean := span / float64(len(rel)-1)
+	if mean < 1.8 || mean > 2.2 {
+		t.Errorf("mean inter-arrival %.3f, want ~2.0", mean)
+	}
+}
+
+func TestPoissonDeterministicPerSeed(t *testing.T) {
+	a := PoissonReleases(100, 0.3, NewRNG(7))
+	b := PoissonReleases(100, 0.3, NewRNG(7))
+	c := PoissonReleases(100, 0.3, NewRNG(8))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestBurstyReleases(t *testing.T) {
+	rel := BurstyReleases(9, 3, 100, 0, nil)
+	want := []int64{0, 0, 0, 100, 100, 100, 200, 200, 200}
+	for i := range rel {
+		if rel[i] != want[i] {
+			t.Fatalf("releases = %v, want %v", rel, want)
+		}
+	}
+	withJitter := BurstyReleases(9, 3, 100, 5, NewRNG(1))
+	for i, r := range withJitter {
+		base := int64(i/3) * 100
+		if r < base || r > base+5 {
+			t.Errorf("job %d released at %d, want within [%d,%d]", i, r, base, base+5)
+		}
+	}
+}
+
+func TestPeriodicAndBatchReleases(t *testing.T) {
+	if got := PeriodicReleases(4, 7); got[3] != 21 {
+		t.Errorf("PeriodicReleases = %v", got)
+	}
+	got := BatchReleases(10, 2, 50)
+	for i := 0; i < 5; i++ {
+		if got[i] != 0 {
+			t.Errorf("batch 0 job %d at %d", i, got[i])
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if got[i] != 50 {
+			t.Errorf("batch 1 job %d at %d", i, got[i])
+		}
+	}
+}
+
+func TestUniformReleasesInRange(t *testing.T) {
+	rel := UniformReleases(1000, 37, NewRNG(5))
+	for _, r := range rel {
+		if r < 0 || r >= 37 {
+			t.Fatalf("release %d out of [0,37)", r)
+		}
+	}
+}
+
+func TestWeightLaws(t *testing.T) {
+	if w := UnitWeights(3); w[0] != 1 || w[1] != 1 || w[2] != 1 {
+		t.Errorf("UnitWeights = %v", w)
+	}
+	rng := NewRNG(9)
+	for _, w := range UniformWeights(1000, 10, rng) {
+		if w < 1 || w > 10 {
+			t.Fatalf("uniform weight %d out of [1,10]", w)
+		}
+	}
+	for _, w := range BimodalWeights(1000, 1, 100, 0.1, rng) {
+		if w != 1 && w != 100 {
+			t.Fatalf("bimodal weight %d", w)
+		}
+	}
+}
+
+func TestZipfWeightsShape(t *testing.T) {
+	rng := NewRNG(13)
+	w := ZipfWeights(20000, 1.5, 50, rng)
+	counts := map[int64]int{}
+	for _, v := range w {
+		if v < 1 || v > 50 {
+			t.Fatalf("zipf weight %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Weight 1 must dominate weight 10 by roughly 10^1.5 ~ 31.6x.
+	ratio := float64(counts[1]) / math.Max(float64(counts[10]), 1)
+	if ratio < 10 || ratio > 100 {
+		t.Errorf("count(1)/count(10) = %.1f, want within [10,100] for s=1.5", ratio)
+	}
+}
+
+func TestSpecBuildCanonical(t *testing.T) {
+	spec := Spec{
+		N: 50, P: 1, T: 5, Seed: 3,
+		Arrival: ArrivalBursty, Burst: 5, Gap: 10,
+		Weights: WeightUniform, WMax: 4,
+	}
+	in := spec.MustBuild()
+	if in.N() != 50 || in.P != 1 || in.T != 5 {
+		t.Fatalf("instance shape wrong: n=%d P=%d T=%d", in.N(), in.P, in.T)
+	}
+	seen := map[int64]bool{}
+	for _, j := range in.Jobs {
+		if seen[j.Release] {
+			t.Fatalf("canonicalized P=1 instance has duplicate release %d", j.Release)
+		}
+		seen[j.Release] = true
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	if _, err := (Spec{N: 1, P: 1, T: 1, Arrival: "nope"}).Build(); err == nil {
+		t.Error("unknown arrival accepted")
+	}
+	if _, err := (Spec{N: 1, P: 1, T: 1, Arrival: ArrivalPeriodic, Period: 1, Weights: "nope"}).Build(); err == nil {
+		t.Error("unknown weights accepted")
+	}
+	if _, err := (Spec{N: -1, P: 1, T: 1, Arrival: ArrivalPeriodic, Period: 1}).Build(); err == nil {
+		t.Error("negative N accepted")
+	}
+}
+
+func TestAdversaryInstances(t *testing.T) {
+	e := AdversaryCalibrateEarly(10)
+	if e.N() != 2 || e.Jobs[0].Release != 0 || e.Jobs[1].Release != 10 {
+		t.Errorf("AdversaryCalibrateEarly wrong: %+v", e.Jobs)
+	}
+	w := AdversaryWait(5)
+	if w.N() != 5 {
+		t.Fatalf("AdversaryWait n = %d", w.N())
+	}
+	for i, j := range w.Jobs {
+		if j.Release != int64(i) || j.Weight != 1 {
+			t.Errorf("AdversaryWait job %d = %+v", i, j)
+		}
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	in := core.MustInstance(2, 7, []int64{0, 3, 3, 9}, []int64{4, 1, 2, 8})
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P != in.P || got.T != in.T || got.N() != in.N() {
+		t.Fatalf("round trip shape: %+v", got)
+	}
+	for i := range in.Jobs {
+		if got.Jobs[i] != in.Jobs[i] {
+			t.Errorf("job %d: %+v != %+v", i, got.Jobs[i], in.Jobs[i])
+		}
+	}
+}
+
+func TestReadInstanceCommentsAndErrors(t *testing.T) {
+	good := "# instance\n1 5\n\n2\n0 1\n# job two\n3 2\n"
+	in, err := ReadInstance(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("commented instance rejected: %v", err)
+	}
+	if in.N() != 2 {
+		t.Fatalf("n = %d", in.N())
+	}
+	for name, text := range map[string]string{
+		"empty":        "",
+		"no count":     "1 5\n",
+		"truncated":    "1 5\n3\n0 1\n",
+		"bad header":   "x y\n1\n0 1\n",
+		"bad job":      "1 5\n1\nfoo bar\n",
+		"negative n":   "1 5\n-2\n",
+		"invalid inst": "0 5\n1\n0 1\n",
+	} {
+		if _, err := ReadInstance(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package calibsched
+
+import (
+	"calibsched/internal/baseline"
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+)
+
+// NamedAlgorithm is one entry of the algorithm registry: a scheduling
+// policy together with its applicability (some algorithms are restricted
+// to one machine or to unit weights) and whether the paper proves a
+// competitive ratio for it.
+type NamedAlgorithm struct {
+	// Name is a stable identifier (also used by cmd/calibsim).
+	Name string
+	// Description summarizes the policy in one line.
+	Description string
+	// Online reports whether the policy observes jobs only at release.
+	Online bool
+	// Ratio is the proven competitive ratio, or 0 when none is proved
+	// (baselines and extensions).
+	Ratio float64
+	// Run executes the policy.
+	Run func(in *Instance, g int64) (*Schedule, error)
+	// Applicable reports whether the policy accepts the instance.
+	Applicable func(in *Instance) bool
+}
+
+// Algorithms returns the registry of every scheduling policy in this
+// package, in a stable order: the paper's algorithms, the extension, the
+// baselines, and the exact offline optimum. Callers typically filter by
+// Applicable and compare costs (see cmd/calibsim -compare).
+func Algorithms() []NamedAlgorithm {
+	fromResult := func(fn func(in *core.Instance, g int64, opts ...online.Option) (*online.Result, error)) func(*Instance, int64) (*Schedule, error) {
+		return func(in *Instance, g int64) (*Schedule, error) {
+			res, err := fn(in, g)
+			if err != nil {
+				return nil, err
+			}
+			return res.Schedule, nil
+		}
+	}
+	always := func(*Instance) bool { return true }
+	singleMachine := func(in *Instance) bool { return in.P == 1 }
+	unweighted := func(in *Instance) bool { return in.Unweighted() }
+	singleUnweighted := func(in *Instance) bool { return in.P == 1 && in.Unweighted() }
+
+	return []NamedAlgorithm{
+		{
+			Name:        "alg1",
+			Description: "Algorithm 1: online, one machine, unweighted (Theorem 3.3)",
+			Online:      true, Ratio: 3,
+			Run: fromResult(online.Alg1), Applicable: singleUnweighted,
+		},
+		{
+			Name:        "alg2",
+			Description: "Algorithm 2: online, one machine, weighted (Theorem 3.8)",
+			Online:      true, Ratio: 12,
+			Run: fromResult(online.Alg2), Applicable: singleMachine,
+		},
+		{
+			Name:        "alg3",
+			Description: "Algorithm 3: online, multiple machines, unweighted (Theorem 3.10)",
+			Online:      true, Ratio: 12,
+			Run: fromResult(online.Alg3), Applicable: unweighted,
+		},
+		{
+			Name:        "alg2multi",
+			Description: "extension (not from the paper): weighted jobs on multiple machines",
+			Online:      true,
+			Run:         fromResult(online.Alg2Multi), Applicable: always,
+		},
+		{
+			Name:        "immediate",
+			Description: "baseline: calibrate on demand, every job as early as possible",
+			Online:      true,
+			Run:         baseline.Immediate, Applicable: always,
+		},
+		{
+			Name:        "always",
+			Description: "baseline: keep the machine calibrated back-to-back",
+			Online:      true,
+			Run:         baseline.AlwaysCalibrated, Applicable: always,
+		},
+		{
+			Name:        "periodic",
+			Description: "baseline: calibrate every T steps",
+			Online:      true,
+			Run: func(in *Instance, g int64) (*Schedule, error) {
+				return baseline.Periodic(in, g, in.T)
+			},
+			Applicable: always,
+		},
+		{
+			Name:        "flow-threshold",
+			Description: "baseline: pure ski-rental (calibrate once waiting flow reaches G)",
+			Online:      true,
+			Run:         baseline.FlowThreshold, Applicable: singleMachine,
+		},
+		{
+			Name:        "opt",
+			Description: "exact offline optimum (Section 4 dynamic program)",
+			Online:      false, Ratio: 1,
+			Run: func(in *Instance, g int64) (*Schedule, error) {
+				_, _, s, err := OptimalTotalCost(in, g)
+				return s, err
+			},
+			Applicable: singleMachine,
+		},
+	}
+}

@@ -1,0 +1,81 @@
+package calibsched
+
+import (
+	"io"
+
+	"calibsched/internal/trace"
+	"calibsched/internal/workload"
+)
+
+// Workload generation: declarative specs plus the adversarial instances of
+// Lemma 3.1. All generators are deterministic per seed.
+type (
+	// WorkloadSpec declares a synthetic workload (arrival process crossed
+	// with a weight law); Build yields a canonical Instance.
+	WorkloadSpec = workload.Spec
+	// ArrivalKind names an arrival process.
+	ArrivalKind = workload.ArrivalKind
+	// WeightKind names a weight law.
+	WeightKind = workload.WeightKind
+)
+
+// Arrival processes.
+const (
+	ArrivalPoisson  = workload.ArrivalPoisson
+	ArrivalBursty   = workload.ArrivalBursty
+	ArrivalUniform  = workload.ArrivalUniform
+	ArrivalPeriodic = workload.ArrivalPeriodic
+	ArrivalBatch    = workload.ArrivalBatch
+)
+
+// Weight laws.
+const (
+	WeightUnit    = workload.WeightUnit
+	WeightUniform = workload.WeightUniform
+	WeightZipf    = workload.WeightZipf
+	WeightBimodal = workload.WeightBimodal
+)
+
+// AdversaryCalibrateEarly and AdversaryWait are the two instances the
+// Lemma 3.1 adversary plays.
+var (
+	AdversaryCalibrateEarly = workload.AdversaryCalibrateEarly
+	AdversaryWait           = workload.AdversaryWait
+)
+
+// ReadInstance parses the plain-text instance format ("P T", "n", then one
+// "release weight" line per job; '#' comments allowed).
+func ReadInstance(r io.Reader) (*Instance, error) { return workload.ReadInstance(r) }
+
+// WriteInstance serializes an instance in the ReadInstance format.
+func WriteInstance(w io.Writer, in *Instance) error { return workload.WriteInstance(w, in) }
+
+// Timeline renders an ASCII Gantt view of a schedule ('#' busy, '-'
+// calibrated idle, '.' uncalibrated).
+func Timeline(in *Instance, s *Schedule) string { return trace.Timeline(in, s) }
+
+// WriteScheduleCSV exports a schedule as CSV rows (jobs then calibrations).
+func WriteScheduleCSV(w io.Writer, in *Instance, s *Schedule) error {
+	return trace.WriteCSV(w, in, s)
+}
+
+// WriteScheduleJSON exports a schedule as indented JSON.
+func WriteScheduleJSON(w io.Writer, in *Instance, s *Schedule) error {
+	return trace.WriteJSON(w, in, s)
+}
+
+// Utilization summarizes a schedule's capacity usage (calibrated slots,
+// busy share, flow aggregates).
+type Utilization = trace.Utilization
+
+// Utilize computes capacity usage for a valid schedule.
+func Utilize(in *Instance, s *Schedule) Utilization { return trace.Utilize(in, s) }
+
+// ScheduleComparison is one labelled schedule for WriteComparison.
+type ScheduleComparison = trace.Comparison
+
+// WriteComparison prints a side-by-side cost/utilization table for several
+// schedules of one instance.
+func WriteComparison(w io.Writer, in *Instance, g int64, rows []ScheduleComparison) error {
+	return trace.WriteComparison(w, in, g, rows)
+}
