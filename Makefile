@@ -1,0 +1,33 @@
+# Local mirror of the CI gate (.github/workflows/ci.yml).
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet lint test race fuzz ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the caliblint invariant suite (internal/lint) over the module.
+lint:
+	$(GO) run ./cmd/caliblint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz runs each native fuzz target briefly; `go test -fuzz` accepts one
+# target per invocation, so the smoke loops over them.
+fuzz:
+	$(GO) test -fuzz=FuzzValidate -fuzztime=$(FUZZTIME) -run='^$$' ./internal/core
+	$(GO) test -fuzz=FuzzAssignTimes -fuzztime=$(FUZZTIME) -run='^$$' ./internal/core
+	$(GO) test -fuzz=FuzzDPMatchesBrute -fuzztime=$(FUZZTIME) -run='^$$' ./internal/offline
+
+ci: build vet lint test race fuzz

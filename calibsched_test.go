@@ -141,8 +141,8 @@ func TestPublicAdversary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Ratio < 1.9 || out.Ratio > 3 {
-		t.Fatalf("adversary ratio %.3f outside (1.9, 3]", out.Ratio)
+	if out.Ratio() < 1.9 || out.Ratio() > 3 {
+		t.Fatalf("adversary ratio %.3f outside (1.9, 3]", out.Ratio())
 	}
 }
 

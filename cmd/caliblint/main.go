@@ -1,0 +1,92 @@
+// Command caliblint runs the repository's invariant analyzer suite
+// (internal/lint) over module packages and fails if any invariant is
+// violated:
+//
+//	go run ./cmd/caliblint ./...
+//
+// Diagnostics print as file:line:col: analyzer: message. Exit status is
+// 0 when clean, 1 when violations were found, and 2 when the packages
+// could not be loaded (e.g. they do not type-check).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"calibsched/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: caliblint [-list] [patterns...]\n\npatterns are module-relative directories or recursive ./... forms; default ./...\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caliblint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caliblint:", err)
+		os.Exit(2)
+	}
+	targets, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caliblint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(loader, targets, lint.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caliblint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "caliblint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

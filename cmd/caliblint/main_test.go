@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"calibsched/internal/lint"
+)
+
+// TestFindModuleRootFromSubdir verifies root discovery walks upward past
+// package directories.
+func TestFindModuleRootFromSubdir(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Dir(filepath.Dir(wd)) // cmd/caliblint -> module root
+	if root != want {
+		t.Errorf("findModuleRoot() = %q, want %q", root, want)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("discovered root has no go.mod: %v", err)
+	}
+}
+
+// TestLoaderOnSyntheticModule drives the same path main takes — NewLoader
+// reading go.mod, Load, Run — against a throwaway module with one
+// violation of each analyzer that applies outside the exact packages.
+func TestLoaderOnSyntheticModule(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/tiny\n\ngo 1.22\n")
+	write("pick/pick.go", `package pick
+
+import "math/rand/v2"
+
+func Pick(n int) int {
+	return rand.IntN(n)
+}
+`)
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath != "example.com/tiny" {
+		t.Fatalf("module path %q", loader.ModulePath)
+	}
+	targets, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(loader, targets, lint.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "seededrand" {
+		t.Errorf("diagnostic from %s, want seededrand: %s", diags[0].Analyzer, diags[0])
+	}
+}

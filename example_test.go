@@ -143,7 +143,7 @@ func ExamplePlayAdversary() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("ratio %.4f\n", out.Ratio)
+	fmt.Printf("ratio %.4f\n", out.Ratio())
 	// Output:
 	// ratio 1.9961
 }

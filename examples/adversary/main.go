@@ -35,7 +35,7 @@ func main() {
 		if out.CaseOne {
 			c = "eager"
 		}
-		fmt.Printf("%8d %8s %10d %10d %8.4f\n", g, c, out.AlgCost, out.OptCost, out.Ratio)
+		fmt.Printf("%8d %8s %10d %10d %8.4f\n", g, c, out.AlgCost, out.OptCost, out.Ratio())
 	}
 
 	fmt.Println("\nsame adversary vs the pure ski-rental rule (large G: it waits)")
@@ -50,7 +50,7 @@ func main() {
 		if out.CaseOne {
 			c = "eager"
 		}
-		fmt.Printf("%8d %8d %8s %10d %10d %8.4f\n", t, g, c, out.AlgCost, out.OptCost, out.Ratio)
+		fmt.Printf("%8d %8d %8s %10d %10d %8.4f\n", t, g, c, out.AlgCost, out.OptCost, out.Ratio())
 	}
 
 	fmt.Println("\nthe ratio approaches 2 from below; Theorem 3.3 caps Algorithm 1 at 3.")

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMulCheck(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+		ok         bool
+	}{
+		{0, math.MaxInt64, 0, true},
+		{math.MaxInt64, 0, 0, true},
+		{3, 7, 21, true},
+		{-3, 7, -21, true},
+		{math.MaxInt64, 1, math.MaxInt64, true},
+		{math.MinInt64, 1, math.MinInt64, true},
+		{math.MaxInt64, 2, 0, false},
+		{math.MinInt64, -1, 0, false},
+		{-1, math.MinInt64, 0, false},
+		{math.MaxInt64/2 + 1, 2, 0, false},
+		{1 << 32, 1 << 32, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := MulCheck(c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("MulCheck(%d, %d) ok = %v, want %v", c.a, c.b, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("MulCheck(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAddCheck(t *testing.T) {
+	cases := []struct {
+		a, b, want int64
+		ok         bool
+	}{
+		{1, 2, 3, true},
+		{-5, 3, -2, true},
+		{math.MaxInt64, 0, math.MaxInt64, true},
+		{math.MaxInt64 - 1, 1, math.MaxInt64, true},
+		{math.MaxInt64, 1, 0, false},
+		{math.MinInt64, -1, 0, false},
+		{math.MinInt64, math.MinInt64, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := AddCheck(c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("AddCheck(%d, %d) ok = %v, want %v", c.a, c.b, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("AddCheck(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMustMulPanicsOnOverflow(t *testing.T) {
+	if got := MustMul(6, 7); got != 42 {
+		t.Fatalf("MustMul(6, 7) = %d", got)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustMul(MaxInt64, 2) did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "overflow") {
+			t.Fatalf("panic value %v, want overflow message", r)
+		}
+	}()
+	MustMul(math.MaxInt64, 2)
+}
+
+func TestMustAddPanicsOnOverflow(t *testing.T) {
+	if got := MustAdd(40, 2); got != 42 {
+		t.Fatalf("MustAdd(40, 2) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd(MaxInt64, 1) did not panic")
+		}
+	}()
+	MustAdd(math.MaxInt64, 1)
+}
+
+// TestFlowOverflowPanicsInsteadOfWrapping is the invariant the checkedmul
+// analyzer exists to protect: a weight*flow product that exceeds int64
+// must fail loudly, never wrap into a plausible-looking cost.
+func TestFlowOverflowPanicsInsteadOfWrapping(t *testing.T) {
+	j := Job{ID: 0, Release: 0, Weight: math.MaxInt64 / 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Job.Flow with overflowing product did not panic")
+		}
+	}()
+	j.Flow(5)
+}

@@ -29,9 +29,10 @@ type Job struct {
 }
 
 // Flow returns the weighted flow incurred by the job when started at time
-// start: Weight * (start + 1 - Release).
+// start: Weight * (start + 1 - Release). The product is overflow-checked;
+// see MustMul.
 func (j Job) Flow(start int64) int64 {
-	return j.Weight * (start + 1 - j.Release)
+	return MustMul(j.Weight, start+1-j.Release)
 }
 
 // Instance is a calibration-scheduling instance: a job set together with the

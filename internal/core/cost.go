@@ -1,5 +1,62 @@
 package core
 
+import (
+	"fmt"
+	"math"
+)
+
+// Checked int64 arithmetic. The package doc promises exact cost
+// accounting, and silent wraparound in a weight*flow product would
+// invalidate every competitive-ratio measurement downstream, so the cost
+// paths route their products through these helpers; the caliblint
+// checkedmul analyzer enforces that mechanically.
+
+// MulCheck returns a*b and reports whether the product fit in int64
+// without overflow.
+func MulCheck(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	c := a * b
+	if c/b != a {
+		return c, false
+	}
+	return c, true
+}
+
+// AddCheck returns a+b and reports whether the sum fit in int64 without
+// overflow.
+func AddCheck(a, b int64) (int64, bool) {
+	c := a + b
+	if (b > 0 && c < a) || (b < 0 && c > a) {
+		return c, false
+	}
+	return c, true
+}
+
+// MustMul is MulCheck that panics on overflow: in the cost paths an
+// overflowing product is a contract violation (the instance is outside
+// the representable range), not a recoverable condition.
+func MustMul(a, b int64) int64 {
+	c, ok := MulCheck(a, b)
+	if !ok {
+		panic(fmt.Sprintf("core: int64 overflow in %d * %d", a, b))
+	}
+	return c
+}
+
+// MustAdd is AddCheck that panics on overflow.
+func MustAdd(a, b int64) int64 {
+	c, ok := AddCheck(a, b)
+	if !ok {
+		panic(fmt.Sprintf("core: int64 overflow in %d + %d", a, b))
+	}
+	return c
+}
+
 // Flow returns the total weighted flow time of the schedule on the instance:
 // sum over jobs j of w_j * (t_j + 1 - r_j). It panics if any job is
 // unassigned; use Validate first for untrusted schedules.
@@ -10,7 +67,7 @@ func Flow(in *Instance, s *Schedule) int64 {
 		if a.Start < 0 {
 			panic("core: Flow on schedule with unassigned job")
 		}
-		total += j.Flow(a.Start)
+		total = MustAdd(total, j.Flow(a.Start))
 	}
 	return total
 }
@@ -25,7 +82,7 @@ func WeightedCompletion(in *Instance, s *Schedule) int64 {
 		if a.Start < 0 {
 			panic("core: WeightedCompletion on schedule with unassigned job")
 		}
-		total += j.Weight * (a.Start + 1)
+		total = MustAdd(total, MustMul(j.Weight, a.Start+1))
 	}
 	return total
 }
@@ -35,12 +92,12 @@ func WeightedCompletion(in *Instance, s *Schedule) int64 {
 func ReleaseWeightConstant(in *Instance) int64 {
 	var total int64
 	for _, j := range in.Jobs {
-		total += j.Weight * j.Release
+		total = MustAdd(total, MustMul(j.Weight, j.Release))
 	}
 	return total
 }
 
 // TotalCost returns the online objective G*(#calibrations) + Flow.
 func TotalCost(in *Instance, s *Schedule, g int64) int64 {
-	return g*int64(s.NumCalibrations()) + Flow(in, s)
+	return MustAdd(MustMul(g, int64(s.NumCalibrations())), Flow(in, s))
 }

@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"testing"
+
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+)
+
+// fuzzInstance decodes an instance from fuzz bytes, keeping releases,
+// weights, T, and P small enough that costs stay far from int64 range.
+// It returns nil when the bytes don't describe a buildable instance.
+func fuzzInstance(relSeeds, wSeeds []byte, p, tt uint8) *core.Instance {
+	n := min(len(relSeeds), len(wSeeds))
+	if n == 0 || n > 10 {
+		return nil
+	}
+	releases := make([]int64, n)
+	weights := make([]int64, n)
+	for i := 0; i < n; i++ {
+		releases[i] = int64(relSeeds[i] % 32)
+		weights[i] = 1 + int64(wSeeds[i]%9)
+	}
+	in, err := core.NewInstance(1+int(p%3), 1+int64(tt%6), releases, weights)
+	if err != nil {
+		return nil
+	}
+	return in
+}
+
+// FuzzValidate feeds arbitrary schedules — including garbage machines,
+// negative starts, short assignment slices, and stray calendars — to
+// core.Validate, which must classify them with an error or nil but never
+// panic. Run continuously with
+// `go test -fuzz FuzzValidate ./internal/core`.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, []byte{1, 2, 3}, uint8(1), uint8(3), []byte{0, 0, 0, 1, 1, 2}, []byte{0, 4})
+	f.Add([]byte{5}, []byte{9}, uint8(2), uint8(4), []byte{1, 7}, []byte{7})
+	f.Add([]byte{0, 0}, []byte{1, 1}, uint8(1), uint8(2), []byte{}, []byte{})
+	f.Add([]byte{3, 1, 4, 1, 5}, []byte{9, 2, 6, 5, 3}, uint8(3), uint8(5), []byte{0, 250, 1, 3, 2, 2, 9, 9, 4, 0}, []byte{0, 2, 130})
+	f.Fuzz(func(t *testing.T, relSeeds, wSeeds []byte, p, tt uint8, assignSeeds, calSeeds []byte) {
+		in := fuzzInstance(relSeeds, wSeeds, p, tt)
+		if in == nil {
+			return
+		}
+		s := core.NewSchedule(in.N())
+		for i := 0; i+1 < len(assignSeeds) && i/2 < in.N(); i += 2 {
+			id := i / 2
+			// Machines and starts deliberately range outside the valid
+			// domain (including -1 and machine >= P).
+			s.Assignments[id] = core.Assignment{
+				Job:     id,
+				Machine: int(assignSeeds[i]%5) - 1,
+				Start:   int64(assignSeeds[i+1]%40) - 2,
+			}
+		}
+		for _, c := range calSeeds {
+			s.Calibrate(int(c%5)-1, int64(c%37)-2)
+		}
+		// Validate must never panic, whatever it decides.
+		err := core.Validate(in, s)
+		if err == nil {
+			// A schedule Validate accepts must have finite, exact costs.
+			if flow := core.Flow(in, s); flow < 0 {
+				t.Fatalf("valid schedule has negative flow %d", flow)
+			}
+		}
+		// Truncated assignment slices must be rejected, not walked past.
+		short := &core.Schedule{Calendar: s.Calendar, Assignments: s.Assignments[:in.N()-1]}
+		if err := core.Validate(in, short); err == nil && in.N() > 0 {
+			t.Fatal("Validate accepted schedule with missing assignment slot")
+		}
+	})
+}
+
+// FuzzAssignTimes checks the Observation 2.1 contract end to end: for any
+// instance and any calibration-time multiset, AssignTimes either returns
+// an insufficient-capacity error or a schedule that core.Validate accepts
+// and whose flow is at least the trivial lower bound (every job waits at
+// least one step). Run continuously with
+// `go test -fuzz FuzzAssignTimes ./internal/core`.
+func FuzzAssignTimes(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, []byte{1, 2, 3}, uint8(1), uint8(3), []byte{0, 3, 6})
+	f.Add([]byte{0, 0, 7}, []byte{2, 2, 2}, uint8(2), uint8(2), []byte{0})
+	f.Add([]byte{4}, []byte{1}, uint8(1), uint8(1), []byte{})
+	f.Add([]byte{0, 5, 5, 9}, []byte{1, 9, 1, 4}, uint8(3), uint8(4), []byte{2, 2, 11, 30})
+	f.Fuzz(func(t *testing.T, relSeeds, wSeeds []byte, p, tt uint8, timeSeeds []byte) {
+		in := fuzzInstance(relSeeds, wSeeds, p, tt)
+		if in == nil {
+			return
+		}
+		times := make([]int64, len(timeSeeds))
+		for i, b := range timeSeeds {
+			times[i] = int64(b % 64)
+		}
+		s, err := online.AssignTimes(in, times)
+		if err != nil {
+			return // insufficient calibrated capacity is a legal outcome
+		}
+		if verr := core.Validate(in, s); verr != nil {
+			t.Fatalf("AssignTimes produced invalid schedule: %v\njobs %v times %v", verr, in.Jobs, times)
+		}
+		if flow := core.Flow(in, s); flow < in.TotalWeight() {
+			t.Fatalf("flow %d below trivial bound %d (every job incurs >= its weight)", flow, in.TotalWeight())
+		}
+	})
+}

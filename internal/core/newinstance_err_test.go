@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// TestNewInstanceErrorMessages pins the exact error each invalid input
+// produces, so callers (and the noignoredvalidate contract that nobody
+// drops these errors) can rely on the messages staying descriptive.
+func TestNewInstanceErrorMessages(t *testing.T) {
+	cases := []struct {
+		name     string
+		p        int
+		t        int64
+		releases []int64
+		weights  []int64
+		want     string
+	}{
+		{"zero machines", 0, 5, nil, nil, "core: machine count P = 0, want >= 1"},
+		{"negative machines", -3, 5, nil, nil, "core: machine count P = -3, want >= 1"},
+		{"zero T", 1, 0, nil, nil, "core: calibration length T = 0, want >= 1"},
+		{"negative T", 1, -7, nil, nil, "core: calibration length T = -7, want >= 1"},
+		{"length mismatch", 1, 5, []int64{1, 2}, []int64{1}, "core: 2 releases but 1 weights"},
+		{"negative release", 1, 5, []int64{0, -4}, []int64{1, 1}, "core: job 1 has negative release time -4"},
+		{"zero weight", 1, 5, []int64{0}, []int64{0}, "core: job 0 has weight 0, want >= 1"},
+		{"negative weight", 1, 5, []int64{0, 1}, []int64{1, -2}, "core: job 1 has weight -2, want >= 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in, err := NewInstance(c.p, c.t, c.releases, c.weights)
+			if err == nil {
+				t.Fatalf("NewInstance(%d, %d, %v, %v) succeeded, want error", c.p, c.t, c.releases, c.weights)
+			}
+			if in != nil {
+				t.Errorf("NewInstance returned non-nil instance alongside error %q", err)
+			}
+			if err.Error() != c.want {
+				t.Errorf("error = %q, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestNewInstanceFirstViolationWins documents that validation reports the
+// earliest invalid field: machine count before calibration length before
+// per-job checks.
+func TestNewInstanceFirstViolationWins(t *testing.T) {
+	_, err := NewInstance(0, 0, []int64{-1}, []int64{0, 0})
+	if err == nil || err.Error() != "core: machine count P = 0, want >= 1" {
+		t.Fatalf("error = %v, want machine-count violation first", err)
+	}
+}

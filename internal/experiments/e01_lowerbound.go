@@ -73,15 +73,17 @@ func runE1(w io.Writer, cfg Config) (*Report, error) {
 		}
 		r := row{
 			alg: algs[p.alg].name, t: p.t, g: p.g,
-			algCost: out.AlgCost, opt: out.OptCost, measured: out.Ratio,
+			algCost: out.AlgCost, opt: out.OptCost, measured: out.Ratio(),
 		}
+		var num, den int64
 		if out.CaseOne {
 			r.caseName = "1 (eager)"
-			r.lemmaBound = lowerbound.CaseOneBound(p.g)
+			num, den = lowerbound.CaseOneBound(p.g)
 		} else {
 			r.caseName = "2 (waits)"
-			r.lemmaBound = lowerbound.CaseTwoBound(p.t, p.g)
+			num, den = lowerbound.CaseTwoBound(p.t, p.g)
 		}
+		r.lemmaBound = float64(num) / float64(den)
 		return r
 	})
 

@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"calibsched/internal/lint"
+	"calibsched/internal/lint/linttest"
+)
+
+// Each fixture module demonstrates at least one caught violation (a
+// // want expectation) and at least one allowed pattern (code carrying
+// no expectation that must stay diagnostic-free).
+
+func TestExactArithFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "exactarith"), "fix", lint.ExactArith, "./...")
+}
+
+func TestSeededRandFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "seededrand"), "fix", lint.SeededRand, "./...")
+}
+
+func TestCheckedMulFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "checkedmul"), "fix", lint.CheckedMul, "./...")
+}
+
+func TestNoIgnoredValidateFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "noignoredvalidate"), "fix", lint.NoIgnoredValidate, "./...")
+}
+
+// TestAnalyzerMetadata pins the suite's shape: distinct names (directives
+// address analyzers by name) and documented invariants.
+func TestAnalyzerMetadata(t *testing.T) {
+	if len(lint.Analyzers) != 4 {
+		t.Fatalf("suite has %d analyzers, want 4", len(lint.Analyzers))
+	}
+	seen := make(map[string]bool)
+	for _, a := range lint.Analyzers {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

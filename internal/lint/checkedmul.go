@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CheckedMul reports bare int64 × int64 multiplications in the exact
+// packages — the weight × flow products whose silent wraparound would
+// invalidate every competitive-ratio measurement — unless they occur
+// inside the checked-overflow helpers themselves (core.MulCheck and
+// friends). Multiplications with a compile-time-constant operand are
+// allowed: the factor is visible at the call site and the compiler
+// rejects constant overflow, so `2*g` stays readable while `w * flow`
+// must route through core.MustMul / core.MulCheck.
+var CheckedMul = &Analyzer{
+	Name:      "checkedmul",
+	Doc:       "route int64 cost products through the checked-overflow helpers in internal/core",
+	Applies:   isExactPkg,
+	SkipTests: true,
+	Run:       runCheckedMul,
+}
+
+// checkedHelpers are the functions allowed to contain the one raw
+// multiplication each: they are the overflow checks.
+var checkedHelpers = map[string]bool{
+	"MulCheck": true,
+	"AddCheck": true,
+}
+
+func runCheckedMul(pass *Pass) error {
+	isInt64 := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Int64
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		return ok && tv.Value != nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.MUL {
+				return true
+			}
+			if !isInt64(n.X) || !isInt64(n.Y) {
+				return true
+			}
+			if isConst(n.X) || isConst(n.Y) {
+				return true
+			}
+			if checkedHelpers[pass.EnclosingFuncName(n.Pos())] {
+				return true
+			}
+			pass.Reportf(n.OpPos, "unchecked int64 multiplication in exact cost path; use core.MustMul (or core.MulCheck to handle overflow)")
+		case *ast.AssignStmt:
+			if n.Tok != token.MUL_ASSIGN || len(n.Lhs) != 1 {
+				return true
+			}
+			if !isInt64(n.Lhs[0]) || isConst(n.Rhs[0]) {
+				return true
+			}
+			if checkedHelpers[pass.EnclosingFuncName(n.Pos())] {
+				return true
+			}
+			pass.Reportf(n.TokPos, "unchecked int64 *= in exact cost path; use core.MustMul (or core.MulCheck to handle overflow)")
+		}
+		return true
+	})
+	return nil
+}

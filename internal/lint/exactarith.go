@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// exactPkgSuffixes names the packages whose doc contract promises exact
+// int64 arithmetic. Reporting packages (internal/stats, internal/trace)
+// and experiment drivers are deliberately absent: ratios, quantiles, and
+// regression slopes are legitimately floating-point there, downstream of
+// the exact costs.
+var exactPkgSuffixes = []string{
+	"internal/core",
+	"internal/online",
+	"internal/offline",
+	"internal/transform",
+	"internal/lowerbound",
+}
+
+func isExactPkg(path string) bool {
+	for _, s := range exactPkgSuffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExactArith reports any floating-point arithmetic inside the exact
+// packages: uses of the float32/float64/complex types, float or imaginary
+// literals, and variables whose inferred type is floating-point (which
+// catches values laundered through calls like math.Log without a visible
+// conversion). Test files are exempt — comparing a measured ratio against
+// 3.0 in a test does not contaminate the costs being compared.
+var ExactArith = &Analyzer{
+	Name:      "exactarith",
+	Doc:       "forbid floating-point types, literals, and inferred values in the exact-arithmetic packages",
+	Applies:   isExactPkg,
+	SkipTests: true,
+	Run:       runExactArith,
+}
+
+func runExactArith(pass *Pass) error {
+	floatType := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if tn, ok := pass.Info.Uses[n].(*types.TypeName); ok && tn.Pkg() == nil {
+				switch tn.Name() {
+				case "float32", "float64", "complex64", "complex128":
+					pass.Reportf(n.Pos(), "use of %s in exact-arithmetic package (doc contract: all cost arithmetic is exact int64)", tn.Name())
+				}
+			}
+			if obj, ok := pass.Info.Defs[n].(*types.Var); ok && obj.Type() != nil && floatType(obj.Type()) {
+				pass.Reportf(n.Pos(), "%s has floating-point type %s in exact-arithmetic package", n.Name, obj.Type())
+			}
+		case *ast.BasicLit:
+			if n.Kind == token.FLOAT || n.Kind == token.IMAG {
+				pass.Reportf(n.Pos(), "floating-point literal %s in exact-arithmetic package", n.Value)
+			}
+		}
+		return true
+	})
+	return nil
+}

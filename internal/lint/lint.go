@@ -1,0 +1,205 @@
+// Package lint is a self-contained static-analysis framework plus the
+// analyzer suite that mechanically enforces this repository's correctness
+// invariants: exact int64 arithmetic, explicitly seeded randomness,
+// overflow-checked cost products, and never-dropped validation errors.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// Analyzer values with a Run function over a type-checked Pass — but is
+// built only on the standard library (go/parser, go/types, and the
+// "source" go/importer), so the module keeps its zero-dependency policy.
+//
+// A diagnostic can be suppressed at a specific site with a directive
+// comment on the offending line or the line directly above it:
+//
+//	total := a * b //caliblint:allow checkedmul -- proven in range
+//
+// The directive names one analyzer, a comma-separated list, or "all".
+// Suppressions are deliberate, greppable exceptions; the analyzers' own
+// scoping (exact-arithmetic package list, test-file exemptions) should
+// cover everything routine.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Applies restricts the analyzer to packages whose import path it
+	// accepts; nil means every package.
+	Applies func(pkgPath string) bool
+	// SkipTests excludes _test.go compilations entirely: invariants about
+	// production arithmetic do not bind test assertions.
+	SkipTests bool
+	// Run inspects one type-checked compilation and reports violations.
+	Run func(*Pass) error
+}
+
+// Pass is one analyzer run over one type-checked compilation unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Test is true when the pass covers a _test.go compilation, letting
+	// analyzers relax individual rules for tests without skipping the
+	// whole file set the way SkipTests does.
+	Test bool
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Inspect walks every file of the pass in source order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// EnclosingFuncName returns the name of the innermost named function or
+// method declaration containing pos, or "" at package scope. Function
+// literals are attributed to the named declaration they appear in.
+func (p *Pass) EnclosingFuncName(pos token.Pos) string {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+					return fd.Name.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+var directiveRE = regexp.MustCompile(`^//caliblint:allow\s+([a-z0-9_,\s]+?)\s*(?:--.*)?$`)
+
+// allowedLines maps file line numbers to the analyzer names a directive
+// suppresses on that line. A directive on line L suppresses lines L and
+// L+1, so it can sit on the offending line or directly above it.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[int]map[string]bool {
+	allowed := make(map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.Split(m[1], ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names[n] = true
+					}
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, l := range []int{line, line + 1} {
+					if allowed[l] == nil {
+						allowed[l] = make(map[string]bool)
+					}
+					for n := range names {
+						allowed[l][n] = true
+					}
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// Run executes the analyzers over the loaded targets and returns every
+// unsuppressed diagnostic, sorted by position.
+func Run(loader *Loader, targets []*TargetPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	seen := make(map[Diagnostic]bool)
+	for _, tp := range targets {
+		for _, check := range tp.Checks {
+			allowed := allowedLines(loader.Fset, check.Files)
+			reportable := make(map[string]bool, len(check.Report))
+			for f := range check.Report {
+				reportable[loader.Fset.Position(f.Pos()).Filename] = true
+			}
+			for _, a := range analyzers {
+				if a.SkipTests && check.Test {
+					continue
+				}
+				if a.Applies != nil && !a.Applies(tp.Path) {
+					continue
+				}
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     loader.Fset,
+					Files:    check.Files,
+					Pkg:      check.Pkg,
+					Info:     check.Info,
+					Test:     check.Test,
+				}
+				pass.report = func(pos token.Pos, msg string) {
+					p := loader.Fset.Position(pos)
+					if !reportable[p.Filename] {
+						return
+					}
+					if names := allowed[p.Line]; names != nil && (names[a.Name] || names["all"]) {
+						return
+					}
+					d := Diagnostic{Pos: p, Analyzer: a.Name, Message: msg}
+					if !seen[d] {
+						seen[d] = true
+						diags = append(diags, d)
+					}
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, tp.Path, err)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// pathHasSuffix reports whether path ends with the package-path suffix s
+// at a component boundary ("x/internal/core" matches "internal/core";
+// "x/myinternal/core" does not).
+func pathHasSuffix(path, s string) bool {
+	return path == s || strings.HasSuffix(path, "/"+s)
+}

@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"calibsched/internal/lint"
+)
+
+// TestRepoIsCaliblintClean is the in-tree form of the CI gate: the whole
+// module must satisfy every invariant analyzer. Run `go run ./cmd/caliblint
+// ./...` for the same check from the command line.
+func TestRepoIsCaliblintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) < 10 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(targets))
+	}
+	diags, err := lint.Run(loader, targets, lint.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestDirectiveSuppression checks the scoping rules of //caliblint:allow
+// against the exactarith fixture: the directive must silence only the
+// named analyzer on its own and the following line.
+func TestDirectiveSuppression(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "exactarith"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoaderWithModule(root, "fix")
+	targets, err := loader.Load("internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(loader, targets, []*lint.Analyzer{lint.ExactArith})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) != "floats.go" {
+			t.Errorf("diagnostic outside fixture file: %s", d)
+		}
+		if d.Pos.Line >= 22 { // ReportingRatio's directive-suppressed lines
+			t.Errorf("directive failed to suppress: %s", d)
+		}
+	}
+	if len(diags) != 6 {
+		t.Errorf("got %d diagnostics, want 6: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,107 @@
+// Package linttest runs a lint.Analyzer over a fixture module and checks
+// its diagnostics against expectations written in the fixture source, in
+// the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := 0.5 // want `floating-point literal`
+//
+// Each `// want` comment holds one or more backquoted or double-quoted
+// regular expressions that must match, in order, the diagnostics reported
+// on that line. Diagnostics with no matching expectation and expectations
+// with no matching diagnostic both fail the test.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"calibsched/internal/lint"
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)$")
+var patRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture module rooted at root (with the given module
+// path), applies the analyzer to the packages selected by patterns, and
+// reports mismatches between diagnostics and // want expectations on t.
+func Run(t *testing.T, root, modulePath string, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	loader := lint.NewLoaderWithModule(root, modulePath)
+	targets, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", root, err)
+	}
+	if len(targets) == 0 {
+		t.Fatalf("fixture %s matched no packages for %v", root, patterns)
+	}
+	diags, err := lint.Run(loader, targets, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, tp := range targets {
+		for _, check := range tp.Checks {
+			for f := range check.Report {
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						m := wantRE.FindStringSubmatch(c.Text)
+						if m == nil {
+							continue
+						}
+						pos := loader.Fset.Position(c.Pos())
+						for _, raw := range patRE.FindAllString(m[1], -1) {
+							pat, err := unquotePattern(raw)
+							if err != nil {
+								t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+							}
+							re, err := regexp.Compile(pat)
+							if err != nil {
+								t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+							}
+							wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.re)
+		}
+	}
+}
+
+func unquotePattern(raw string) (string, error) {
+	if raw[0] == '`' {
+		return raw[1 : len(raw)-1], nil
+	}
+	s, err := strconv.Unquote(raw)
+	if err != nil {
+		return "", fmt.Errorf("unquoting: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoIgnoredValidate enforces two error-discipline invariants everywhere
+// in the module:
+//
+//   - the error results of core.Validate and core.NewInstance must never
+//     be dropped — not as a bare expression statement, not assigned to
+//     the blank identifier. A schedule that skipped validation is exactly
+//     the kind of silently-wrong artifact the suite exists to prevent.
+//   - a raw error value must not be fed to panic outside a Must*-named
+//     helper: either return the error or panic with a contextual message.
+//     (Assertion panics with string messages remain idiomatic.) This rule
+//     is relaxed in _test.go compilations, where Example functions have
+//     no *testing.T and panic(err) is the documented idiom.
+var NoIgnoredValidate = &Analyzer{
+	Name: "noignoredvalidate",
+	Doc:  "forbid dropped core.Validate/core.NewInstance errors and panic(err) outside Must* helpers",
+	Run:  runNoIgnoredValidate,
+}
+
+// coreFunc returns the name of the core validation function a call
+// expression invokes ("Validate" or "NewInstance"), or "".
+func coreFunc(pass *Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return ""
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || !pathHasSuffix(fn.Pkg().Path(), "internal/core") {
+		return ""
+	}
+	switch fn.Name() {
+	case "Validate", "NewInstance":
+		return fn.Name()
+	}
+	return ""
+}
+
+func runNoIgnoredValidate(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name := coreFunc(pass, call); name != "" {
+					pass.Reportf(n.Pos(), "result of core.%s discarded; the error must be checked", name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := coreFunc(pass, call)
+			if name == "" {
+				return true
+			}
+			// The error is the last result of both functions.
+			errPos := len(n.Lhs) - 1
+			if id, ok := n.Lhs[errPos].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(id.Pos(), "error from core.%s assigned to the blank identifier; the error must be checked", name)
+			}
+		case *ast.CallExpr:
+			if pass.Test {
+				return true
+			}
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" || len(n.Args) != 1 {
+				return true
+			}
+			if obj := pass.Info.Uses[id]; obj == nil || obj != types.Universe.Lookup("panic") {
+				return true
+			}
+			tv, ok := pass.Info.Types[n.Args[0]]
+			if !ok || tv.Type == nil || !types.Implements(tv.Type, errType) {
+				return true
+			}
+			if fn := pass.EnclosingFuncName(n.Pos()); len(fn) >= 4 && fn[:4] == "Must" {
+				return true
+			}
+			pass.Reportf(n.Pos(), "panic with a raw error value outside a Must* helper; return the error or panic with a contextual message")
+		}
+		return true
+	})
+	return nil
+}
+
+// Analyzers is the full caliblint suite in reporting order.
+var Analyzers = []*Analyzer{ExactArith, SeededRand, CheckedMul, NoIgnoredValidate}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand enforces the package doc's determinism contract: every
+// random stream must be an explicitly seeded *rand.Rand. It reports
+//
+//   - calls to the package-level functions of math/rand and math/rand/v2
+//     (rand.IntN, rand.Perm, rand.Shuffle, ...), which draw from the
+//     global, implicitly seeded source, and
+//   - source constructors (rand.NewSource, rand.NewPCG, rand.NewChaCha8)
+//     whose seed expression is derived from time.Now, which makes runs
+//     unreproducible.
+//
+// Constructing sources and generators (rand.New, rand.NewPCG, rand.NewZipf)
+// from explicit seeds is the allowed pattern; crypto/rand is out of scope.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid the global math/rand source and time-derived seeds; randomness must be explicitly seeded",
+	Run:  runSeededRand,
+}
+
+// randCtors are the math/rand functions that merely construct sources,
+// generators, or distributions and therefore do not touch global state.
+var randCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func isMathRand(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2")
+}
+
+func runSeededRand(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			fn, ok := pass.Info.Uses[n.Sel].(*types.Func)
+			if !ok || !isMathRand(fn.Pkg()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if randCtors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(n.Pos(), "rand.%s draws from the package-global, implicitly seeded source; use rand.New(rand.NewPCG(seed, ...)) with an explicit seed", fn.Name())
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isMathRand(fn.Pkg()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch fn.Name() {
+			case "NewSource", "NewPCG", "NewChaCha8":
+				for _, arg := range n.Args {
+					if tn := findTimeNow(pass, arg); tn != nil {
+						pass.Reportf(tn.Pos(), "seed for rand.%s derived from time.Now; pass an explicit seed so runs are reproducible", fn.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// findTimeNow returns the first reference to time.Now inside expr, if any.
+func findTimeNow(pass *Pass, expr ast.Expr) ast.Node {
+	var found ast.Node
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = sel
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

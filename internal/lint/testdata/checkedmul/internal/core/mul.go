@@ -1,0 +1,41 @@
+// Package core is a checkedmul fixture standing in for an
+// exact-arithmetic package.
+package core
+
+// MulCheck is the checked-overflow helper: the one place a raw int64
+// product is allowed, recognized by name.
+func MulCheck(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	c := a * b
+	if c/b != a {
+		return c, false
+	}
+	return c, true
+}
+
+func BadCost(w, f int64) int64 {
+	return w * f // want `unchecked int64 multiplication in exact cost path`
+}
+
+func BadScale(total, k int64) int64 {
+	total *= k // want `unchecked int64 \*= in exact cost path`
+	return total
+}
+
+// A compile-time-constant factor is allowed: the compiler rejects
+// constant overflow and the factor is visible at the call site.
+func Doubled(g int64) int64 {
+	return 2*g + 2
+}
+
+// Non-int64 products (indices, counters) are out of scope.
+func Cells(rows, cols int) int {
+	return rows * cols
+}
+
+// A deliberate exception carries the directive.
+func BoundedProduct(a, b int64) int64 {
+	return a * b //caliblint:allow checkedmul -- operands bounded by construction
+}

@@ -1,0 +1,26 @@
+// Package core is an exactarith fixture standing in for an
+// exact-arithmetic package.
+package core
+
+// Flow-style integer arithmetic is the allowed pattern.
+func Flow(w, start, release int64) int64 {
+	return w * (start + 1 - release)
+}
+
+func BadConvert(x int64) float64 { // want `use of float64 in exact-arithmetic package`
+	return float64(x) // want `use of float64 in exact-arithmetic package`
+}
+
+func BadInferred(a, b int64) int64 {
+	r := 0.5 // want `r has floating-point type float64` `floating-point literal 0.5`
+	_ = r
+	var f float32 // want `use of float32 in exact-arithmetic package` `f has floating-point type float32`
+	_ = f
+	return a + b
+}
+
+// A deliberate, documented exception uses the directive on the offending
+// line (or the line above) and is the allowed suppression pattern.
+func ReportingRatio(a, b int64) float64 { //caliblint:allow exactarith -- reporting-only
+	return float64(a) / float64(b) //caliblint:allow exactarith -- reporting-only
+}

@@ -1,0 +1,12 @@
+package core
+
+import "testing"
+
+// Test files are exempt from exactarith: comparing measured ratios
+// against float thresholds does not contaminate the exact costs, so
+// nothing below is reported.
+func TestRatioThreshold(t *testing.T) {
+	if got := float64(Flow(2, 3, 0)) / 8.0; got > 3.0 {
+		t.Fatalf("ratio %f", got)
+	}
+}

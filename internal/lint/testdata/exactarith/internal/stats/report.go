@@ -1,0 +1,12 @@
+// Package stats is a reporting package: it is outside the
+// exact-arithmetic set, so its floating-point summaries are the allowed
+// pattern and nothing here is reported.
+package stats
+
+func Mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

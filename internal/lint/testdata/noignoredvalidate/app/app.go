@@ -1,0 +1,49 @@
+// Package app is the noignoredvalidate fixture exercising caller-side
+// violations against the stub core package.
+package app
+
+import (
+	"fmt"
+
+	"fix/internal/core"
+)
+
+func Dropped(in *core.Instance, s *core.Schedule) {
+	core.Validate(in, s) // want `result of core.Validate discarded`
+}
+
+func Blank(in *core.Instance, s *core.Schedule) *core.Instance {
+	_ = core.Validate(in, s)       // want `error from core.Validate assigned to the blank identifier`
+	inst, _ := core.NewInstance(3) // want `error from core.NewInstance assigned to the blank identifier`
+	return inst
+}
+
+// Checked is the allowed pattern: the error is propagated with context.
+func Checked(in *core.Instance, s *core.Schedule) error {
+	if err := core.Validate(in, s); err != nil {
+		return fmt.Errorf("app: %w", err)
+	}
+	return nil
+}
+
+func PanicsRawError(in *core.Instance, s *core.Schedule) {
+	if err := core.Validate(in, s); err != nil {
+		panic(err) // want `panic with a raw error value outside a Must\* helper`
+	}
+}
+
+// PanicsWithContext is allowed: an assertion panic with a contextual
+// string message, not a raw error value.
+func PanicsWithContext(in *core.Instance, s *core.Schedule) {
+	if err := core.Validate(in, s); err != nil {
+		panic(fmt.Sprintf("app: schedule must validate here: %v", err))
+	}
+}
+
+// MustValidate is allowed: Must* helpers convert errors to panics by
+// design.
+func MustValidate(in *core.Instance, s *core.Schedule) {
+	if err := core.Validate(in, s); err != nil {
+		panic(err)
+	}
+}

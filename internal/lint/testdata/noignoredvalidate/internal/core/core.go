@@ -1,0 +1,33 @@
+// Package core is a noignoredvalidate fixture stub mirroring the real
+// core package's validation API.
+package core
+
+import "fmt"
+
+type Instance struct{ N int }
+
+type Schedule struct{ Slots int }
+
+func Validate(in *Instance, s *Schedule) error {
+	if in.N != s.Slots {
+		return fmt.Errorf("core: %d jobs but %d slots", in.N, s.Slots)
+	}
+	return nil
+}
+
+func NewInstance(n int) (*Instance, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative job count %d", n)
+	}
+	return &Instance{N: n}, nil
+}
+
+// MustInstance may panic with the raw error: Must* helpers are the
+// allowed pattern for converting errors to panics.
+func MustInstance(n int) *Instance {
+	in, err := NewInstance(n)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

@@ -1,0 +1,30 @@
+// Package gen is a seededrand fixture covering math/rand/v2.
+package gen
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Explicitly seeded construction is the allowed pattern.
+func Good(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Drawing from an explicit generator is allowed: IntN here is a method
+// on *rand.Rand, not the package-level function.
+func GoodDraw(rng *rand.Rand) int {
+	return rng.IntN(10)
+}
+
+func BadGlobal() int {
+	return rand.IntN(10) // want `rand.IntN draws from the package-global, implicitly seeded source`
+}
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the package-global`
+}
+
+func BadTimeSeed() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1)) // want `seed for rand.NewPCG derived from time.Now`
+}

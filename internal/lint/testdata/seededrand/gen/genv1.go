@@ -1,0 +1,19 @@
+package gen
+
+import (
+	mrand "math/rand"
+	"time"
+)
+
+// The v1 math/rand package is held to the same contract.
+func GoodV1(seed int64) *mrand.Rand {
+	return mrand.New(mrand.NewSource(seed))
+}
+
+func BadV1Global() int {
+	return mrand.Intn(3) // want `rand.Intn draws from the package-global`
+}
+
+func BadV1TimeSeed() *mrand.Rand {
+	return mrand.New(mrand.NewSource(time.Now().UnixNano())) // want `seed for rand.NewSource derived from time.Now`
+}

@@ -38,8 +38,23 @@ type Outcome struct {
 	// AlgCost and OptCost are the algorithm's and the exact offline
 	// optimum's total costs (G*calibrations + flow).
 	AlgCost, OptCost int64
-	// Ratio is AlgCost / OptCost.
-	Ratio float64
+}
+
+// RatioAtLeast reports AlgCost/OptCost >= num/den exactly, by
+// cross-multiplying in checked int64 arithmetic; assertions about the
+// competitive ratio should use it instead of the floating-point Ratio.
+func (o *Outcome) RatioAtLeast(num, den int64) bool {
+	return core.MustMul(o.AlgCost, den) >= core.MustMul(num, o.OptCost)
+}
+
+// Ratio returns AlgCost/OptCost for human-readable reporting only; the
+// division is the package's sole floating-point operation and is
+// directive-exempt from the exactarith analyzer.
+func (o *Outcome) Ratio() float64 { //caliblint:allow exactarith -- reporting-only ratio
+	if o.OptCost == 0 {
+		return 0
+	}
+	return float64(o.AlgCost) / float64(o.OptCost) //caliblint:allow exactarith -- reporting-only ratio
 }
 
 // Play runs the adversary against alg with calibration length T and cost G.
@@ -100,26 +115,22 @@ func Play(alg Algorithm, t, g int64) (*Outcome, error) {
 			return nil, fmt.Errorf("lowerbound: case-2 certificate cost %d, want %d", optCost, want)
 		}
 	}
-	out := &Outcome{
+	return &Outcome{
 		CaseOne:  calibratedAtZero,
 		Instance: in,
 		AlgCost:  algCost,
 		OptCost:  optCost,
-	}
-	if optCost > 0 {
-		out.Ratio = float64(algCost) / float64(optCost)
-	}
-	return out, nil
+	}, nil
 }
 
-// CaseOneBound returns Lemma 3.1's case-1 ratio (2G+2)/(G+3) that an
-// eagerly calibrating algorithm cannot beat.
-func CaseOneBound(g int64) float64 {
-	return float64(2*g+2) / float64(g+3)
+// CaseOneBound returns Lemma 3.1's case-1 ratio (2G+2)/(G+3), as an
+// exact rational, that an eagerly calibrating algorithm cannot beat.
+func CaseOneBound(g int64) (num, den int64) {
+	return 2*g + 2, g + 3
 }
 
-// CaseTwoBound returns Lemma 3.1's case-2 ratio (2T+G)/(T+G) that a
-// hesitant algorithm cannot beat.
-func CaseTwoBound(t, g int64) float64 {
-	return float64(2*t+g) / float64(t+g)
+// CaseTwoBound returns Lemma 3.1's case-2 ratio (2T+G)/(T+G), as an
+// exact rational, that a hesitant algorithm cannot beat.
+func CaseTwoBound(t, g int64) (num, den int64) {
+	return 2*t + g, t + g
 }

@@ -1,7 +1,6 @@
 package lowerbound
 
 import (
-	"math"
 	"testing"
 
 	"calibsched/internal/baseline"
@@ -27,9 +26,14 @@ func TestPlayAgainstAlg1EagerBranch(t *testing.T) {
 	if !out.CaseOne {
 		t.Fatal("expected case 1 (algorithm calibrates at 0)")
 	}
-	want := float64(2*32+2) / float64(32+3)
-	if math.Abs(out.Ratio-want) > 1e-9 {
-		t.Errorf("ratio = %.4f, want %.4f", out.Ratio, want)
+	// The measured ratio equals the lemma bound exactly: cross-multiplied,
+	// AlgCost/OptCost == (2G+2)/(G+3).
+	num, den := CaseOneBound(32)
+	if out.AlgCost*den != num*out.OptCost {
+		t.Errorf("ratio %d/%d != lemma bound %d/%d", out.AlgCost, out.OptCost, num, den)
+	}
+	if !out.RatioAtLeast(num, den) {
+		t.Errorf("RatioAtLeast(%d, %d) = false at the exact bound", num, den)
 	}
 	if out.AlgCost != 2*32+2 {
 		t.Errorf("alg cost = %d, want %d", out.AlgCost, 2*32+2)
@@ -62,45 +66,51 @@ func TestPlayAgainstFlowThresholdWaitBranch(t *testing.T) {
 	if out.OptCost != 16+100 {
 		t.Errorf("opt = %d, want %d", out.OptCost, 116)
 	}
-	if out.Ratio < 1 {
-		t.Errorf("ratio = %.3f < 1", out.Ratio)
+	if !out.RatioAtLeast(1, 1) {
+		t.Errorf("ratio = %.3f < 1", out.Ratio())
 	}
 }
 
 func TestRatioApproachesTwo(t *testing.T) {
 	// Against Algorithm 1 with T = G (eager branch), the ratio
 	// (2G+2)/(G+3) approaches 2 from below as G grows.
-	prev := 0.0
+	// Exact monotonicity: ratios a1/o1 < a2/o2 iff a1*o2 < a2*o1.
+	prevAlg, prevOpt := int64(0), int64(1)
 	for _, g := range []int64{4, 16, 64, 256, 1024} {
 		out, err := Play(alg1, g, g)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if out.Ratio <= prev {
-			t.Errorf("G=%d: ratio %.5f did not increase (prev %.5f)", g, out.Ratio, prev)
+		if out.AlgCost*prevOpt <= prevAlg*out.OptCost {
+			t.Errorf("G=%d: ratio %d/%d did not increase (prev %d/%d)", g, out.AlgCost, out.OptCost, prevAlg, prevOpt)
 		}
-		if out.Ratio >= 2 {
-			t.Errorf("G=%d: ratio %.5f >= 2", g, out.Ratio)
+		if out.RatioAtLeast(2, 1) {
+			t.Errorf("G=%d: ratio %d/%d >= 2", g, out.AlgCost, out.OptCost)
 		}
-		prev = out.Ratio
+		prevAlg, prevOpt = out.AlgCost, out.OptCost
 	}
-	if prev < 1.95 {
-		t.Errorf("ratio at G=1024 = %.4f, want > 1.95", prev)
+	// 1.95 = 39/20 exactly.
+	if prevAlg*20 < 39*prevOpt {
+		t.Errorf("ratio at G=1024 = %d/%d, want > 39/20", prevAlg, prevOpt)
 	}
 }
 
 func TestBoundFormulas(t *testing.T) {
-	if got := CaseOneBound(1); math.Abs(got-1.0) > 1e-12 {
-		t.Errorf("CaseOneBound(1) = %f, want 1", got)
+	if num, den := CaseOneBound(1); num != den {
+		t.Errorf("CaseOneBound(1) = %d/%d, want 1", num, den)
 	}
-	if got := CaseTwoBound(10, 0); math.Abs(got-2.0) > 1e-12 {
-		t.Errorf("CaseTwoBound(10,0) = %f, want 2", got)
+	if num, den := CaseTwoBound(10, 0); num != 2*den {
+		t.Errorf("CaseTwoBound(10,0) = %d/%d, want 2", num, den)
 	}
-	// Monotone toward 2.
-	if CaseOneBound(100) <= CaseOneBound(10) {
+	// Monotone toward 2 (exact cross-multiplied comparison).
+	n1, d1 := CaseOneBound(10)
+	n2, d2 := CaseOneBound(100)
+	if n2*d1 <= n1*d2 {
 		t.Error("CaseOneBound not increasing in G")
 	}
-	if CaseTwoBound(1000, 10) <= CaseTwoBound(100, 10) {
+	n1, d1 = CaseTwoBound(100, 10)
+	n2, d2 = CaseTwoBound(1000, 10)
+	if n2*d1 <= n1*d2 {
 		t.Error("CaseTwoBound not increasing in T")
 	}
 }
@@ -120,8 +130,8 @@ func TestAlgorithmsNeverBeatTheLowerBoundStory(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if out.Ratio > 3.0+1e-9 {
-				t.Errorf("T=%d G=%d: Algorithm 1 ratio %.3f exceeds its bound 3", tt, g, out.Ratio)
+			if out.AlgCost > 3*out.OptCost {
+				t.Errorf("T=%d G=%d: Algorithm 1 ratio %d/%d exceeds its bound 3", tt, g, out.AlgCost, out.OptCost)
 			}
 		}
 	}

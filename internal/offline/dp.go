@@ -112,7 +112,7 @@ func newSolver(in *core.Instance) (*solver, error) {
 		s.rel[i+1] = j.Release
 		s.w[i+1] = j.Weight
 		s.rank[i+1] = ranks[j.ID]
-		s.relWeight += j.Weight * j.Release
+		s.relWeight = core.MustAdd(s.relWeight, core.MustMul(j.Weight, j.Release))
 	}
 	s.pre = make([][]int32, n+1)
 	for mu := 0; mu <= n; mu++ {
@@ -226,7 +226,7 @@ func (s *solver) solveF(u, v, mu int) (int64, choice) {
 		// Job e is released in the everything-at-release suffix of the
 		// final interval: schedule it at its release time.
 		if rest := s.f(u, v, s.rank[e]); rest < inf {
-			if c := rest + s.w[e]*(s.rel[e]+1); c < best {
+			if c := core.MustAdd(rest, core.MustMul(s.w[e], s.rel[e]+1)); c < best {
 				best = c
 				bestCh = choice{kind: choiceAtRelease, e: e, slot: s.rel[e]}
 			}
@@ -235,7 +235,7 @@ func (s *solver) solveF(u, v, mu int) (int64, choice) {
 		// Job e is delayed: as the lightest job it takes the last slot of
 		// the busy prefix, completing at b+s.
 		if rest := s.f(u, v, s.rank[e]); rest < inf {
-			if c := rest + s.w[e]*(b+sPrefix); c < best {
+			if c := core.MustAdd(rest, core.MustMul(s.w[e], b+sPrefix)); c < best {
 				best = c
 				bestCh = choice{kind: choiceBusyPrefix, e: e, slot: b + sPrefix - 1}
 			}
@@ -294,7 +294,7 @@ func (s *solver) fTable(k, v int) int64 {
 	if v == 0 {
 		return 0
 	}
-	if k <= 0 || int64(k)*s.T < int64(v) {
+	if k <= 0 || core.MustMul(int64(k), s.T) < int64(v) {
 		return inf
 	}
 	key := k*(s.n+1) + v
@@ -452,7 +452,7 @@ func OptimalTotalCost(in *core.Instance, g int64) (total int64, bestK int, sched
 		if flows[k] == Unschedulable {
 			continue
 		}
-		if c := g*int64(k) + flows[k]; c < best {
+		if c := core.MustAdd(core.MustMul(g, int64(k)), flows[k]); c < best {
 			best = c
 			bestK = k
 		}

@@ -40,7 +40,7 @@ func TotalCostSearch(in *core.Instance, g int64) (total int64, bestK, probes int
 		if f == Unschedulable {
 			return inf
 		}
-		return g*int64(k) + f
+		return core.MustAdd(core.MustMul(g, int64(k)), f)
 	}
 
 	lo := int(simul.CeilDiv(int64(in.N()), in.T)) // below this: infeasible

@@ -98,7 +98,7 @@ func runAlg2Multi(in *core.Instance, g int64, naive bool) *Result {
 		for !q.Empty() {
 			tr := TriggerNone
 			switch {
-			case q.TotalWeight()*T >= g:
+			case core.MustMul(q.TotalWeight(), T) >= g:
 				tr = TriggerWeight
 			case int64(q.Len()) >= T:
 				tr = TriggerQueueFull

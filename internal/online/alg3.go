@@ -133,7 +133,7 @@ func runAlg3(in *core.Instance, g int64, naive bool) *Result {
 		// into the fresh interval in release-time order.
 		for !q.Empty() {
 			tr := TriggerNone
-			if int64(q.Len())*T >= g {
+			if core.MustMul(int64(q.Len()), T) >= g {
 				tr = TriggerCount
 			} else if q.FlowIfScheduledFrom(t+1) >= g {
 				tr = TriggerFlow

@@ -100,9 +100,9 @@ func runSingle(in *core.Instance, g int64, pol singlePolicy, naive bool) *Result
 		if !calibrated && !q.Empty() {
 			tr := TriggerNone
 			switch {
-			case pol.countTrigger && int64(q.Len())*T >= g:
+			case pol.countTrigger && core.MustMul(int64(q.Len()), T) >= g:
 				tr = TriggerCount
-			case pol.weightTrigger && q.TotalWeight()*T >= g:
+			case pol.weightTrigger && core.MustMul(q.TotalWeight(), T) >= g:
 				tr = TriggerWeight
 			case pol.queueFullTrigger && int64(q.Len()) >= T:
 				tr = TriggerQueueFull

@@ -113,9 +113,9 @@ func (s *Stepper) Step(arrivals []core.Job) StepEvent {
 	if !calibrated && !s.q.Empty() {
 		tr := TriggerNone
 		switch {
-		case s.pol.countTrigger && int64(s.q.Len())*s.T >= s.g:
+		case s.pol.countTrigger && core.MustMul(int64(s.q.Len()), s.T) >= s.g:
 			tr = TriggerCount
-		case s.pol.weightTrigger && s.q.TotalWeight()*s.T >= s.g:
+		case s.pol.weightTrigger && core.MustMul(s.q.TotalWeight(), s.T) >= s.g:
 			tr = TriggerWeight
 		case s.pol.queueFullTrigger && int64(s.q.Len()) >= s.T:
 			tr = TriggerQueueFull
