@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz ci
+.PHONY: all build vet lint test race fuzz serve loadtest ci
 
 all: ci
 
@@ -29,5 +29,18 @@ fuzz:
 	$(GO) test -fuzz=FuzzValidate -fuzztime=$(FUZZTIME) -run='^$$' ./internal/core
 	$(GO) test -fuzz=FuzzAssignTimes -fuzztime=$(FUZZTIME) -run='^$$' ./internal/core
 	$(GO) test -fuzz=FuzzDPMatchesBrute -fuzztime=$(FUZZTIME) -run='^$$' ./internal/offline
+	$(GO) test -fuzz=FuzzReadInstance -fuzztime=$(FUZZTIME) -run='^$$' ./internal/workload
+
+# serve boots the streaming scheduling daemon on SERVE_ADDR (see
+# DESIGN.md §7 for the API).
+SERVE_ADDR ?= :8373
+serve:
+	$(GO) run ./cmd/calibserved -addr $(SERVE_ADDR)
+
+# loadtest drives a running calibserved with the concurrent load
+# generator and verifies every session against the batch engines.
+LOAD_ADDR ?= http://127.0.0.1:8373
+loadtest:
+	$(GO) run ./cmd/calibload -addr $(LOAD_ADDR) -sessions 64 -steps 200 -verify
 
 ci: build vet lint test race fuzz

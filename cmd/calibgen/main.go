@@ -17,28 +17,50 @@ import (
 )
 
 func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cliMain parses and validates flags, then emits one instance to stdout.
+// Exit codes: 0 ok, 1 runtime failure, 2 usage error.
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("calibgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n       = flag.Int("n", 50, "number of jobs")
-		p       = flag.Int("p", 1, "number of machines")
-		t       = flag.Int64("T", 10, "calibration length T")
-		seed    = flag.Uint64("seed", 1, "PRNG seed")
-		arrival = flag.String("arrival", "poisson", "arrival process: poisson|bursty|uniform|periodic|batch")
-		lambda  = flag.Float64("lambda", 0.3, "poisson: arrivals per step")
-		burst   = flag.Int("burst", 5, "bursty: jobs per burst")
-		gap     = flag.Int64("gap", 50, "bursty: steps between bursts")
-		jitter  = flag.Int64("jitter", 0, "bursty: per-job jitter")
-		horizon = flag.Int64("horizon", 1000, "uniform: release range")
-		period  = flag.Int64("period", 10, "periodic: steps between releases")
-		batches = flag.Int("batches", 4, "batch: number of batches")
-		spacing = flag.Int64("spacing", 100, "batch: steps between batches")
-		weights = flag.String("weights", "unit", "weight law: unit|uniform|zipf|bimodal")
-		wmax    = flag.Int64("wmax", 10, "uniform/zipf: maximum weight")
-		zipfS   = flag.Float64("zipf-s", 1.5, "zipf: exponent")
-		light   = flag.Int64("light", 1, "bimodal: light weight")
-		heavy   = flag.Int64("heavy", 100, "bimodal: heavy weight")
-		pheavy  = flag.Float64("pheavy", 0.05, "bimodal: probability of heavy")
+		n       = fs.Int("n", 50, "number of jobs")
+		p       = fs.Int("p", 1, "number of machines")
+		t       = fs.Int64("T", 10, "calibration length T")
+		seed    = fs.Uint64("seed", 1, "PRNG seed")
+		arrival = fs.String("arrival", "poisson", "arrival process: poisson|bursty|uniform|periodic|batch")
+		lambda  = fs.Float64("lambda", 0.3, "poisson: arrivals per step")
+		burst   = fs.Int("burst", 5, "bursty: jobs per burst")
+		gap     = fs.Int64("gap", 50, "bursty: steps between bursts")
+		jitter  = fs.Int64("jitter", 0, "bursty: per-job jitter")
+		horizon = fs.Int64("horizon", 1000, "uniform: release range")
+		period  = fs.Int64("period", 10, "periodic: steps between releases")
+		batches = fs.Int("batches", 4, "batch: number of batches")
+		spacing = fs.Int64("spacing", 100, "batch: steps between batches")
+		weights = fs.String("weights", "unit", "weight law: unit|uniform|zipf|bimodal")
+		wmax    = fs.Int64("wmax", 10, "uniform/zipf: maximum weight")
+		zipfS   = fs.Float64("zipf-s", 1.5, "zipf: exponent")
+		light   = fs.Int64("light", 1, "bimodal: light weight")
+		heavy   = fs.Int64("heavy", 100, "bimodal: heavy weight")
+		pheavy  = fs.Float64("pheavy", 0.05, "bimodal: probability of heavy")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "calibgen: unexpected argument %q; calibgen takes flags only and writes to stdout\n", fs.Arg(0))
+		return 2
+	}
+	if err := checkKinds(*arrival, *weights); err != nil {
+		fmt.Fprintln(stderr, "calibgen:", err)
+		return 2
+	}
+	if *n < 0 || *p < 1 || *t < 1 {
+		fmt.Fprintf(stderr, "calibgen: -n must be >= 0 and -p, -T >= 1 (got -n %d -p %d -T %d)\n", *n, *p, *t)
+		return 2
+	}
 
 	spec := workload.Spec{
 		N: *n, P: *p, T: *t, Seed: *seed,
@@ -48,10 +70,28 @@ func main() {
 		Weights: workload.WeightKind(*weights), WMax: *wmax, ZipfS: *zipfS,
 		Light: *light, Heavy: *heavy, PHeavy: *pheavy,
 	}
-	if err := emit(os.Stdout, spec); err != nil {
-		fmt.Fprintln(os.Stderr, "calibgen:", err)
-		os.Exit(1)
+	if err := emit(stdout, spec); err != nil {
+		fmt.Fprintln(stderr, "calibgen:", err)
+		return 1
 	}
+	return 0
+}
+
+// checkKinds validates the enum-valued flags up front so a typo is a
+// usage error naming the valid choices, not a late Build failure.
+func checkKinds(arrival, weights string) error {
+	switch workload.ArrivalKind(arrival) {
+	case workload.ArrivalPoisson, workload.ArrivalBursty, workload.ArrivalUniform,
+		workload.ArrivalPeriodic, workload.ArrivalBatch:
+	default:
+		return fmt.Errorf("unknown -arrival %q; use poisson|bursty|uniform|periodic|batch", arrival)
+	}
+	switch workload.WeightKind(weights) {
+	case workload.WeightUnit, workload.WeightUniform, workload.WeightZipf, workload.WeightBimodal:
+	default:
+		return fmt.Errorf("unknown -weights %q; use unit|uniform|zipf|bimodal", weights)
+	}
+	return nil
 }
 
 // emit builds the spec's instance and writes it with a provenance header.

@@ -45,3 +45,48 @@ func TestEmitRejectsBadSpec(t *testing.T) {
 		t.Error("bad arrival kind accepted")
 	}
 }
+
+// TestCLIErrorPaths: every bad invocation must exit 2 with a one-line
+// message naming the valid choices or the offending flag.
+func TestCLIErrorPaths(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		msg  string
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"positional arg", []string{"out.txt"}, "unexpected argument"},
+		{"unknown arrival", []string{"-arrival", "gaussian"}, "poisson|bursty|uniform|periodic|batch"},
+		{"unknown weights", []string{"-weights", "pareto"}, "unit|uniform|zipf|bimodal"},
+		{"negative n", []string{"-n", "-3"}, "-n must be >= 0"},
+		{"zero machines", []string{"-p", "0"}, "-p, -T >= 1"},
+		{"zero T", []string{"-T", "0"}, "-p, -T >= 1"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := cliMain(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr %q)", tc.name, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.msg) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, stderr.String(), tc.msg)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("%s: wrote to stdout on a usage error: %q", tc.name, stdout.String())
+		}
+	}
+}
+
+func TestCLISuccess(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := cliMain([]string{"-n", "12", "-T", "5", "-weights", "zipf", "-seed", "4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr.String())
+	}
+	in, err := workload.ReadInstance(strings.NewReader(stdout.String()))
+	if err != nil {
+		t.Fatalf("output is not a readable instance: %v", err)
+	}
+	if in.N() != 12 || in.T != 5 {
+		t.Errorf("instance shape n=%d T=%d, want 12/5", in.N(), in.T)
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"calibsched/internal/server"
+)
+
+// loadServer boots an in-process calibserved for the generator to hit.
+func loadServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunLoadEndToEnd(t *testing.T) {
+	ts := loadServer(t, server.Config{})
+	for _, alg := range []string{"alg1", "alg2"} {
+		cfg := config{
+			addr: ts.URL, sessions: 4, steps: 60, stepBatch: 8, jobs: 12,
+			alg: alg, t: 8, g: 24, seed: 7, verify: true, timeout: 0,
+		}
+		rep, err := runLoad(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(rep.errs) > 0 {
+			t.Fatalf("%s: request errors: %v", alg, rep.errs)
+		}
+		if rep.verified != cfg.sessions || rep.mismatches != 0 {
+			t.Fatalf("%s: verified %d/%d, %d mismatches", alg, rep.verified, cfg.sessions, rep.mismatches)
+		}
+		if rep.requests == 0 || len(rep.latencies) == 0 {
+			t.Fatalf("%s: no traffic recorded: %+v", alg, rep)
+		}
+	}
+}
+
+// TestRunLoadHonorsBackpressure drives a tiny arrival buffer: the
+// generator must retry on 429 and still finish with zero errors.
+func TestRunLoadHonorsBackpressure(t *testing.T) {
+	ts := loadServer(t, server.Config{MaxBuffer: 2})
+	cfg := config{
+		addr: ts.URL, sessions: 2, steps: 40, stepBatch: 2, jobs: 30,
+		alg: "alg2", t: 4, g: 8, seed: 3, verify: true,
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 30 jobs squeezed over 40 steps into a 2-slot buffer some
+	// batches must have been refused at least once.
+	if len(rep.errs) > 0 {
+		t.Fatalf("request errors despite retries: %v", rep.errs)
+	}
+	if rep.verified != cfg.sessions {
+		t.Fatalf("verified %d/%d", rep.verified, cfg.sessions)
+	}
+}
+
+func TestCLIOutputAndExit(t *testing.T) {
+	ts := loadServer(t, server.Config{})
+	var stdout, stderr bytes.Buffer
+	code := cliMain([]string{
+		"-addr", ts.URL, "-sessions", "3", "-steps", "50", "-jobs", "8",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q stdout %q", code, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"sessions", "requests", "latency (ms)", "verified      3/3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIFlagErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		msg  string
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"positional arg", []string{"x"}, "unexpected argument"},
+		{"bad sessions", []string{"-sessions", "0"}, ">= 1"},
+		{"unknown alg", []string{"-alg", "alg7"}, "unknown -alg"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := cliMain(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+		if !strings.Contains(stderr.String(), tc.msg) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, stderr.String(), tc.msg)
+		}
+	}
+}
+
+// TestCLIConnectionError: an unreachable daemon must be a non-zero exit
+// with the failure in the report, not a hang or panic.
+func TestCLIConnectionError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := cliMain([]string{
+		"-addr", "http://127.0.0.1:1", "-sessions", "1", "-steps", "10", "-jobs", "2",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout %s\nstderr %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "errors 1") {
+		t.Errorf("report does not count the failure:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,122 @@
+// Command calibserved is the calibration-scheduling daemon: it hosts
+// many independent online scheduling sessions (Algorithm 1 or 2 of the
+// paper as incremental engines) behind a JSON/HTTP API with bounded
+// arrival queues, idle-session eviction, and expvar metrics.
+//
+// Quickstart:
+//
+//	calibserved -addr :8373 &
+//	curl -s localhost:8373/healthz
+//	curl -s -X POST localhost:8373/v1/sessions -d '{"t":10,"g":32,"alg":"alg2"}'
+//	curl -s localhost:8373/debug/vars | grep calibserved
+//
+// cmd/calibload is the matching load generator; DESIGN.md §7 documents
+// the API schema and the backpressure contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"calibsched/internal/server"
+)
+
+func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stderr, signalContext()))
+}
+
+// signalContext cancels on SIGINT/SIGTERM.
+func signalContext() context.Context {
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	return ctx
+}
+
+// cliMain parses flags and runs the daemon until ctx is cancelled.
+// Split from main so tests can drive a full boot/serve/drain cycle.
+func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
+	fs := flag.NewFlagSet("calibserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr            = fs.String("addr", ":8373", "listen address (host:port; :0 picks a free port)")
+		maxSessions     = fs.Int("max-sessions", 1024, "maximum live sessions (creation beyond it gets 429)")
+		maxBuffer       = fs.Int("buffer", 4096, "per-session arrival buffer bound (fuller gets 429 + Retry-After)")
+		maxStepBatch    = fs.Int64("max-step-batch", 100_000, "maximum steps one request may simulate")
+		idleTTL         = fs.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (0 disables)")
+		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "calibserved: unexpected argument %q (flags only)\n", fs.Arg(0))
+		return 2
+	}
+	if *maxSessions < 1 || *maxBuffer < 1 || *maxStepBatch < 1 {
+		fmt.Fprintln(stderr, "calibserved: -max-sessions, -buffer, and -max-step-batch must all be >= 1")
+		return 2
+	}
+	logger := log.New(stderr, "calibserved: ", log.LstdFlags)
+	if err := serve(ctx, *addr, server.Config{
+		MaxSessions:  *maxSessions,
+		MaxBuffer:    *maxBuffer,
+		MaxStepBatch: *maxStepBatch,
+		IdleTTL:      *idleTTL,
+	}, *shutdownTimeout, logger, nil); err != nil {
+		fmt.Fprintln(stderr, "calibserved:", err)
+		return 1
+	}
+	return 0
+}
+
+// serve listens on addr and serves until ctx is cancelled, then drains
+// HTTP connections and session workers within the grace period. When
+// ready is non-nil it receives the bound address once listening (tests
+// use it to learn the :0 port).
+func serve(ctx context.Context, addr string, cfg server.Config, grace time.Duration, logger *log.Logger, ready chan<- string) error {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	logger.Printf("listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down (draining up to %v)", grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		// Connections outlived the grace period; session state is still
+		// drained below before we give up the process.
+		logger.Printf("http drain incomplete: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("session drain incomplete: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"calibsched/internal/server"
+)
+
+// TestServeBootAndDrain drives a full daemon lifecycle on a random port:
+// boot, answer /healthz and /debug/vars, run a session, cancel, drain.
+func TestServeBootAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var logBuf bytes.Buffer
+	logger := log.New(&logBuf, "", 0)
+	go func() {
+		done <- serve(ctx, "127.0.0.1:0", server.Config{}, 5*time.Second, logger, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || health.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, health)
+	}
+
+	resp, err = http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"t":5,"g":8,"alg":"alg1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("create session: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := vars["calibserved.sessions.created"]; !ok {
+		t.Error("/debug/vars missing calibserved counters")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+	if !strings.Contains(logBuf.String(), "drained cleanly") {
+		t.Errorf("no clean-drain log line:\n%s", logBuf.String())
+	}
+}
+
+func TestCLIFlagErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, tc := range []struct {
+		name string
+		args []string
+		msg  string
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"positional arg", []string{"extra"}, "unexpected argument"},
+		{"bad bounds", []string{"-max-sessions", "0"}, "must all be >= 1"},
+	} {
+		var stderr bytes.Buffer
+		if code := cliMain(tc.args, &stderr, ctx); code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+		if !strings.Contains(stderr.String(), tc.msg) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, stderr.String(), tc.msg)
+		}
+	}
+}
+
+func TestCLIListenError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stderr bytes.Buffer
+	if code := cliMain([]string{"-addr", "256.256.256.256:1"}, &stderr, ctx); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "listen") {
+		t.Errorf("stderr %q does not mention listen", stderr.String())
+	}
+}

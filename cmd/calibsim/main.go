@@ -28,34 +28,89 @@ import (
 )
 
 func main() {
-	var (
-		path     = flag.String("instance", "-", "instance file (- for stdin)")
-		alg      = flag.String("alg", "alg1", "algorithm: alg1|alg2|alg3|opt|immediate|always|periodic|flow-threshold")
-		g        = flag.Int64("G", 32, "calibration cost G")
-		period   = flag.Int64("period", 0, "periodic baseline stride (default T)")
-		timeline = flag.Bool("timeline", false, "print ASCII timeline")
-		asCSV    = flag.Bool("csv", false, "emit schedule as CSV")
-		asJSON   = flag.Bool("json", false, "emit schedule as JSON")
-		naive    = flag.Bool("naive", false, "force naive per-step simulation")
-		compare  = flag.Bool("compare", false, "run every applicable algorithm and print a comparison table")
-	)
-	flag.Parse()
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// runOpts is one parsed calibsim invocation.
+type runOpts struct {
+	path     string
+	alg      string
+	g        int64
+	period   int64
+	timeline bool
+	csv      bool
+	json     bool
+	naive    bool
+}
+
+// cliMain parses and validates flags, then dispatches. Exit codes: 0 ok,
+// 1 runtime failure, 2 usage error.
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("calibsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		o       runOpts
+		compare bool
+	)
+	fs.StringVar(&o.path, "instance", "-", "instance file (- for stdin)")
+	fs.StringVar(&o.alg, "alg", "alg1", "algorithm: alg1|alg2|alg3|opt|immediate|always|periodic|flow-threshold")
+	fs.Int64Var(&o.g, "G", 32, "calibration cost G")
+	fs.Int64Var(&o.period, "period", 0, "periodic baseline stride (default T)")
+	fs.BoolVar(&o.timeline, "timeline", false, "print ASCII timeline")
+	fs.BoolVar(&o.csv, "csv", false, "emit schedule as CSV")
+	fs.BoolVar(&o.json, "json", false, "emit schedule as JSON")
+	fs.BoolVar(&o.naive, "naive", false, "force naive per-step simulation")
+	fs.BoolVar(&compare, "compare", false, "run every applicable algorithm and print a comparison table")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "calibsim: unexpected argument %q; the instance is read from -instance (or stdin)\n", fs.Arg(0))
+		return 2
+	}
+	if err := checkConflicts(fs, compare); err != nil {
+		fmt.Fprintln(stderr, "calibsim:", err)
+		return 2
+	}
 	var err error
-	if *compare {
-		err = runCompare(*path, *g, *period)
+	if compare {
+		err = runCompare(o.path, o.g, o.period, stdout)
 	} else {
-		err = run(*path, *alg, *g, *period, *timeline, *asCSV, *asJSON, *naive)
+		err = run(o, stdout)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "calibsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "calibsim:", err)
+		return 1
 	}
+	return 0
+}
+
+// checkConflicts rejects flag combinations that would silently ignore
+// one of the flags: machine-readable outputs are mutually exclusive, the
+// timeline is human-oriented, and -compare chooses its own algorithms
+// and format.
+func checkConflicts(fs *flag.FlagSet, compare bool) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["csv"] && set["json"] {
+		return fmt.Errorf("-csv and -json conflict; choose one output format")
+	}
+	if set["timeline"] && (set["csv"] || set["json"]) {
+		return fmt.Errorf("-timeline conflicts with -csv/-json; the timeline is part of the human-readable report")
+	}
+	if compare {
+		for _, name := range []string{"alg", "csv", "json", "timeline", "naive"} {
+			if set[name] {
+				return fmt.Errorf("-compare runs every applicable algorithm with its own table format and ignores -%s; drop -%s", name, name)
+			}
+		}
+	}
+	return nil
 }
 
 // runCompare runs every applicable algorithm from the registry and prints
 // a side-by-side cost/utilization table.
-func runCompare(path string, g, period int64) error {
+func runCompare(path string, g, period int64, stdout io.Writer) error {
 	in, err := readInstance(path)
 	if err != nil {
 		return err
@@ -89,8 +144,8 @@ func runCompare(path string, g, period int64) error {
 			return err
 		}
 	}
-	fmt.Printf("instance: %d jobs, %d machine(s), T=%d, G=%d\n\n", in.N(), in.P, in.T, g)
-	return trace.WriteComparison(os.Stdout, in, g, rows)
+	fmt.Fprintf(stdout, "instance: %d jobs, %d machine(s), T=%d, G=%d\n\n", in.N(), in.P, in.T, g)
+	return trace.WriteComparison(stdout, in, g, rows)
 }
 
 // readInstance loads and canonicalizes the instance at path ("-" = stdin).
@@ -99,7 +154,7 @@ func readInstance(path string) (*core.Instance, error) {
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("reading -instance: %w", err)
 		}
 		defer f.Close()
 		r = f
@@ -111,55 +166,56 @@ func readInstance(path string) (*core.Instance, error) {
 	return in.Canonicalize(), nil
 }
 
-func run(path, alg string, g, period int64, timeline, asCSV, asJSON, naive bool) error {
-	in, err := readInstance(path)
+func run(o runOpts, stdout io.Writer) error {
+	in, err := readInstance(o.path)
 	if err != nil {
 		return err
 	}
 
 	var opts []online.Option
-	if naive {
+	if o.naive {
 		opts = append(opts, online.WithNaiveStepping())
 	}
+	period := o.period
 	var sched *core.Schedule
-	switch alg {
+	switch o.alg {
 	case "alg1":
-		res, err := online.Alg1(in, g, opts...)
+		res, err := online.Alg1(in, o.g, opts...)
 		if err != nil {
 			return err
 		}
 		sched = res.Schedule
 	case "alg2":
-		res, err := online.Alg2(in, g, opts...)
+		res, err := online.Alg2(in, o.g, opts...)
 		if err != nil {
 			return err
 		}
 		sched = res.Schedule
 	case "alg3":
-		res, err := online.Alg3(in, g, opts...)
+		res, err := online.Alg3(in, o.g, opts...)
 		if err != nil {
 			return err
 		}
 		sched = res.Schedule
 	case "opt":
-		_, _, s, err := offline.OptimalTotalCost(in, g)
+		_, _, s, err := offline.OptimalTotalCost(in, o.g)
 		if err != nil {
 			return err
 		}
 		sched = s
 	case "immediate":
-		sched, err = baseline.Immediate(in, g)
+		sched, err = baseline.Immediate(in, o.g)
 	case "always":
-		sched, err = baseline.AlwaysCalibrated(in, g)
+		sched, err = baseline.AlwaysCalibrated(in, o.g)
 	case "periodic":
 		if period <= 0 {
 			period = in.T
 		}
-		sched, err = baseline.Periodic(in, g, period)
+		sched, err = baseline.Periodic(in, o.g, period)
 	case "flow-threshold":
-		sched, err = baseline.FlowThreshold(in, g)
+		sched, err = baseline.FlowThreshold(in, o.g)
 	default:
-		return fmt.Errorf("unknown algorithm %q", alg)
+		return fmt.Errorf("unknown algorithm %q; use alg1|alg2|alg3|opt|immediate|always|periodic|flow-threshold", o.alg)
 	}
 	if err != nil {
 		return err
@@ -169,19 +225,19 @@ func run(path, alg string, g, period int64, timeline, asCSV, asJSON, naive bool)
 	}
 
 	switch {
-	case asCSV:
-		return trace.WriteCSV(os.Stdout, in, sched)
-	case asJSON:
-		return trace.WriteJSON(os.Stdout, in, sched)
+	case o.csv:
+		return trace.WriteCSV(stdout, in, sched)
+	case o.json:
+		return trace.WriteJSON(stdout, in, sched)
 	}
-	fmt.Printf("algorithm      %s\n", alg)
-	fmt.Printf("jobs           %d   machines %d   T %d   G %d\n", in.N(), in.P, in.T, g)
-	fmt.Printf("calibrations   %d\n", sched.NumCalibrations())
-	fmt.Printf("weighted flow  %d\n", core.Flow(in, sched))
-	fmt.Printf("total cost     %d\n", core.TotalCost(in, sched, g))
-	if timeline {
-		fmt.Println()
-		fmt.Print(trace.Timeline(in, sched))
+	fmt.Fprintf(stdout, "algorithm      %s\n", o.alg)
+	fmt.Fprintf(stdout, "jobs           %d   machines %d   T %d   G %d\n", in.N(), in.P, in.T, o.g)
+	fmt.Fprintf(stdout, "calibrations   %d\n", sched.NumCalibrations())
+	fmt.Fprintf(stdout, "weighted flow  %d\n", core.Flow(in, sched))
+	fmt.Fprintf(stdout, "total cost     %d\n", core.TotalCost(in, sched, o.g))
+	if o.timeline {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, trace.Timeline(in, sched))
 	}
 	return nil
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -17,71 +20,143 @@ func writeInstanceFile(t *testing.T, content string) string {
 
 const sampleInstance = "1 5\n3\n0 1\n3 1\n20 1\n"
 
+// opts builds runOpts for the default report on path with algorithm alg.
+func opts(path, alg string) runOpts {
+	return runOpts{path: path, alg: alg, g: 16}
+}
+
 func TestRunAllAlgorithms(t *testing.T) {
 	path := writeInstanceFile(t, sampleInstance)
 	for _, alg := range []string{"alg1", "alg2", "opt", "immediate", "always", "periodic", "flow-threshold"} {
-		if err := run(path, alg, 16, 0, false, false, false, false); err != nil {
+		if err := run(opts(path, alg), io.Discard); err != nil {
 			t.Errorf("alg %s: %v", alg, err)
 		}
 	}
 	multi := writeInstanceFile(t, "2 5\n3\n0 1\n3 1\n20 1\n")
-	if err := run(multi, "alg3", 16, 0, true, false, false, false); err != nil {
+	o := opts(multi, "alg3")
+	o.timeline = true
+	if err := run(o, io.Discard); err != nil {
 		t.Errorf("alg3: %v", err)
 	}
 }
 
 func TestRunOutputsAndOptions(t *testing.T) {
 	path := writeInstanceFile(t, sampleInstance)
-	if err := run(path, "alg1", 16, 0, true, false, false, true); err != nil {
+	o := opts(path, "alg1")
+	o.timeline, o.naive = true, true
+	if err := run(o, io.Discard); err != nil {
 		t.Errorf("timeline+naive: %v", err)
 	}
-	if err := run(path, "alg1", 16, 0, false, true, false, false); err != nil {
+	o = opts(path, "alg1")
+	o.csv = true
+	if err := run(o, io.Discard); err != nil {
 		t.Errorf("csv: %v", err)
 	}
-	if err := run(path, "alg1", 16, 0, false, false, true, false); err != nil {
+	o = opts(path, "alg1")
+	o.json = true
+	if err := run(o, io.Discard); err != nil {
 		t.Errorf("json: %v", err)
 	}
-	if err := run(path, "periodic", 16, 7, false, false, false, false); err != nil {
+	o = opts(path, "periodic")
+	o.period = 7
+	if err := run(o, io.Discard); err != nil {
 		t.Errorf("periodic with explicit period: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	path := writeInstanceFile(t, sampleInstance)
-	if err := run(path, "nope", 16, 0, false, false, false, false); err == nil {
+	if err := run(opts(path, "nope"), io.Discard); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.txt"), "alg1", 16, 0, false, false, false, false); err == nil {
+	if err := run(opts(filepath.Join(t.TempDir(), "missing.txt"), "alg1"), io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeInstanceFile(t, "not an instance")
-	if err := run(bad, "alg1", 16, 0, false, false, false, false); err == nil {
+	if err := run(opts(bad, "alg1"), io.Discard); err == nil {
 		t.Error("malformed instance accepted")
 	}
 	weighted := writeInstanceFile(t, "1 5\n1\n0 9\n")
-	if err := run(weighted, "alg1", 16, 0, false, false, false, false); err == nil {
+	if err := run(opts(weighted, "alg1"), io.Discard); err == nil {
 		t.Error("alg1 on weighted instance accepted")
 	}
 	multiFlow := writeInstanceFile(t, "2 5\n1\n0 1\n")
-	if err := run(multiFlow, "flow-threshold", 16, 0, false, false, false, false); err == nil {
+	if err := run(opts(multiFlow, "flow-threshold"), io.Discard); err == nil {
 		t.Error("flow-threshold on P=2 accepted")
 	}
 }
 
 func TestRunCompare(t *testing.T) {
 	path := writeInstanceFile(t, sampleInstance)
-	if err := runCompare(path, 16, 0); err != nil {
+	if err := runCompare(path, 16, 0, io.Discard); err != nil {
 		t.Fatalf("compare unweighted P=1: %v", err)
 	}
 	weighted := writeInstanceFile(t, "1 5\n3\n0 2\n3 7\n20 1\n")
-	if err := runCompare(weighted, 16, 4); err != nil {
+	if err := runCompare(weighted, 16, 4, io.Discard); err != nil {
 		t.Fatalf("compare weighted P=1: %v", err)
 	}
 	multi := writeInstanceFile(t, "2 5\n4\n0 1\n3 1\n5 1\n20 1\n")
-	if err := runCompare(multi, 16, 0); err != nil {
+	if err := runCompare(multi, 16, 0, io.Discard); err != nil {
 		t.Fatalf("compare unweighted P=2: %v", err)
 	}
-	if err := runCompare(writeInstanceFile(t, "junk"), 16, 0); err == nil {
+	if err := runCompare(writeInstanceFile(t, "junk"), 16, 0, io.Discard); err == nil {
 		t.Error("compare accepted malformed instance")
+	}
+}
+
+// TestCLIErrorPaths is the audited error-path table: every bad
+// invocation must exit non-zero with a one-line actionable message on
+// stderr.
+func TestCLIErrorPaths(t *testing.T) {
+	good := writeInstanceFile(t, sampleInstance)
+	missing := filepath.Join(t.TempDir(), "missing.txt")
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+		msg  string
+	}{
+		{"unknown alg", []string{"-instance", good, "-alg", "dp"}, 1, "unknown algorithm"},
+		{"unknown flag", []string{"-bogus"}, 2, "flag provided but not defined"},
+		{"positional arg", []string{good}, 2, "unexpected argument"},
+		{"unreadable instance", []string{"-instance", missing, "-alg", "alg1"}, 1, "reading -instance"},
+		{"malformed instance", []string{"-instance", writeInstanceFile(t, "garbage")}, 1, "bad header"},
+		{"csv+json", []string{"-instance", good, "-csv", "-json"}, 2, "conflict"},
+		{"timeline+csv", []string{"-instance", good, "-timeline", "-csv"}, 2, "conflicts with"},
+		{"compare+alg", []string{"-instance", good, "-compare", "-alg", "alg2"}, 2, "ignores -alg"},
+		{"compare+json", []string{"-instance", good, "-compare", "-json"}, 2, "ignores -json"},
+		{"compare+naive", []string{"-instance", good, "-compare", "-naive"}, 2, "ignores -naive"},
+		{"alg1 weighted", []string{"-instance", writeInstanceFile(t, "1 5\n1\n0 9\n"), "-alg", "alg1"}, 1, "unweighted"},
+	} {
+		var stdout, stderr bytes.Buffer
+		code := cliMain(tc.args, &stdout, &stderr)
+		if code != tc.code {
+			t.Errorf("%s: exit %d, want %d (stderr %q)", tc.name, code, tc.code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.msg) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, stderr.String(), tc.msg)
+		}
+		if n := strings.Count(strings.TrimRight(stderr.String(), "\n"), "\n"); tc.code == 1 && n != 0 {
+			t.Errorf("%s: error message spans %d lines, want one line:\n%s", tc.name, n+1, stderr.String())
+		}
+	}
+}
+
+func TestCLISuccess(t *testing.T) {
+	good := writeInstanceFile(t, sampleInstance)
+	var stdout, stderr bytes.Buffer
+	if code := cliMain([]string{"-instance", good, "-alg", "alg1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "total cost") {
+		t.Errorf("report missing total cost:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	if code := cliMain([]string{"-instance", good, "-compare"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("compare exit %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "instance:") {
+		t.Errorf("compare table missing header:\n%s", stdout.String())
 	}
 }

@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+// TestPackageClassification pins the exact/reporting split: the metrics
+// and stats packages are exempt from exactarith by design, the cost
+// packages never are, and no package is ever both.
+func TestPackageClassification(t *testing.T) {
+	for _, tc := range []struct {
+		path             string
+		exact, reporting bool
+	}{
+		{"calibsched/internal/core", true, false},
+		{"calibsched/internal/online", true, false},
+		{"calibsched/internal/stats", false, true},
+		{"calibsched/internal/trace", false, true},
+		{"calibsched/internal/server/metrics", false, true},
+		{"calibsched/cmd/calibload", false, true},
+		{"calibsched/internal/server", false, false},
+		{"calibsched/cmd/calibserved", false, false},
+	} {
+		if got := isExactPkg(tc.path); got != tc.exact {
+			t.Errorf("isExactPkg(%s) = %v, want %v", tc.path, got, tc.exact)
+		}
+		if got := isReportingPkg(tc.path); got != tc.reporting {
+			t.Errorf("isReportingPkg(%s) = %v, want %v", tc.path, got, tc.reporting)
+		}
+	}
+}

@@ -7,10 +7,7 @@ import (
 )
 
 // exactPkgSuffixes names the packages whose doc contract promises exact
-// int64 arithmetic. Reporting packages (internal/stats, internal/trace)
-// and experiment drivers are deliberately absent: ratios, quantiles, and
-// regression slopes are legitimately floating-point there, downstream of
-// the exact costs.
+// int64 arithmetic.
 var exactPkgSuffixes = []string{
 	"internal/core",
 	"internal/online",
@@ -19,8 +16,45 @@ var exactPkgSuffixes = []string{
 	"internal/lowerbound",
 }
 
+// reportingPkgSuffixes is the deliberate exemption list: packages that sit
+// downstream of the exact costs and are allowed floating-point arithmetic.
+// Ratios, quantiles, regression slopes (internal/stats, internal/trace),
+// latency histograms and expvar gauges (internal/server/metrics), and the
+// load generator's throughput math (cmd/calibload) never feed back into a
+// cost computation, so exactness is not part of their contract. Adding a
+// package here is an explicit design decision — it must never also appear
+// in exactPkgSuffixes, which init enforces.
+var reportingPkgSuffixes = []string{
+	"internal/stats",
+	"internal/trace",
+	"internal/server/metrics",
+	"cmd/calibload",
+}
+
+func init() {
+	for _, r := range reportingPkgSuffixes {
+		for _, e := range exactPkgSuffixes {
+			if r == e {
+				panic("lint: " + r + " is listed as both exact and reporting")
+			}
+		}
+	}
+}
+
 func isExactPkg(path string) bool {
 	for _, s := range exactPkgSuffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isReportingPkg reports whether path is on the floating-point exemption
+// list (re-exported to tests via export_test.go so coverage assertions
+// can tell "exempt by design" apart from "forgot to classify").
+func isReportingPkg(path string) bool {
+	for _, s := range reportingPkgSuffixes {
 		if pathHasSuffix(path, s) {
 			return true
 		}

@@ -29,6 +29,23 @@ func TestRepoIsCaliblintClean(t *testing.T) {
 	if len(targets) < 10 {
 		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(targets))
 	}
+	// The serving layer must be inside the gate, not silently skipped: a
+	// pattern-expansion regression that dropped these packages would let
+	// invariant violations land unchecked.
+	loaded := make(map[string]bool, len(targets))
+	for _, tp := range targets {
+		loaded[tp.Path] = true
+	}
+	for _, want := range []string{
+		"calibsched/internal/server",
+		"calibsched/internal/server/metrics",
+		"calibsched/cmd/calibserved",
+		"calibsched/cmd/calibload",
+	} {
+		if !loaded[want] {
+			t.Errorf("caliblint gate did not load %s", want)
+		}
+	}
 	diags, err := lint.Run(loader, targets, lint.Analyzers)
 	if err != nil {
 		t.Fatal(err)

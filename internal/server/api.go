@@ -1,0 +1,133 @@
+package server
+
+// JSON request/response schema of the calibserved v1 API. All quantities
+// are int64 on the wire, matching the exact integer model of
+// internal/core; DESIGN.md §7 documents the endpoint contract.
+
+// CreateSessionRequest creates a scheduling session: POST /v1/sessions.
+type CreateSessionRequest struct {
+	// T is the calibration length (steps per calibrated interval), >= 1.
+	T int64 `json:"t"`
+	// G is the per-calibration cost, >= 0.
+	G int64 `json:"g"`
+	// Alg selects the engine backend; see online.EngineNames.
+	Alg string `json:"alg"`
+}
+
+// SessionInfo describes a session's identity and live state.
+type SessionInfo struct {
+	ID  string `json:"id"`
+	Alg string `json:"alg"`
+	T   int64  `json:"t"`
+	G   int64  `json:"g"`
+	// Now is the next time step the session will simulate.
+	Now int64 `json:"now"`
+	// Pending counts jobs inside the engine's queue (released, waiting).
+	Pending int `json:"pending"`
+	// Buffered counts accepted future arrivals not yet fed to the engine.
+	Buffered int `json:"buffered"`
+	// Jobs counts every job accepted so far.
+	Jobs int `json:"jobs"`
+}
+
+// JobSpec is one job in an arrivals request. Release must be >= the
+// session's current step; Weight must be >= 1 (exactly 1 for unweighted
+// engines).
+type JobSpec struct {
+	Release int64 `json:"release"`
+	Weight  int64 `json:"weight"`
+}
+
+// ArrivalsRequest feeds jobs: POST /v1/sessions/{id}/arrivals. The batch
+// is atomic: either every job is buffered or none is.
+type ArrivalsRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// ArrivalsResponse acknowledges buffered arrivals.
+type ArrivalsResponse struct {
+	// Accepted is the number of jobs buffered by this request.
+	Accepted int `json:"accepted"`
+	// IDs are the server-assigned dense job IDs, in request order.
+	IDs []int `json:"ids"`
+	// Buffered and Capacity describe the arrival buffer after the
+	// request; Capacity-Buffered is the headroom before backpressure.
+	Buffered int `json:"buffered"`
+	Capacity int `json:"capacity"`
+}
+
+// StepRequest advances the clock: POST /v1/sessions/{id}/step.
+type StepRequest struct {
+	// Steps is the number of time steps to simulate, default 1.
+	Steps int64 `json:"steps"`
+}
+
+// StepEventJSON reports one simulated step. Quiet steps (no calibration,
+// nothing ran) are elided from StepResponse.Events; the clock still
+// advances.
+type StepEventJSON struct {
+	Time       int64  `json:"time"`
+	Calibrated bool   `json:"calibrated,omitempty"`
+	Trigger    string `json:"trigger,omitempty"`
+	// Ran is the ID of the job scheduled at this step, or -1.
+	Ran int `json:"ran"`
+}
+
+// StepResponse reports the steps just simulated and the resulting state.
+type StepResponse struct {
+	Events []StepEventJSON `json:"events"`
+	// Stepped is the number of steps simulated (== request's Steps).
+	Stepped int64 `json:"stepped"`
+	Now     int64 `json:"now"`
+	Pending int   `json:"pending"`
+	// Buffered counts future arrivals still waiting to mature.
+	Buffered int `json:"buffered"`
+	// Done reports that every accepted job has been scheduled and no
+	// arrivals are buffered.
+	Done bool `json:"done"`
+}
+
+// CalibrationJSON is one calendar entry of a schedule snapshot.
+type CalibrationJSON struct {
+	Machine int    `json:"machine"`
+	Start   int64  `json:"start"`
+	Trigger string `json:"trigger"`
+}
+
+// AssignmentJSON is one job's placement in a schedule snapshot. Start is
+// -1 while the job is still waiting.
+type AssignmentJSON struct {
+	Job     int   `json:"job"`
+	Release int64 `json:"release"`
+	Weight  int64 `json:"weight"`
+	Machine int   `json:"machine"`
+	Start   int64 `json:"start"`
+}
+
+// ScheduleResponse is the snapshot from GET /v1/sessions/{id}/schedule:
+// the schedule built so far plus exact cost accounting over the assigned
+// jobs (G * calibrations + weighted flow, computed with the
+// checked-arithmetic helpers of internal/core).
+type ScheduleResponse struct {
+	Session      SessionInfo       `json:"session"`
+	Calibrations []CalibrationJSON `json:"calibrations"`
+	Assignments  []AssignmentJSON  `json:"assignments"`
+	// Assigned counts jobs with a start time.
+	Assigned int `json:"assigned"`
+	// Flow is the total weighted flow of the assigned jobs.
+	Flow int64 `json:"flow"`
+	// TotalCost is G*len(Calibrations) + Flow.
+	TotalCost int64 `json:"total_cost"`
+	Done      bool  `json:"done"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"calibsched/internal/online"
+	"calibsched/internal/server/metrics"
+)
+
+// Config tunes the serving layer. The zero value is usable: every field
+// falls back to the listed default.
+type Config struct {
+	// MaxSessions bounds concurrently live sessions (default 1024).
+	// Session creation beyond the bound is refused with a 429.
+	MaxSessions int
+	// MaxBuffer bounds each session's arrival buffer (default 4096).
+	// Arrivals beyond the bound are refused with a 429 + Retry-After.
+	MaxBuffer int
+	// MaxStepBatch bounds the steps one request may simulate (default
+	// 100000), keeping response sizes and worker occupancy bounded.
+	MaxStepBatch int64
+	// IdleTTL evicts sessions with no traffic for this long (default
+	// 10m); zero or negative disables eviction.
+	IdleTTL time.Duration
+	// JanitorInterval overrides the eviction sweep cadence (default
+	// IdleTTL/4, clamped to [10ms, 30s]); tests shorten it.
+	JanitorInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxBuffer == 0 {
+		c.MaxBuffer = 4096
+	}
+	if c.MaxStepBatch == 0 {
+		c.MaxStepBatch = 100_000
+	}
+	if c.JanitorInterval == 0 && c.IdleTTL > 0 {
+		c.JanitorInterval = c.IdleTTL / 4
+		if c.JanitorInterval < 10*time.Millisecond {
+			c.JanitorInterval = 10 * time.Millisecond
+		}
+		if c.JanitorInterval > 30*time.Second {
+			c.JanitorInterval = 30 * time.Second
+		}
+	}
+	return c
+}
+
+// Manager owns the session table: creation, lookup, idle eviction, and
+// draining shutdown. It is safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int64
+	closed   bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewManager starts a manager (and its idle janitor, when IdleTTL > 0).
+func NewManager(cfg Config) *Manager {
+	m := &Manager{
+		cfg:         cfg.withDefaults(),
+		sessions:    make(map[string]*session),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	if m.cfg.IdleTTL > 0 {
+		go m.janitor()
+	} else {
+		close(m.janitorDone)
+	}
+	return m
+}
+
+// Create builds a new session for the request.
+func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
+	spec, ok := online.LookupEngine(req.Alg)
+	if !ok {
+		return SessionInfo{}, &apiError{status: 400, msg: fmt.Sprintf(
+			"unknown engine %q (have %v)", req.Alg, online.EngineNames())}
+	}
+	// Validate T and G through the same gate the engines use, without
+	// constructing a throwaway engine.
+	if _, err := online.NewEngine(req.Alg, req.T, req.G); err != nil {
+		return SessionInfo{}, &apiError{status: 400, msg: err.Error()}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return SessionInfo{}, &apiError{status: 503, msg: "server is shutting down"}
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		return SessionInfo{}, &apiError{status: 429, retryAfter: true, msg: fmt.Sprintf(
+			"session limit reached (%d live); delete or let idle sessions expire and retry", len(m.sessions))}
+	}
+	m.nextID++
+	id := fmt.Sprintf("s-%06d", m.nextID)
+	s := newSession(id, spec, req.T, req.G, m.cfg.MaxBuffer, time.Now())
+	m.sessions[id] = s
+	metrics.SessionsCreated.Add(1)
+	metrics.SessionsActive.Add(1)
+	return SessionInfo{ID: id, Alg: spec.Name, T: req.T, G: req.G}, nil
+}
+
+// Get looks up a live session.
+func (m *Manager) Get(id string) (*session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, &apiError{status: 404, msg: fmt.Sprintf("no session %q", id)}
+	}
+	return s, nil
+}
+
+// Delete stops a session and removes it from the table, waiting for its
+// worker to drain.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return &apiError{status: 404, msg: fmt.Sprintf("no session %q", id)}
+	}
+	m.retire(s)
+	return nil
+}
+
+// retire shuts a session's worker down and releases its buffered-arrival
+// contribution to the queue-depth gauge.
+func (m *Manager) retire(s *session) {
+	s.halt()
+	<-s.done
+	// The worker has exited: buffer state is now safe to read.
+	metrics.QueueDepth.Add(-int64(s.buffer.Len()))
+	metrics.SessionsActive.Add(-1)
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// janitor periodically evicts sessions idle longer than IdleTTL.
+func (m *Manager) janitor() {
+	defer close(m.janitorDone)
+	ticker := time.NewTicker(m.cfg.JanitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case <-ticker.C:
+			m.evictIdle(time.Now())
+		}
+	}
+}
+
+// evictIdle removes every session whose last activity is older than
+// IdleTTL as of now.
+func (m *Manager) evictIdle(now time.Time) {
+	cutoff := now.Add(-m.cfg.IdleTTL).UnixNano()
+	var idle []*session
+	m.mu.Lock()
+	for id, s := range m.sessions {
+		if s.lastActive.Load() < cutoff {
+			delete(m.sessions, id)
+			idle = append(idle, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range idle {
+		m.retire(s)
+		metrics.SessionsEvicted.Add(1)
+	}
+}
+
+// Shutdown drains the manager: new work is refused with a 503, every
+// session worker finishes its in-flight command, and the janitor stops.
+// It returns ctx.Err if the context expires before the drain completes.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	alreadyClosed := m.closed
+	m.closed = true
+	ss := make([]*session, 0, len(m.sessions))
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ss = append(ss, m.sessions[id])
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+
+	if !alreadyClosed {
+		close(m.janitorStop)
+	}
+	<-m.janitorDone
+
+	for _, s := range ss {
+		s.halt()
+	}
+	for _, s := range ss {
+		select {
+		case <-s.done:
+			metrics.QueueDepth.Add(-int64(s.buffer.Len()))
+			metrics.SessionsActive.Add(-1)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package metrics publishes calibserved's live operational counters via
+// the standard library's expvar registry, so a plain GET /debug/vars
+// exposes them with zero dependencies.
+//
+// This is a reporting package, deliberately outside the exact-arithmetic
+// set enforced by caliblint's exactarith analyzer (see the reporting list
+// in internal/lint/exactarith.go): latency observations are durations,
+// not costs, and never feed back into the scheduling objective.
+//
+// All vars live in the process-global expvar registry, which panics on
+// duplicate registration; everything here is therefore created exactly
+// once at package init and shared by every Server in the process (the
+// normal daemon case). Tests that boot several servers share the
+// counters, so they assert on deltas, not absolutes.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Counters for the serving layer, named with a "calibserved." prefix so
+// they are easy to pick out of /debug/vars among the runtime defaults.
+var (
+	// SessionsActive is a gauge of live sessions.
+	SessionsActive = expvar.NewInt("calibserved.sessions.active")
+	// SessionsCreated counts every session ever created.
+	SessionsCreated = expvar.NewInt("calibserved.sessions.created")
+	// SessionsEvicted counts sessions removed by the idle-TTL janitor.
+	SessionsEvicted = expvar.NewInt("calibserved.sessions.evicted")
+	// StepsServed counts simulated time steps across all sessions.
+	StepsServed = expvar.NewInt("calibserved.steps.served")
+	// ArrivalsAccepted counts jobs admitted into arrival buffers.
+	ArrivalsAccepted = expvar.NewInt("calibserved.arrivals.accepted")
+	// ArrivalsRejected counts jobs refused (backpressure or invalid).
+	ArrivalsRejected = expvar.NewInt("calibserved.arrivals.rejected")
+	// QueueDepth is a gauge of buffered-but-unscheduled arrivals summed
+	// over all sessions.
+	QueueDepth = expvar.NewInt("calibserved.queue.depth")
+	// StepLatency is a histogram of POST .../step handling latency.
+	StepLatency = newHistogram("calibserved.step.latency")
+)
+
+// bucketBounds are the histogram's upper bounds. The last bucket is
+// unbounded.
+var bucketBounds = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	1 * time.Second,
+}
+
+// numBuckets is len(bucketBounds) + 1 (the overflow bucket); init
+// asserts the two stay in sync.
+const numBuckets = 10
+
+func init() {
+	if len(bucketBounds)+1 != numBuckets {
+		panic("metrics: numBuckets out of sync with bucketBounds")
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram published as one expvar
+// whose JSON value maps bucket labels to counts, plus "count" and
+// "total_ns" for computing the mean. Observe is lock-free.
+type Histogram struct {
+	counts  [numBuckets]atomic.Int64
+	count   atomic.Int64
+	totalNS atomic.Int64
+}
+
+func newHistogram(name string) *Histogram {
+	h := &Histogram{}
+	expvar.Publish(name, h)
+	return h
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(bucketBounds) && d > bucketBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.totalNS.Add(int64(d))
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// String renders the histogram as a JSON object, satisfying expvar.Var.
+func (h *Histogram) String() string {
+	buf := []byte{'{'}
+	for i := range h.counts {
+		label := "+inf"
+		if i < len(bucketBounds) {
+			label = "le_" + bucketBounds[i].String()
+		}
+		buf = strconv.AppendQuote(buf, label)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, h.counts[i].Load(), 10)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, fmt.Sprintf("%q:%d,%q:%d}", "count", h.count.Load(), "total_ns", h.totalNS.Load())...)
+	return string(buf)
+}

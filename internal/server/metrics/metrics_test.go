@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndJSON(t *testing.T) {
+	h := &Histogram{} // unpublished: tests must not collide with the global registry
+	before := h.Count()
+	h.Observe(10 * time.Microsecond)  // first bucket
+	h.Observe(700 * time.Microsecond) // le_1ms
+	h.Observe(2 * time.Hour)          // overflow bucket
+	if got := h.Count() - before; got != 3 {
+		t.Fatalf("count delta = %d, want 3", got)
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal([]byte(h.String()), &decoded); err != nil {
+		t.Fatalf("histogram JSON invalid: %v\n%s", err, h.String())
+	}
+	if decoded["le_50µs"] != 1 || decoded["le_1ms"] != 1 || decoded["+inf"] != 1 {
+		t.Fatalf("bucket placement wrong: %v", decoded)
+	}
+	if decoded["count"] != 3 || decoded["total_ns"] == 0 {
+		t.Fatalf("summary fields wrong: %v", decoded)
+	}
+	if len(decoded) != numBuckets+2 {
+		t.Fatalf("%d JSON fields, want %d", len(decoded), numBuckets+2)
+	}
+}
+
+func TestGlobalVarsPublished(t *testing.T) {
+	// The package-level vars must exist and be usable; a duplicate
+	// registration would have panicked at init.
+	StepsServed.Add(0)
+	SessionsActive.Add(0)
+	StepLatency.Observe(time.Millisecond)
+}

@@ -1,0 +1,216 @@
+// Package server is the calibserved serving layer: it hosts many
+// independent scheduling sessions, each backed by an online.Engine
+// (Algorithm 1 or 2 as an incremental state machine), behind a JSON/HTTP
+// API with explicit backpressure and expvar metrics.
+//
+// Concurrency model: one worker goroutine per session serializes that
+// session's operations (the engine is single-threaded state); distinct
+// sessions run fully in parallel. The arrival buffer is bounded — a full
+// buffer answers 429 with Retry-After rather than queueing unboundedly —
+// and sessions idle past the configured TTL are evicted. Shutdown drains
+// in-flight steps before the process exits.
+//
+// DESIGN.md §7 documents the session lifecycle, the backpressure
+// contract, and the API schema; cmd/calibserved is the daemon and
+// cmd/calibload the matching load generator.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+
+	"calibsched/internal/server/metrics"
+)
+
+// apiError is an error with an HTTP mapping. retryAfter marks
+// backpressure responses, which carry a Retry-After header so
+// well-behaved clients back off.
+type apiError struct {
+	status     int
+	retryAfter bool
+	msg        string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// maxBodyBytes bounds request bodies; an arrivals batch of maximal
+// buffer size fits comfortably.
+const maxBodyBytes = 8 << 20
+
+// Server is the HTTP front of a Manager. It implements http.Handler.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// New builds a server and its manager from the config.
+func New(cfg Config) *Server {
+	s := &Server{mgr: NewManager(cfg), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/arrivals", s.handleArrivals)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s
+}
+
+// Manager exposes the underlying session manager (for shutdown wiring
+// and tests).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Shutdown drains every session; see Manager.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.mgr.Create(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := sess.Info()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Delete(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req ArrivalsRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := sess.Arrivals(req.Jobs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req := StepRequest{Steps: 1}
+	if r.ContentLength != 0 {
+		if err := readJSON(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		if req.Steps == 0 {
+			req.Steps = 1
+		}
+	}
+	stop := observeStep()
+	resp, err := sess.Step(req.Steps, s.mgr.cfg.MaxStepBatch)
+	stop()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := sess.Snapshot()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Sessions: s.mgr.Len()})
+}
+
+// readJSON decodes a request body strictly: unknown fields and trailing
+// garbage are 400s, so schema typos fail loudly instead of silently
+// defaulting.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return &apiError{status: 400, msg: fmt.Sprintf("malformed request body: %v", err)}
+	}
+	if dec.More() {
+		return &apiError{status: 400, msg: "trailing data after JSON body"}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do but drop the conn.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		ae = &apiError{status: 500, msg: err.Error()}
+	}
+	if ae.retryAfter {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, ae.status, ErrorResponse{Error: ae.msg})
+}
+
+// observeStep starts a step-latency observation; call the returned func
+// when the step completes.
+func observeStep() func() {
+	start := time.Now()
+	return func() { metrics.StepLatency.Observe(time.Since(start)) }
+}

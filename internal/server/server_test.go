@@ -1,0 +1,396 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testServer boots a Server on an httptest listener and tears it down
+// with the test.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+// doJSON issues a request with a JSON body and decodes the JSON response,
+// returning the status code.
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	status, _ := doJSONHeaders(t, method, url, body, out)
+	return status
+}
+
+func doJSONHeaders(t *testing.T, method, url string, body, out any) (int, http.Header) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// mustCreate creates a session and returns its ID.
+func mustCreate(t *testing.T, base string, req CreateSessionRequest) string {
+	t.Helper()
+	var info SessionInfo
+	if status := doJSON(t, "POST", base+"/v1/sessions", req, &info); status != 201 {
+		t.Fatalf("create session: status %d", status)
+	}
+	if info.ID == "" {
+		t.Fatal("create session: empty ID")
+	}
+	return info.ID
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	id := mustCreate(t, ts.URL, CreateSessionRequest{T: 10, G: 20, Alg: "alg2"})
+
+	var ar ArrivalsResponse
+	status := doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/arrivals", ArrivalsRequest{
+		Jobs: []JobSpec{{Release: 0, Weight: 3}, {Release: 2, Weight: 1}, {Release: 7, Weight: 5}},
+	}, &ar)
+	if status != 200 || ar.Accepted != 3 || ar.Buffered != 3 {
+		t.Fatalf("arrivals: status %d resp %+v", status, ar)
+	}
+	if len(ar.IDs) != 3 || ar.IDs[0] != 0 || ar.IDs[2] != 2 {
+		t.Fatalf("IDs = %v, want dense from 0", ar.IDs)
+	}
+
+	var sr StepResponse
+	status = doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/step", StepRequest{Steps: 40}, &sr)
+	if status != 200 {
+		t.Fatalf("step: status %d", status)
+	}
+	if sr.Now != 40 || sr.Stepped != 40 {
+		t.Fatalf("step: %+v", sr)
+	}
+	if !sr.Done {
+		t.Fatalf("session not done after 40 steps: %+v", sr)
+	}
+	if len(sr.Events) == 0 {
+		t.Fatal("no events reported")
+	}
+
+	var sched ScheduleResponse
+	status = doJSON(t, "GET", ts.URL+"/v1/sessions/"+id+"/schedule", nil, &sched)
+	if status != 200 {
+		t.Fatalf("schedule: status %d", status)
+	}
+	if !sched.Done || sched.Assigned != 3 || len(sched.Assignments) != 3 {
+		t.Fatalf("schedule: %+v", sched)
+	}
+	if len(sched.Calibrations) == 0 || sched.Calibrations[0].Trigger == "" {
+		t.Fatalf("calibrations missing triggers: %+v", sched.Calibrations)
+	}
+	if sched.TotalCost != sched.Flow+20*int64(len(sched.Calibrations)) {
+		t.Fatalf("cost identity violated: %+v", sched)
+	}
+
+	var info SessionInfo
+	if status := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id, nil, &info); status != 200 {
+		t.Fatalf("info: status %d", status)
+	}
+	if info.Jobs != 3 || info.Now != 40 {
+		t.Fatalf("info: %+v", info)
+	}
+
+	if status := doJSON(t, "DELETE", ts.URL+"/v1/sessions/"+id, nil, nil); status != 204 {
+		t.Fatalf("delete: status %d", status)
+	}
+	var er ErrorResponse
+	if status := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id, nil, &er); status != 404 {
+		t.Fatalf("deleted session still answers: status %d", status)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := testServer(t, Config{MaxStepBatch: 100})
+	id := mustCreate(t, ts.URL, CreateSessionRequest{T: 5, G: 10, Alg: "alg1"})
+
+	step2 := mustCreate(t, ts.URL, CreateSessionRequest{T: 5, G: 10, Alg: "alg1"})
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+step2+"/step", StepRequest{Steps: 3}, nil)
+
+	for _, tc := range []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		status int
+		msg    string
+	}{
+		{"unknown alg", "POST", "/v1/sessions", CreateSessionRequest{T: 5, G: 1, Alg: "dp"}, 400, "unknown engine"},
+		{"bad T", "POST", "/v1/sessions", CreateSessionRequest{T: 0, G: 1, Alg: "alg1"}, 400, "calibration length"},
+		{"bad G", "POST", "/v1/sessions", CreateSessionRequest{T: 5, G: -3, Alg: "alg1"}, 400, "calibration cost"},
+		{"unknown session", "GET", "/v1/sessions/s-999999", nil, 404, "no session"},
+		{"unknown session step", "POST", "/v1/sessions/s-999999/step", StepRequest{Steps: 1}, 404, "no session"},
+		{"empty arrivals", "POST", "/v1/sessions/" + id + "/arrivals", ArrivalsRequest{}, 400, "no jobs"},
+		{"zero weight", "POST", "/v1/sessions/" + id + "/arrivals",
+			ArrivalsRequest{Jobs: []JobSpec{{Release: 0, Weight: 0}}}, 400, "weight"},
+		{"weighted on alg1", "POST", "/v1/sessions/" + id + "/arrivals",
+			ArrivalsRequest{Jobs: []JobSpec{{Release: 0, Weight: 2}}}, 400, "unweighted"},
+		{"time travel", "POST", "/v1/sessions/" + step2 + "/arrivals",
+			ArrivalsRequest{Jobs: []JobSpec{{Release: 0, Weight: 1}}}, 409, "time-travel"},
+		{"negative steps", "POST", "/v1/sessions/" + id + "/step", StepRequest{Steps: -4}, 400, "want >= 1"},
+		{"oversized steps", "POST", "/v1/sessions/" + id + "/step", StepRequest{Steps: 101}, 400, "per-request limit"},
+		{"malformed body", "POST", "/v1/sessions", "not an object", 400, "malformed"},
+		{"unknown field", "POST", "/v1/sessions", map[string]any{"t": 5, "g": 1, "alg": "alg1", "bogus": 1}, 400, "malformed"},
+	} {
+		var er ErrorResponse
+		status := doJSON(t, tc.method, ts.URL+tc.path, tc.body, &er)
+		if status != tc.status {
+			t.Errorf("%s: status %d, want %d (%+v)", tc.name, status, tc.status, er)
+			continue
+		}
+		if !strings.Contains(er.Error, tc.msg) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, er.Error, tc.msg)
+		}
+	}
+}
+
+func TestArrivalBackpressure(t *testing.T) {
+	_, ts := testServer(t, Config{MaxBuffer: 4})
+	id := mustCreate(t, ts.URL, CreateSessionRequest{T: 5, G: 10, Alg: "alg2"})
+	url := ts.URL + "/v1/sessions/" + id + "/arrivals"
+
+	jobs := make([]JobSpec, 4)
+	for i := range jobs {
+		jobs[i] = JobSpec{Release: int64(i), Weight: 1}
+	}
+	var ar ArrivalsResponse
+	if status := doJSON(t, "POST", url, ArrivalsRequest{Jobs: jobs}, &ar); status != 200 {
+		t.Fatalf("fill: status %d", status)
+	}
+	if ar.Buffered != 4 || ar.Capacity != 4 {
+		t.Fatalf("fill: %+v", ar)
+	}
+
+	var er ErrorResponse
+	status, hdr := doJSONHeaders(t, "POST", url, ArrivalsRequest{
+		Jobs: []JobSpec{{Release: 9, Weight: 1}},
+	}, &er)
+	if status != 429 {
+		t.Fatalf("over-fill: status %d, want 429", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if !strings.Contains(er.Error, "buffer full") {
+		t.Errorf("unhelpful backpressure message: %q", er.Error)
+	}
+
+	// The batch is atomic: a batch that would only partially fit is
+	// wholly refused, and the buffer is unchanged.
+	var info SessionInfo
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+id, nil, &info)
+	if info.Buffered != 4 || info.Jobs != 4 {
+		t.Fatalf("buffer changed by refused batch: %+v", info)
+	}
+
+	// Stepping drains the buffer and clears the backpressure.
+	doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/step", StepRequest{Steps: 9}, nil)
+	if status := doJSON(t, "POST", url, ArrivalsRequest{Jobs: []JobSpec{{Release: 9, Weight: 1}}}, &ar); status != 200 {
+		t.Fatalf("post-drain arrival: status %d", status)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	_, ts := testServer(t, Config{MaxSessions: 2})
+	mustCreate(t, ts.URL, CreateSessionRequest{T: 5, G: 1, Alg: "alg1"})
+	id2 := mustCreate(t, ts.URL, CreateSessionRequest{T: 5, G: 1, Alg: "alg1"})
+
+	var er ErrorResponse
+	status, hdr := doJSONHeaders(t, "POST", ts.URL+"/v1/sessions", CreateSessionRequest{T: 5, G: 1, Alg: "alg1"}, &er)
+	if status != 429 || hdr.Get("Retry-After") == "" {
+		t.Fatalf("third create: status %d retry-after %q", status, hdr.Get("Retry-After"))
+	}
+	// Deleting frees a slot.
+	if status := doJSON(t, "DELETE", ts.URL+"/v1/sessions/"+id2, nil, nil); status != 204 {
+		t.Fatalf("delete: %d", status)
+	}
+	mustCreate(t, ts.URL, CreateSessionRequest{T: 5, G: 1, Alg: "alg1"})
+}
+
+func TestIdleEviction(t *testing.T) {
+	srv, ts := testServer(t, Config{IdleTTL: 50 * time.Millisecond, JanitorInterval: 10 * time.Millisecond})
+	id := mustCreate(t, ts.URL, CreateSessionRequest{T: 5, G: 1, Alg: "alg1"})
+	// Poll the manager, not the session: a GET on the session would
+	// itself count as activity and refresh the TTL.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Manager().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle session was never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var er ErrorResponse
+	if status := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id, nil, &er); status != 404 {
+		t.Fatalf("evicted session still answers: status %d", status)
+	}
+}
+
+func TestActiveSessionSurvivesTTL(t *testing.T) {
+	_, ts := testServer(t, Config{IdleTTL: 500 * time.Millisecond, JanitorInterval: 20 * time.Millisecond})
+	id := mustCreate(t, ts.URL, CreateSessionRequest{T: 5, G: 1, Alg: "alg1"})
+	// Keep touching the session for several TTLs; it must stay alive.
+	for i := 0; i < 8; i++ {
+		var sr StepResponse
+		if status := doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/step", StepRequest{Steps: 1}, &sr); status != 200 {
+			t.Fatalf("touch %d: status %d", i, status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func TestShutdownDrainsAndRefuses(t *testing.T) {
+	srv := New(Config{})
+	if _, err := srv.Manager().Create(CreateSessionRequest{T: 5, G: 1, Alg: "alg1"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	_, err := srv.Manager().Create(CreateSessionRequest{T: 5, G: 1, Alg: "alg1"})
+	ae, ok := err.(*apiError)
+	if !ok || ae.status != 503 {
+		t.Fatalf("create after shutdown: %v", err)
+	}
+}
+
+// TestConcurrentSessions hammers one shared session and many private
+// ones from parallel goroutines; run under -race this is the data-race
+// gate for the worker model. The shared session's clock must equal the
+// total number of steps issued.
+func TestConcurrentSessions(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	shared := mustCreate(t, ts.URL, CreateSessionRequest{T: 8, G: 16, Alg: "alg2"})
+
+	const workers = 8
+	const stepsEach = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Private session: full lifecycle.
+			var info SessionInfo
+			if status := doJSON(t, "POST", ts.URL+"/v1/sessions", CreateSessionRequest{T: 6, G: 12, Alg: "alg2"}, &info); status != 201 {
+				errs <- fmt.Errorf("worker %d: create status %d", w, status)
+				return
+			}
+			priv := ts.URL + "/v1/sessions/" + info.ID
+			if status := doJSON(t, "POST", priv+"/arrivals", ArrivalsRequest{
+				Jobs: []JobSpec{{Release: 0, Weight: int64(w + 1)}, {Release: 3, Weight: 1}},
+			}, nil); status != 200 {
+				errs <- fmt.Errorf("worker %d: arrivals status %d", w, status)
+				return
+			}
+			for i := 0; i < stepsEach; i++ {
+				if status := doJSON(t, "POST", priv+"/step", StepRequest{Steps: 1}, nil); status != 200 {
+					errs <- fmt.Errorf("worker %d: private step status %d", w, status)
+					return
+				}
+				if status := doJSON(t, "POST", ts.URL+"/v1/sessions/"+shared+"/step", StepRequest{Steps: 1}, nil); status != 200 {
+					errs <- fmt.Errorf("worker %d: shared step status %d", w, status)
+					return
+				}
+				if i%5 == 0 {
+					doJSON(t, "GET", ts.URL+"/v1/sessions/"+shared+"/schedule", nil, &ScheduleResponse{})
+				}
+			}
+			doJSON(t, "DELETE", priv, nil, nil)
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	var info SessionInfo
+	doJSON(t, "GET", ts.URL+"/v1/sessions/"+shared, nil, &info)
+	if info.Now != workers*stepsEach {
+		t.Fatalf("shared clock = %d, want %d", info.Now, workers*stepsEach)
+	}
+}
+
+func TestHealthAndVars(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	mustCreate(t, ts.URL, CreateSessionRequest{T: 5, G: 1, Alg: "alg1"})
+
+	var h HealthResponse
+	if status := doJSON(t, "GET", ts.URL+"/healthz", nil, &h); status != 200 {
+		t.Fatalf("healthz: status %d", status)
+	}
+	if h.Status != "ok" || h.Sessions < 1 {
+		t.Fatalf("healthz: %+v", h)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	for _, key := range []string{
+		"calibserved.sessions.active",
+		"calibserved.sessions.created",
+		"calibserved.sessions.evicted",
+		"calibserved.steps.served",
+		"calibserved.arrivals.accepted",
+		"calibserved.arrivals.rejected",
+		"calibserved.queue.depth",
+		"calibserved.step.latency",
+	} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+}

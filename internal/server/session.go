@@ -1,0 +1,333 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+	"calibsched/internal/queue"
+	"calibsched/internal/server/metrics"
+)
+
+// session is one live scheduling session: an online.Engine plus a bounded
+// buffer of accepted-but-not-yet-released arrivals, owned by a single
+// worker goroutine. All engine and buffer state is touched only by the
+// worker, so the scheduling hot path needs no locks; HTTP handlers submit
+// closures through do and block for the reply, which serializes every
+// operation per session while keeping distinct sessions fully concurrent.
+type session struct {
+	id        string
+	spec      online.EngineSpec
+	t, g      int64
+	maxBuffer int
+
+	cmds chan func()
+	quit chan struct{} // closed by stop(): worker drains and exits
+	done chan struct{} // closed by the worker on exit
+	stop sync.Once
+
+	// lastActive is the unix-nano time of the last accepted command,
+	// read by the manager's idle janitor.
+	lastActive atomic.Int64
+
+	// Worker-owned state. Never touched outside the worker goroutine.
+	eng    online.Engine
+	buffer *queue.Heap[core.Job] // future arrivals, ordered by (Release, ID)
+	jobs   []core.Job            // every accepted job, indexed by ID
+	broken error                 // sticky failure from a recovered panic
+}
+
+func newSession(id string, spec online.EngineSpec, t, g int64, maxBuffer int, now time.Time) *session {
+	s := &session{
+		id:        id,
+		spec:      spec,
+		t:         t,
+		g:         g,
+		maxBuffer: maxBuffer,
+		cmds:      make(chan func()), // unbuffered: a submitted command is always executed
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		eng:       spec.New(t, g),
+		buffer: queue.New(func(a, b core.Job) bool {
+			if a.Release != b.Release {
+				return a.Release < b.Release
+			}
+			return a.ID < b.ID
+		}),
+	}
+	s.lastActive.Store(now.UnixNano())
+	go s.work()
+	return s
+}
+
+// work is the session's worker loop. On quit it finishes every command
+// that was already accepted (the channel is unbuffered, so "accepted"
+// means a handler is already blocked on the reply) and exits.
+func (s *session) work() {
+	defer close(s.done)
+	for {
+		select {
+		case fn := <-s.cmds:
+			fn()
+		case <-s.quit:
+			for {
+				select {
+				case fn := <-s.cmds:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// halt asks the worker to exit after draining in-flight work. Safe to
+// call multiple times; does not wait (read s.done for that).
+func (s *session) halt() {
+	s.stop.Do(func() { close(s.quit) })
+}
+
+// do runs fn on the worker and waits for it to finish. It fails with a
+// 503 once the session has shut down.
+func (s *session) do(fn func()) error {
+	ran := make(chan struct{})
+	wrapped := func() {
+		defer close(ran)
+		fn()
+	}
+	select {
+	case s.cmds <- wrapped:
+		s.lastActive.Store(time.Now().UnixNano())
+		<-ran
+		return nil
+	case <-s.done:
+		return &apiError{status: 503, msg: fmt.Sprintf("session %s is shut down", s.id)}
+	}
+}
+
+// guard wraps a worker-side operation: a broken session stays broken, and
+// a panic (e.g. int64 overflow in the engine's exact cost arithmetic) is
+// converted into a sticky error instead of killing the daemon.
+func (s *session) guard(op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.broken = &apiError{status: 500, msg: fmt.Sprintf("session %s failed during %s: %v", s.id, op, r)}
+			err = s.broken
+		}
+	}()
+	if s.broken != nil {
+		return s.broken
+	}
+	return fn()
+}
+
+// Arrivals buffers a batch of jobs atomically: every job is validated
+// against the session clock, the weight contract, and the buffer bound
+// before any is admitted.
+func (s *session) Arrivals(specs []JobSpec) (resp ArrivalsResponse, err error) {
+	doErr := s.do(func() {
+		err = s.guard("arrivals", func() error {
+			resp, err = s.admit(specs)
+			return err
+		})
+	})
+	if doErr != nil {
+		return ArrivalsResponse{}, doErr
+	}
+	return resp, err
+}
+
+func (s *session) admit(specs []JobSpec) (ArrivalsResponse, error) {
+	if len(specs) == 0 {
+		return ArrivalsResponse{}, &apiError{status: 400, msg: "arrivals request carries no jobs"}
+	}
+	now := s.eng.Now()
+	for i, js := range specs {
+		if js.Release < now {
+			return ArrivalsResponse{}, &apiError{status: 409, msg: fmt.Sprintf(
+				"job %d released at %d but the session clock is already at %d; arrivals must not time-travel", i, js.Release, now)}
+		}
+		if js.Weight < 1 {
+			return ArrivalsResponse{}, &apiError{status: 400, msg: fmt.Sprintf("job %d has weight %d, want >= 1", i, js.Weight)}
+		}
+		if s.spec.UnitWeightsOnly && js.Weight != 1 {
+			return ArrivalsResponse{}, &apiError{status: 400, msg: fmt.Sprintf(
+				"engine %s is unweighted: job %d has weight %d, want 1", s.spec.Name, i, js.Weight)}
+		}
+	}
+	if s.buffer.Len()+len(specs) > s.maxBuffer {
+		metrics.ArrivalsRejected.Add(int64(len(specs)))
+		return ArrivalsResponse{}, &apiError{
+			status:     429,
+			retryAfter: true,
+			msg: fmt.Sprintf("arrival buffer full (%d/%d buffered, %d offered); step the session and retry",
+				s.buffer.Len(), s.maxBuffer, len(specs)),
+		}
+	}
+	ids := make([]int, len(specs))
+	for i, js := range specs {
+		j := core.Job{ID: len(s.jobs), Release: js.Release, Weight: js.Weight}
+		s.jobs = append(s.jobs, j)
+		s.buffer.Push(j)
+		ids[i] = j.ID
+	}
+	metrics.ArrivalsAccepted.Add(int64(len(specs)))
+	metrics.QueueDepth.Add(int64(len(specs)))
+	return ArrivalsResponse{
+		Accepted: len(specs),
+		IDs:      ids,
+		Buffered: s.buffer.Len(),
+		Capacity: s.maxBuffer,
+	}, nil
+}
+
+// Step advances the session k time steps, feeding buffered arrivals to
+// the engine as they mature. Quiet steps are elided from the event list.
+func (s *session) Step(k, maxBatch int64) (resp StepResponse, err error) {
+	doErr := s.do(func() {
+		err = s.guard("step", func() error {
+			resp, err = s.advance(k, maxBatch)
+			return err
+		})
+	})
+	if doErr != nil {
+		return StepResponse{}, doErr
+	}
+	return resp, err
+}
+
+func (s *session) advance(k, maxBatch int64) (StepResponse, error) {
+	if k < 1 {
+		return StepResponse{}, &apiError{status: 400, msg: fmt.Sprintf("steps = %d, want >= 1", k)}
+	}
+	if k > maxBatch {
+		return StepResponse{}, &apiError{status: 400, msg: fmt.Sprintf("steps = %d exceeds the per-request limit %d; split the request", k, maxBatch)}
+	}
+	resp := StepResponse{Events: []StepEventJSON{}, Stepped: k}
+	var fed int64
+	var arrivals []core.Job
+	for i := int64(0); i < k; i++ {
+		now := s.eng.Now()
+		arrivals = arrivals[:0]
+		for !s.buffer.Empty() && s.buffer.Peek().Release == now {
+			arrivals = append(arrivals, s.buffer.Pop())
+		}
+		fed += int64(len(arrivals))
+		ev := s.eng.Step(arrivals)
+		if ev.Calibrated || ev.Ran >= 0 {
+			e := StepEventJSON{Time: ev.Time, Calibrated: ev.Calibrated, Ran: ev.Ran}
+			if ev.Calibrated {
+				e.Trigger = ev.Trigger.String()
+			}
+			resp.Events = append(resp.Events, e)
+		}
+	}
+	metrics.StepsServed.Add(k)
+	metrics.QueueDepth.Add(-fed)
+	resp.Now = s.eng.Now()
+	resp.Pending = s.eng.Pending()
+	resp.Buffered = s.buffer.Len()
+	resp.Done = s.isDone()
+	return resp, nil
+}
+
+// isDone reports whether every accepted job has been scheduled (worker
+// side). With an empty buffer, done == nothing pending inside the engine.
+func (s *session) isDone() bool {
+	return s.buffer.Empty() && s.eng.Pending() == 0
+}
+
+// Info returns a consistent snapshot of the session's identity and state.
+func (s *session) Info() (info SessionInfo, err error) {
+	doErr := s.do(func() {
+		err = s.guard("info", func() error {
+			info = s.infoLocked()
+			return nil
+		})
+	})
+	if doErr != nil {
+		return SessionInfo{}, doErr
+	}
+	return info, err
+}
+
+func (s *session) infoLocked() SessionInfo {
+	return SessionInfo{
+		ID:       s.id,
+		Alg:      s.spec.Name,
+		T:        s.t,
+		G:        s.g,
+		Now:      s.eng.Now(),
+		Pending:  s.eng.Pending(),
+		Buffered: s.buffer.Len(),
+		Jobs:     len(s.jobs),
+	}
+}
+
+// Snapshot assembles the schedule built so far with exact cost accounting
+// over the assigned jobs. Overflow in the cost sums surfaces as a 500,
+// not a panic: the snapshot is a read and must not kill the session.
+func (s *session) Snapshot() (resp ScheduleResponse, err error) {
+	doErr := s.do(func() {
+		err = s.guard("schedule", func() error {
+			resp, err = s.snapshot()
+			return err
+		})
+	})
+	if doErr != nil {
+		return ScheduleResponse{}, doErr
+	}
+	return resp, err
+}
+
+func (s *session) snapshot() (ScheduleResponse, error) {
+	sched := s.eng.Schedule(len(s.jobs))
+	triggers := s.eng.Triggers()
+	resp := ScheduleResponse{
+		Session:      s.infoLocked(),
+		Calibrations: make([]CalibrationJSON, len(sched.Calendar)),
+		Assignments:  make([]AssignmentJSON, len(sched.Assignments)),
+	}
+	for i, c := range sched.Calendar {
+		tr := ""
+		if i < len(triggers) {
+			tr = triggers[i].String()
+		}
+		resp.Calibrations[i] = CalibrationJSON{Machine: c.Machine, Start: c.Start, Trigger: tr}
+	}
+	var flow int64
+	for i, a := range sched.Assignments {
+		j := s.jobs[i]
+		resp.Assignments[i] = AssignmentJSON{
+			Job: j.ID, Release: j.Release, Weight: j.Weight,
+			Machine: a.Machine, Start: a.Start,
+		}
+		if a.Start < 0 {
+			continue
+		}
+		resp.Assigned++
+		f, ok := core.MulCheck(j.Weight, a.Start+1-j.Release)
+		if !ok {
+			return ScheduleResponse{}, &apiError{status: 500, msg: fmt.Sprintf("int64 overflow computing flow of job %d", j.ID)}
+		}
+		if flow, ok = core.AddCheck(flow, f); !ok {
+			return ScheduleResponse{}, &apiError{status: 500, msg: "int64 overflow accumulating weighted flow"}
+		}
+	}
+	calCost, ok := core.MulCheck(s.g, int64(len(sched.Calendar)))
+	if !ok {
+		return ScheduleResponse{}, &apiError{status: 500, msg: "int64 overflow computing calibration cost"}
+	}
+	total, ok := core.AddCheck(calCost, flow)
+	if !ok {
+		return ScheduleResponse{}, &apiError{status: 500, msg: "int64 overflow computing total cost"}
+	}
+	resp.Flow = flow
+	resp.TotalCost = total
+	resp.Done = resp.Assigned == len(s.jobs) && s.buffer.Empty()
+	return resp, nil
+}

@@ -17,6 +17,24 @@ func FuzzReadInstance(f *testing.F) {
 	f.Add("0 0\n0\n")
 	f.Add("1 5\n3\n0 1\n")
 	f.Add("1 1\n1\n9223372036854775807 1\n")
+	// Truncations of a valid instance at every structural boundary.
+	f.Add("1 5")
+	f.Add("1 5\n")
+	f.Add("1 5\n2")
+	f.Add("1 5\n2\n")
+	f.Add("1 5\n2\n0")
+	f.Add("1 5\n2\n0 1\n3")
+	// Hostile numerics and whitespace.
+	f.Add("1 5\n1\n0 0\n")
+	f.Add("1 5\n1\n-4 1\n")
+	f.Add("9999999999999999999 5\n0\n")
+	f.Add("1 5\n1\n0 99999999999999999999\n")
+	f.Add("1\t5\n1\n0 1\n")
+	f.Add("1 5\r\n1\r\n0 1\r\n")
+	f.Add("1 5\n1\n0 1 7\n")
+	f.Add("1 5\n1\n\n\n0 1\n")
+	f.Add("# only comments\n# and more\n")
+	f.Add("1 5\n2\n0 1\n0 1\nextra trailing line\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		in, err := ReadInstance(strings.NewReader(input))
 		if err != nil {
