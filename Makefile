@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz serve loadtest ci
+.PHONY: all build vet lint test race fuzz bench serve loadtest ci
 
 all: ci
 
@@ -30,6 +30,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzAssignTimes -fuzztime=$(FUZZTIME) -run='^$$' ./internal/core
 	$(GO) test -fuzz=FuzzDPMatchesBrute -fuzztime=$(FUZZTIME) -run='^$$' ./internal/offline
 	$(GO) test -fuzz=FuzzReadInstance -fuzztime=$(FUZZTIME) -run='^$$' ./internal/workload
+
+# bench writes a dated machine-readable performance report (ns/op,
+# allocs/op, steps/sec for the steppers, the offline DP, and the
+# decision-tracing overhead tiers).
+BENCH_OUT ?= BENCH_$(shell date +%F).json
+bench:
+	$(GO) run ./cmd/calibbench -perf -out $(BENCH_OUT)
 
 # serve boots the streaming scheduling daemon on SERVE_ADDR (see
 # DESIGN.md §7 for the API).

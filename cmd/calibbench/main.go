@@ -7,6 +7,7 @@
 //	calibbench                # every experiment, full grids
 //	calibbench -e e2,e5       # selected experiments
 //	calibbench -quick         # reduced grids (CI-sized)
+//	calibbench -perf -out BENCH_2026-08-05.json   # perf report (make bench)
 package main
 
 import (
@@ -22,16 +23,27 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("e", "all", "comma-separated experiment IDs (e1..e17) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced parameter grids")
-		workers = flag.Int("workers", 0, "grid parallelism (0 = GOMAXPROCS)")
-		seed    = flag.Uint64("seed", 0, "seed offset for all workloads")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		which    = flag.String("e", "all", "comma-separated experiment IDs (e1..e17) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced parameter grids")
+		workers  = flag.Int("workers", 0, "grid parallelism (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 0, "seed offset for all workloads")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		perf     = flag.Bool("perf", false, "run the performance harness instead of the experiments")
+		perfOut  = flag.String("out", "", "perf report path (default stdout; see make bench)")
+		perfTime = flag.Duration("perf-duration", time.Second, "target wall time per perf case")
+		perfN    = flag.Int("perf-n", 2000, "jobs per stepper workload in perf mode")
 	)
 	flag.Parse()
 
 	if *list {
 		listExperiments(os.Stdout)
+		return
+	}
+	if *perf {
+		if err := runPerfCmd(*perfOut, *perfTime, *perfN); err != nil {
+			fmt.Fprintln(os.Stderr, "calibbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	cfg := experiments.Config{Quick: *quick, Workers: *workers, Seed: *seed}

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"calibsched/internal/experiments"
 )
@@ -37,5 +39,49 @@ func TestRunSelectedUnknown(t *testing.T) {
 	var buf bytes.Buffer
 	if _, err := runSelected(&buf, "e99", experiments.Config{Quick: true}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunPerfReportShape runs the perf harness at a tiny duration and
+// checks the JSON report: every case present, with positive ns/op and
+// steps/sec on the stepper cases.
+func TestRunPerfReportShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runPerf(&buf, time.Millisecond, 200); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Date      string `json:"date"`
+		GoVersion string `json:"go_version"`
+		Results   []struct {
+			Name        string  `json:"name"`
+			Iters       int64   `json:"iters"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			StepsPerSec float64 `json:"steps_per_sec"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, buf.String())
+	}
+	if report.Date == "" || report.GoVersion == "" {
+		t.Errorf("report missing provenance: %+v", report)
+	}
+	byName := map[string]bool{}
+	for _, r := range report.Results {
+		byName[r.Name] = true
+		if r.Iters < 1 || r.NsPerOp <= 0 {
+			t.Errorf("%s: iters %d, ns/op %v", r.Name, r.Iters, r.NsPerOp)
+		}
+		if strings.Contains(r.Name, "stepper") && r.StepsPerSec <= 0 {
+			t.Errorf("%s: steps/sec %v, want > 0", r.Name, r.StepsPerSec)
+		}
+	}
+	for _, want := range []string{
+		"alg1/stepper", "alg2/stepper", "alg2/stepper/nil-sink",
+		"alg2/stepper/ring-sink", "offline/dp",
+	} {
+		if !byName[want] {
+			t.Errorf("report missing case %q; have %v", want, byName)
+		}
 	}
 }

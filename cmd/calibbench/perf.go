@@ -1,0 +1,184 @@
+package main
+
+// Performance mode (-perf): a small hand-rolled measurement harness that
+// times the hot paths of the reproduction — the Alg1/Alg2 steppers, the
+// offline DP, and the decision-tracing overhead contract (untraced vs
+// nil-sink vs live ring) — and writes a machine-readable JSON report for
+// `make bench`. A hand-rolled loop rather than testing.Benchmark keeps
+// `go test ./...` fast and lets the report carry steps/sec alongside
+// ns/op and allocs/op.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"calibsched/internal/core"
+	"calibsched/internal/offline"
+	"calibsched/internal/online"
+	"calibsched/internal/trace"
+	"calibsched/internal/workload"
+)
+
+// perfResult is one benchmark case in the report.
+type perfResult struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// StepsPerSec is the simulated-step throughput (stepper cases only).
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+}
+
+// perfReport is the BENCH_<date>.json schema.
+type perfReport struct {
+	Date      string       `json:"date"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	Results   []perfResult `json:"results"`
+}
+
+// measure runs fn in a timed loop for roughly d (after one warm-up call)
+// and reports iterations, ns/op, and allocs/op. stepsPerOp, when nonzero,
+// scales into steps/sec.
+func measure(name string, d time.Duration, stepsPerOp int64, fn func()) perfResult {
+	fn() // warm-up: first call pays one-time allocations
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	var iters int64
+	for time.Since(start) < d || iters == 0 {
+		fn()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	res := perfResult{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(iters),
+	}
+	if stepsPerOp > 0 {
+		res.StepsPerSec = float64(stepsPerOp*iters) / elapsed.Seconds()
+	}
+	return res
+}
+
+// perfInstance is the shared stepper workload: Poisson arrivals with
+// uniform weights, the same shape as the internal/online benchmarks.
+func perfInstance(n int) (*core.Instance, error) {
+	return (workload.Spec{
+		N: n, P: 1, T: 16, Seed: 42,
+		Arrival: workload.ArrivalPoisson, Lambda: 0.4,
+		Weights: workload.WeightUniform, WMax: 10,
+	}).Build()
+}
+
+// unitPerfInstance is the unit-weight variant for Algorithm 1.
+func unitPerfInstance(n int) (*core.Instance, error) {
+	return (workload.Spec{
+		N: n, P: 1, T: 16, Seed: 42,
+		Arrival: workload.ArrivalPoisson, Lambda: 0.4,
+		Weights: workload.WeightUnit,
+	}).Build()
+}
+
+// driveStepper runs a fresh stepper across the instance's full horizon
+// and returns the number of simulated steps.
+func driveStepper(st *online.Stepper, in *core.Instance) int64 {
+	byTime := map[int64][]core.Job{}
+	var last int64
+	for _, j := range in.Jobs {
+		byTime[j.Release] = append(byTime[j.Release], j)
+		if j.Release > last {
+			last = j.Release
+		}
+	}
+	var steps int64
+	for st.Pending() > 0 || st.Now() <= last {
+		st.Step(byTime[st.Now()])
+		steps++
+	}
+	return steps
+}
+
+// runPerf measures every case for duration d each and writes the JSON
+// report to out.
+func runPerf(out io.Writer, d time.Duration, n int) error {
+	const g = 64
+	weighted, err := perfInstance(n)
+	if err != nil {
+		return err
+	}
+	unit, err := unitPerfInstance(n)
+	if err != nil {
+		return err
+	}
+	// The DP is exponential in distinct release times; a small instance
+	// keeps one op in the milliseconds.
+	dpIn, err := perfInstance(12)
+	if err != nil {
+		return err
+	}
+
+	steps1 := driveStepper(online.NewAlg1Stepper(unit.T, g), unit)
+	steps2 := driveStepper(online.NewAlg2Stepper(weighted.T, g), weighted)
+
+	report := perfReport{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results: []perfResult{
+			measure("alg1/stepper", d, steps1, func() {
+				driveStepper(online.NewAlg1Stepper(unit.T, g), unit)
+			}),
+			measure("alg2/stepper", d, steps2, func() {
+				driveStepper(online.NewAlg2Stepper(weighted.T, g), weighted)
+			}),
+			measure("alg2/stepper/nil-sink", d, steps2, func() {
+				driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(nil)), weighted)
+			}),
+			measure("alg2/stepper/ring-sink", d, steps2, func() {
+				driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(trace.NewRing(1024))), weighted)
+			}),
+			measure("offline/dp", d, 0, func() {
+				if _, _, _, err := offline.OptimalTotalCost(dpIn, g); err != nil {
+					panic("calibbench: offline DP failed on the perf instance: " + err.Error())
+				}
+			}),
+		},
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// runPerfCmd is the -perf entry point: it writes the report to path (or
+// stdout when path is empty) and a one-line summary per case to stderr.
+func runPerfCmd(path string, d time.Duration, n int) error {
+	var out io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := runPerf(out, d, n); err != nil {
+		return err
+	}
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "calibbench: wrote %s\n", path)
+	}
+	return nil
+}

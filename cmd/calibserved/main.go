@@ -1,28 +1,37 @@
 // Command calibserved is the calibration-scheduling daemon: it hosts
 // many independent online scheduling sessions (Algorithm 1 or 2 of the
 // paper as incremental engines) behind a JSON/HTTP API with bounded
-// arrival queues, idle-session eviction, and expvar metrics.
+// arrival queues, idle-session eviction, decision-event tracing, and a
+// Prometheus/expvar metrics plane.
 //
 // Quickstart:
 //
 //	calibserved -addr :8373 &
 //	curl -s localhost:8373/healthz
 //	curl -s -X POST localhost:8373/v1/sessions -d '{"t":10,"g":32,"alg":"alg2"}'
-//	curl -s localhost:8373/debug/vars | grep calibserved
+//	curl -s localhost:8373/v1/sessions/s-000001/trace
+//	curl -s localhost:8373/metrics | grep calibserved
+//
+// All logging is structured JSON on stderr (one record per line). With
+// -debug-addr set, net/http/pprof and /debug/vars are served on that
+// separate listener so the profiling surface never shares the API port.
 //
 // cmd/calibload is the matching load generator; DESIGN.md §7 documents
-// the API schema and the backpressure contract.
+// the API schema and the backpressure contract, §8 the observability
+// plane.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,11 +57,14 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 	fs.SetOutput(stderr)
 	var (
 		addr            = fs.String("addr", ":8373", "listen address (host:port; :0 picks a free port)")
+		debugAddr       = fs.String("debug-addr", "", "separate listen address for pprof and /debug/vars (empty disables)")
 		maxSessions     = fs.Int("max-sessions", 1024, "maximum live sessions (creation beyond it gets 429)")
 		maxBuffer       = fs.Int("buffer", 4096, "per-session arrival buffer bound (fuller gets 429 + Retry-After)")
 		maxStepBatch    = fs.Int64("max-step-batch", 100_000, "maximum steps one request may simulate")
+		traceRing       = fs.Int("trace-ring", 1024, "per-session decision-event ring capacity for /v1/sessions/{id}/trace")
 		idleTTL         = fs.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (0 disables)")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining on shutdown")
+		logLevel        = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,16 +73,23 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 		fmt.Fprintf(stderr, "calibserved: unexpected argument %q (flags only)\n", fs.Arg(0))
 		return 2
 	}
-	if *maxSessions < 1 || *maxBuffer < 1 || *maxStepBatch < 1 {
-		fmt.Fprintln(stderr, "calibserved: -max-sessions, -buffer, and -max-step-batch must all be >= 1")
+	if *maxSessions < 1 || *maxBuffer < 1 || *maxStepBatch < 1 || *traceRing < 1 {
+		fmt.Fprintln(stderr, "calibserved: -max-sessions, -buffer, -max-step-batch, and -trace-ring must all be >= 1")
 		return 2
 	}
-	logger := log.New(stderr, "calibserved: ", log.LstdFlags)
-	if err := serve(ctx, *addr, server.Config{
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(stderr, "calibserved: bad -log-level %q (want debug, info, warn, or error)\n", *logLevel)
+		return 2
+	}
+	logger := slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: level}))
+	if err := serve(ctx, *addr, *debugAddr, server.Config{
 		MaxSessions:  *maxSessions,
 		MaxBuffer:    *maxBuffer,
 		MaxStepBatch: *maxStepBatch,
+		TraceRing:    *traceRing,
 		IdleTTL:      *idleTTL,
+		Logger:       logger,
 	}, *shutdownTimeout, logger, nil); err != nil {
 		fmt.Fprintln(stderr, "calibserved:", err)
 		return 1
@@ -78,17 +97,47 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 	return 0
 }
 
-// serve listens on addr and serves until ctx is cancelled, then drains
-// HTTP connections and session workers within the grace period. When
-// ready is non-nil it receives the bound address once listening (tests
-// use it to learn the :0 port).
-func serve(ctx context.Context, addr string, cfg server.Config, grace time.Duration, logger *log.Logger, ready chan<- string) error {
+// debugMux is the operational debug plane: pprof profiles plus the raw
+// expvar registry. It is mounted on its own listener (-debug-addr) so
+// the profiling surface is never exposed on the API address.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// serve listens on addr (and debugAddr, when set) and serves until ctx
+// is cancelled, then drains HTTP connections and session workers within
+// the grace period. When ready is non-nil it receives the bound API
+// address once listening (tests use it to learn the :0 port).
+func serve(ctx context.Context, addr, debugAddr string, cfg server.Config, grace time.Duration, logger *slog.Logger, ready chan<- string) error {
 	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	logger.Printf("listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		logger.Info("debug listening", "addr", dln.Addr().String())
+		debugSrv = &http.Server{Handler: debugMux(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.Serve(dln); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -103,13 +152,18 @@ func serve(ctx context.Context, addr string, cfg server.Config, grace time.Durat
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down (draining up to %v)", grace)
+	logger.Info("shutting down", "grace", grace.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(drainCtx); err != nil {
+			logger.Warn("debug drain incomplete", "err", err)
+		}
+	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		// Connections outlived the grace period; session state is still
 		// drained below before we give up the process.
-		logger.Printf("http drain incomplete: %v", err)
+		logger.Warn("http drain incomplete", "err", err)
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("session drain incomplete: %w", err)
@@ -117,6 +171,6 @@ func serve(ctx context.Context, addr string, cfg server.Config, grace time.Durat
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

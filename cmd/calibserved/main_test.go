@@ -4,25 +4,60 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"calibsched/internal/server"
 )
 
+// logBuffer is a goroutine-safe sink for the daemon's JSON log stream.
+type logBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// logAddr extracts the "addr" attr of the first log record with the
+// given msg, or "".
+func logAddr(logs, msg string) string {
+	for _, line := range strings.Split(logs, "\n") {
+		var rec struct {
+			Msg  string `json:"msg"`
+			Addr string `json:"addr"`
+		}
+		if json.Unmarshal([]byte(line), &rec) == nil && rec.Msg == msg {
+			return rec.Addr
+		}
+	}
+	return ""
+}
+
 // TestServeBootAndDrain drives a full daemon lifecycle on a random port:
-// boot, answer /healthz and /debug/vars, run a session, cancel, drain.
+// boot (API + debug listeners), answer /healthz, /metrics and pprof, run
+// a session, cancel, drain.
 func TestServeBootAndDrain(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
-	var logBuf bytes.Buffer
-	logger := log.New(&logBuf, "", 0)
+	logBuf := &logBuffer{}
+	logger := slog.New(slog.NewJSONHandler(logBuf, nil))
 	go func() {
-		done <- serve(ctx, "127.0.0.1:0", server.Config{}, 5*time.Second, logger, ready)
+		done <- serve(ctx, "127.0.0.1:0", "127.0.0.1:0", server.Config{Logger: logger}, 5*time.Second, logger, ready)
 	}()
 	var addr string
 	select {
@@ -59,17 +94,42 @@ func TestServeBootAndDrain(t *testing.T) {
 		t.Fatalf("create session: %d", resp.StatusCode)
 	}
 
-	resp, err = http.Get(base + "/debug/vars")
+	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var vars map[string]json.RawMessage
-	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+	var metricsBody bytes.Buffer
+	if _, err := metricsBody.ReadFrom(resp.Body); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if _, ok := vars["calibserved.sessions.created"]; !ok {
-		t.Error("/debug/vars missing calibserved counters")
+	if resp.StatusCode != 200 || !strings.Contains(metricsBody.String(), "calibserved_sessions_created") {
+		t.Fatalf("/metrics: %d\n%s", resp.StatusCode, metricsBody.String())
+	}
+
+	// The debug plane lives on its own listener, reported only in the log.
+	debugAddr := logAddr(logBuf.String(), "debug listening")
+	if debugAddr == "" {
+		t.Fatalf("no debug-listening log record:\n%s", logBuf.String())
+	}
+	for _, path := range []string{"/debug/pprof/cmdline", "/debug/vars"} {
+		resp, err := http.Get("http://" + debugAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s on debug listener: %d", path, resp.StatusCode)
+		}
+	}
+	// And it must not leak onto the API listener.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("pprof reachable on the API address; must be debug-only")
 	}
 
 	cancel()
@@ -81,8 +141,19 @@ func TestServeBootAndDrain(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon never drained")
 	}
-	if !strings.Contains(logBuf.String(), "drained cleanly") {
-		t.Errorf("no clean-drain log line:\n%s", logBuf.String())
+	logs := logBuf.String()
+	if !strings.Contains(logs, "drained cleanly") {
+		t.Errorf("no clean-drain log line:\n%s", logs)
+	}
+	if logAddr(logs, "listening") != addr {
+		t.Errorf("listening record does not carry the bound addr %q:\n%s", addr, logs)
+	}
+	// Every log line must be one well-formed JSON record.
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("non-JSON log line %q: %v", line, err)
+		}
 	}
 }
 
@@ -97,6 +168,8 @@ func TestCLIFlagErrors(t *testing.T) {
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 		{"positional arg", []string{"extra"}, "unexpected argument"},
 		{"bad bounds", []string{"-max-sessions", "0"}, "must all be >= 1"},
+		{"bad trace ring", []string{"-trace-ring", "0"}, "must all be >= 1"},
+		{"bad log level", []string{"-log-level", "loud"}, "bad -log-level"},
 	} {
 		var stderr bytes.Buffer
 		if code := cliMain(tc.args, &stderr, ctx); code != 2 {

@@ -10,6 +10,11 @@
 // Algorithms: alg1, alg2, alg3 (the paper's online algorithms), opt (exact
 // offline optimum of the G-cost objective), immediate, always, periodic,
 // flow-threshold (baselines).
+//
+// With -explain, each calibration the algorithm opens is replayed as a
+// human-readable justification: the rule that fired, the queue evidence
+// behind it, and the paper lemma the rule descends from. Works for the
+// decision-traced algorithms (alg1, alg2, alg3, opt).
 package main
 
 import (
@@ -41,6 +46,7 @@ type runOpts struct {
 	csv      bool
 	json     bool
 	naive    bool
+	explain  bool
 }
 
 // cliMain parses and validates flags, then dispatches. Exit codes: 0 ok,
@@ -60,6 +66,7 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.csv, "csv", false, "emit schedule as CSV")
 	fs.BoolVar(&o.json, "json", false, "emit schedule as JSON")
 	fs.BoolVar(&o.naive, "naive", false, "force naive per-step simulation")
+	fs.BoolVar(&o.explain, "explain", false, "explain every calibration decision (alg1|alg2|alg3|opt)")
 	fs.BoolVar(&compare, "compare", false, "run every applicable algorithm and print a comparison table")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,8 +105,11 @@ func checkConflicts(fs *flag.FlagSet, compare bool) error {
 	if set["timeline"] && (set["csv"] || set["json"]) {
 		return fmt.Errorf("-timeline conflicts with -csv/-json; the timeline is part of the human-readable report")
 	}
+	if set["explain"] && (set["csv"] || set["json"]) {
+		return fmt.Errorf("-explain conflicts with -csv/-json; the explanation is part of the human-readable report")
+	}
 	if compare {
-		for _, name := range []string{"alg", "csv", "json", "timeline", "naive"} {
+		for _, name := range []string{"alg", "csv", "json", "timeline", "naive", "explain"} {
 			if set[name] {
 				return fmt.Errorf("-compare runs every applicable algorithm with its own table format and ignores -%s; drop -%s", name, name)
 			}
@@ -176,6 +186,16 @@ func run(o runOpts, stdout io.Writer) error {
 	if o.naive {
 		opts = append(opts, online.WithNaiveStepping())
 	}
+	var rec *trace.Recorder
+	if o.explain {
+		switch o.alg {
+		case "alg1", "alg2", "alg3", "opt":
+			rec = &trace.Recorder{}
+			opts = append(opts, online.WithSink(rec))
+		default:
+			return fmt.Errorf("-explain needs a decision-traced algorithm (alg1|alg2|alg3|opt); the %s baseline does not make trigger decisions", o.alg)
+		}
+	}
 	period := o.period
 	var sched *core.Schedule
 	switch o.alg {
@@ -198,7 +218,7 @@ func run(o runOpts, stdout io.Writer) error {
 		}
 		sched = res.Schedule
 	case "opt":
-		_, _, s, err := offline.OptimalTotalCost(in, o.g)
+		_, _, s, err := offline.OptimalTotalCostTraced(in, o.g, sinkOrNil(rec))
 		if err != nil {
 			return err
 		}
@@ -239,5 +259,21 @@ func run(o runOpts, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, trace.Timeline(in, sched))
 	}
+	if rec != nil {
+		fmt.Fprintln(stdout)
+		if err := trace.WriteExplanation(stdout, in.T, o.g, rec.Events()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// sinkOrNil converts a possibly-nil *Recorder to the Sink interface
+// without boxing a typed nil (a non-nil interface holding a nil pointer
+// would defeat the engines' nil-sink fast path).
+func sinkOrNil(rec *trace.Recorder) trace.Sink {
+	if rec == nil {
+		return nil
+	}
+	return rec
 }

@@ -126,6 +126,9 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"compare+alg", []string{"-instance", good, "-compare", "-alg", "alg2"}, 2, "ignores -alg"},
 		{"compare+json", []string{"-instance", good, "-compare", "-json"}, 2, "ignores -json"},
 		{"compare+naive", []string{"-instance", good, "-compare", "-naive"}, 2, "ignores -naive"},
+		{"compare+explain", []string{"-instance", good, "-compare", "-explain"}, 2, "ignores -explain"},
+		{"explain+json", []string{"-instance", good, "-explain", "-json"}, 2, "conflicts with"},
+		{"explain baseline", []string{"-instance", good, "-alg", "periodic", "-explain"}, 1, "decision-traced"},
 		{"alg1 weighted", []string{"-instance", writeInstanceFile(t, "1 5\n1\n0 9\n"), "-alg", "alg1"}, 1, "unweighted"},
 	} {
 		var stdout, stderr bytes.Buffer
@@ -158,5 +161,54 @@ func TestCLISuccess(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "instance:") {
 		t.Errorf("compare table missing header:\n%s", stdout.String())
+	}
+}
+
+// TestExplainOutput checks the -explain replay: one justification block
+// per calibration, each naming the fired rule, the queue evidence, and
+// the lemma citation, for both the online engines and the offline DP.
+func TestExplainOutput(t *testing.T) {
+	path := writeInstanceFile(t, "1 4\n4\n0 3\n1 3\n2 1\n9 5\n")
+	for _, alg := range []string{"alg2", "opt"} {
+		var out bytes.Buffer
+		o := opts(path, alg)
+		o.g = 8
+		o.explain = true
+		if err := run(o, &out); err != nil {
+			t.Fatalf("%s -explain: %v", alg, err)
+		}
+		s := out.String()
+		if n := strings.Count(s, "calibration #"); n != 2 {
+			t.Errorf("%s: %d explanation blocks, want 2:\n%s", alg, n, s)
+		}
+		for _, want := range []string{"rule=", "queue:", "why:"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("%s: explanation missing %q:\n%s", alg, want, s)
+			}
+		}
+	}
+
+	// The weighted alg2 explanation restates the trigger inequality.
+	var out bytes.Buffer
+	o := opts(path, "alg2")
+	o.g = 8
+	o.explain = true
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ">= G = 8") {
+		t.Errorf("alg2 explanation does not restate the trigger inequality:\n%s", out.String())
+	}
+
+	// Unit weights through alg1, including the immediate rule's citation.
+	unit := writeInstanceFile(t, sampleInstance)
+	out.Reset()
+	o = opts(unit, "alg1")
+	o.explain = true
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alg1.") {
+		t.Errorf("alg1 explanation has no alg1 rules:\n%s", out.String())
 	}
 }

@@ -16,6 +16,7 @@ func TestPackageClassification(t *testing.T) {
 		{"calibsched/internal/trace", false, true},
 		{"calibsched/internal/server/metrics", false, true},
 		{"calibsched/cmd/calibload", false, true},
+		{"calibsched/cmd/calibbench", false, true},
 		{"calibsched/internal/server", false, false},
 		{"calibsched/cmd/calibserved", false, false},
 	} {

@@ -19,16 +19,18 @@ var exactPkgSuffixes = []string{
 // reportingPkgSuffixes is the deliberate exemption list: packages that sit
 // downstream of the exact costs and are allowed floating-point arithmetic.
 // Ratios, quantiles, regression slopes (internal/stats, internal/trace),
-// latency histograms and expvar gauges (internal/server/metrics), and the
-// load generator's throughput math (cmd/calibload) never feed back into a
-// cost computation, so exactness is not part of their contract. Adding a
-// package here is an explicit design decision — it must never also appear
-// in exactPkgSuffixes, which init enforces.
+// latency histograms and expvar gauges (internal/server/metrics), the
+// load generator's throughput math (cmd/calibload), and the perf
+// harness's ns/op and steps/sec reporting (cmd/calibbench) never feed
+// back into a cost computation, so exactness is not part of their
+// contract. Adding a package here is an explicit design decision — it
+// must never also appear in exactPkgSuffixes, which init enforces.
 var reportingPkgSuffixes = []string{
 	"internal/stats",
 	"internal/trace",
 	"internal/server/metrics",
 	"cmd/calibload",
+	"cmd/calibbench",
 }
 
 func init() {

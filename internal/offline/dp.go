@@ -28,6 +28,7 @@ import (
 
 	"calibsched/internal/core"
 	"calibsched/internal/simul"
+	"calibsched/internal/trace"
 )
 
 // Unschedulable marks budget entries for which no feasible schedule exists
@@ -80,6 +81,14 @@ type solver struct {
 	fMemoTop   map[int]int64
 	fChoiceTop map[int]int
 	relWeight  int64
+
+	// Decision tracing (nil sink = off): schedule reconstruction emits one
+	// trace.DecisionEvent per calendar entry of the greedy cover. traceG
+	// is the online cost G for accrued-cost accounting (0 when the caller
+	// works in the pure budget model).
+	sink     trace.Sink
+	traceG   int64
+	traceSeq int64
 }
 
 func key(u, v, mu int) uint64 {
@@ -365,7 +374,12 @@ func (s *solver) solve(maxK int) (flows []int64, rebuild func(k int) *core.Sched
 }
 
 // scheduleFromStarts builds a schedule from 1-based per-job start slots,
-// deriving a minimal calendar by greedy interval covering.
+// deriving a minimal calendar by greedy interval covering. With a sink set
+// it also emits one decision event per calendar entry: the DP fixed the
+// slots, so each interval opens exactly where the Proposition 1/2 optimum
+// forces an uncovered slot, and the event snapshots the jobs that interval
+// serves (queue fields) and their realized weighted flow (prospective
+// flow field).
 func scheduleFromStarts(s *solver, starts []int64) *core.Schedule {
 	sched := core.NewSchedule(s.n)
 	order := make([]int, s.n)
@@ -374,15 +388,45 @@ func scheduleFromStarts(s *solver, starts []int64) *core.Schedule {
 	}
 	sort.Slice(order, func(a, b int) bool { return starts[order[a]] < starts[order[b]] })
 	coveredUntil := int64(math.MinInt64)
+	var calStart int64
+	groupLen := 0
+	var groupWeight, groupFlow int64
+	flush := func() {
+		if s.sink == nil || groupLen == 0 {
+			return
+		}
+		s.traceSeq++
+		s.sink.Emit(trace.DecisionEvent{
+			Seq:             s.traceSeq,
+			Time:            calStart,
+			Machine:         0,
+			Alg:             "offline.dp",
+			Rule:            "offline.dp.cover-open",
+			QueueLen:        groupLen,
+			QueueWeight:     groupWeight,
+			ProspectiveFlow: groupFlow,
+			Calibrations:    sched.NumCalibrations(),
+			AccruedCost:     core.MustMul(s.traceG, int64(sched.NumCalibrations())),
+		})
+	}
 	for _, j := range order {
 		t := starts[j]
 		if t >= coveredUntil {
+			flush()
 			sched.Calibrate(0, t)
 			coveredUntil = t + s.T
+			calStart = t
+			groupLen, groupWeight, groupFlow = 0, 0, 0
 		}
 		// Job IDs equal index-1: solver indices follow instance order.
 		sched.Assign(j-1, 0, t)
+		if s.sink != nil {
+			groupLen++
+			groupWeight = core.MustAdd(groupWeight, s.w[j])
+			groupFlow = core.MustAdd(groupFlow, core.MustMul(s.w[j], t+1-s.rel[j]))
+		}
 	}
+	flush()
 	return sched
 }
 
@@ -434,6 +478,19 @@ func BudgetSweep(in *core.Instance, maxK int) ([]int64, error) {
 // the optimal calibration budget"; a full sweep is exact and just as cheap
 // here because one DP run yields every budget.)
 func OptimalTotalCost(in *core.Instance, g int64) (total int64, bestK int, sched *core.Schedule, err error) {
+	return optimalTotalCost(in, g, nil)
+}
+
+// OptimalTotalCostTraced is OptimalTotalCost with decision tracing: the
+// schedule reconstruction emits one trace.DecisionEvent per calendar entry
+// (rule "offline.dp.cover-open"), so the offline optimum explains its
+// calibrations the same way the online algorithms do. A nil sink degrades
+// to the untraced call.
+func OptimalTotalCostTraced(in *core.Instance, g int64, sink trace.Sink) (total int64, bestK int, sched *core.Schedule, err error) {
+	return optimalTotalCost(in, g, sink)
+}
+
+func optimalTotalCost(in *core.Instance, g int64, sink trace.Sink) (total int64, bestK int, sched *core.Schedule, err error) {
 	if g < 0 {
 		return 0, 0, nil, fmt.Errorf("offline: negative G %d", g)
 	}
@@ -444,6 +501,8 @@ func OptimalTotalCost(in *core.Instance, g int64) (total int64, bestK int, sched
 	if err != nil {
 		return 0, 0, nil, err
 	}
+	s.sink = sink
+	s.traceG = g
 	maxK := in.N() // more calibrations than jobs never help
 	flows, rebuild := s.solve(maxK)
 	best := inf

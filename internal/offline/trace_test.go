@@ -1,0 +1,97 @@
+package offline
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"testing"
+
+	"calibsched/internal/core"
+	"calibsched/internal/trace"
+)
+
+// TestOptimalTotalCostTracedDifferential proves the traced DP returns a
+// byte-identical schedule and cost, and that the emitted events cover the
+// calendar one-to-one with the greedy-cover rule.
+func TestOptimalTotalCostTracedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 1))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.IntN(8)
+		releases := make([]int64, n)
+		weights := make([]int64, n)
+		for i := range releases {
+			releases[i] = int64(rng.IntN(20))
+			weights[i] = 1 + int64(rng.IntN(5))
+		}
+		in := core.MustInstance(1, int64(1+rng.IntN(5)), releases, weights).Canonicalize()
+		g := int64(rng.IntN(30))
+
+		total, bestK, sched, err := OptimalTotalCost(in, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &trace.Recorder{}
+		ttotal, tbestK, tsched, err := OptimalTotalCostTraced(in, g, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != ttotal || bestK != tbestK {
+			t.Fatalf("trial %d: traced optimum (%d, k=%d) != untraced (%d, k=%d)", trial, ttotal, tbestK, total, bestK)
+		}
+		pb, _ := json.Marshal(sched)
+		tb, _ := json.Marshal(tsched)
+		if string(pb) != string(tb) {
+			t.Fatalf("trial %d: schedule changed under tracing\nuntraced: %s\ntraced:   %s", trial, pb, tb)
+		}
+
+		evs := rec.Events()
+		if len(evs) != tsched.NumCalibrations() {
+			t.Fatalf("trial %d: %d events for %d calibrations", trial, len(evs), tsched.NumCalibrations())
+		}
+		var totalJobs, totalFlow int64
+		for i, ev := range evs {
+			c := tsched.Calendar[i]
+			if ev.Time != c.Start || ev.Machine != c.Machine {
+				t.Fatalf("trial %d event %d: (m%d, t%d) vs calendar (m%d, t%d)", trial, i, ev.Machine, ev.Time, c.Machine, c.Start)
+			}
+			if ev.Rule != "offline.dp.cover-open" || ev.Alg != "offline.dp" {
+				t.Fatalf("trial %d event %d: rule %q alg %q", trial, i, ev.Rule, ev.Alg)
+			}
+			if ev.Seq != int64(i+1) || ev.Calibrations != i+1 {
+				t.Fatalf("trial %d event %d: seq %d calibrations %d", trial, i, ev.Seq, ev.Calibrations)
+			}
+			if ev.AccruedCost != g*int64(i+1) {
+				t.Fatalf("trial %d event %d: accrued %d, want %d", trial, i, ev.AccruedCost, g*int64(i+1))
+			}
+			totalJobs += int64(ev.QueueLen)
+			totalFlow += ev.ProspectiveFlow
+		}
+		if totalJobs != int64(n) {
+			t.Fatalf("trial %d: events attribute %d jobs, instance has %d", trial, totalJobs, n)
+		}
+		if wantFlow := core.Flow(in, tsched); totalFlow != wantFlow {
+			t.Fatalf("trial %d: events attribute flow %d, schedule has %d", trial, totalFlow, wantFlow)
+		}
+	}
+}
+
+// TestOptimalTotalCostTracedNilSink confirms a nil sink degrades to the
+// untraced call.
+func TestOptimalTotalCostTracedNilSink(t *testing.T) {
+	in := core.MustInstance(1, 4, []int64{0, 1, 9}, []int64{2, 1, 3}).Canonicalize()
+	total, k, sched, err := OptimalTotalCostTraced(in, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal, wantK, wantSched, err := OptimalTotalCost(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != wantTotal || k != wantK {
+		t.Fatalf("nil-sink traced (%d, %d) != untraced (%d, %d)", total, k, wantTotal, wantK)
+	}
+	pb, _ := json.Marshal(sched)
+	tb, _ := json.Marshal(wantSched)
+	if string(pb) != string(tb) {
+		t.Fatal("nil-sink traced schedule differs")
+	}
+}

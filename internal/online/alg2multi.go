@@ -33,7 +33,7 @@ func Alg2Multi(in *core.Instance, g int64, opts ...Option) (*Result, error) {
 	if err := checkInput(in, g, false, false); err != nil {
 		return nil, err
 	}
-	res := runAlg2Multi(in, g, o.Naive)
+	res := runAlg2Multi(in, g, o)
 	if o.NoObservationReplay {
 		return res, nil
 	}
@@ -48,12 +48,14 @@ func Alg2Multi(in *core.Instance, g int64, opts ...Option) (*Result, error) {
 	return &Result{Schedule: replayed, Triggers: res.Triggers}, nil
 }
 
-func runAlg2Multi(in *core.Instance, g int64, naive bool) *Result {
+func runAlg2Multi(in *core.Instance, g int64, o Options) *Result {
+	naive := o.Naive
 	q := queue.NewJobQueue(queue.ByWeightDesc)
 	arr := simul.NewArrivals(in)
 	sched := core.NewSchedule(in.N())
 	res := &Result{Schedule: sched}
 	T := in.T
+	tracer := newDecisionTracer(o.Sink, "alg2multi", g)
 
 	machines := make([]alg3Machine, in.P)
 	for i := range machines {
@@ -116,6 +118,9 @@ func runAlg2Multi(in *core.Instance, g int64, naive bool) *Result {
 			rr++
 			sched.Calibrate(mi, t)
 			res.Triggers = append(res.Triggers, tr)
+			if tracer != nil {
+				tracer.emit(t, mi, tr, q, len(sched.Calendar))
+			}
 			res.JobsByCalibration = append(res.JobsByCalibration, nil)
 			m.calIdx = len(res.JobsByCalibration) - 1
 			if t+T > m.end {

@@ -24,7 +24,7 @@ func Alg3(in *core.Instance, g int64, opts ...Option) (*Result, error) {
 	if err := checkInput(in, g, false, true); err != nil {
 		return nil, err
 	}
-	res := runAlg3(in, g, o.Naive)
+	res := runAlg3(in, g, o)
 	if o.NoObservationReplay {
 		return res, nil
 	}
@@ -73,12 +73,14 @@ func (m *alg3Machine) hasFreeSlot(from, to int64) bool {
 	return false
 }
 
-func runAlg3(in *core.Instance, g int64, naive bool) *Result {
+func runAlg3(in *core.Instance, g int64, o Options) *Result {
+	naive := o.Naive
 	q := queue.NewJobQueue(queue.ByRelease)
 	arr := simul.NewArrivals(in)
 	sched := core.NewSchedule(in.N())
 	res := &Result{Schedule: sched}
 	T := in.T
+	tracer := newDecisionTracer(o.Sink, "alg3", g)
 
 	machines := make([]alg3Machine, in.P)
 	for i := range machines {
@@ -153,6 +155,9 @@ func runAlg3(in *core.Instance, g int64, naive bool) *Result {
 			rr++
 			sched.Calibrate(mi, t)
 			res.Triggers = append(res.Triggers, tr)
+			if tracer != nil {
+				tracer.emit(t, mi, tr, q, len(sched.Calendar))
+			}
 			res.JobsByCalibration = append(res.JobsByCalibration, nil)
 			m.calIdx = len(res.JobsByCalibration) - 1
 			if t+T > m.end {

@@ -25,6 +25,8 @@ import (
 	"fmt"
 
 	"calibsched/internal/core"
+	"calibsched/internal/queue"
+	"calibsched/internal/trace"
 )
 
 // Trigger records why an interval was calibrated.
@@ -113,6 +115,12 @@ type Options struct {
 	// notes "one would almost certainly" do in practice (ablation E11
 	// compares both).
 	NoObservationReplay bool
+	// Sink receives one trace.DecisionEvent per calibration the algorithm
+	// opens, naming the rule that fired. nil (the default) disables
+	// tracing entirely: the emitters skip all event construction behind a
+	// nil check, and the differential tests prove schedules are identical
+	// either way.
+	Sink trace.Sink
 }
 
 // Option mutates Options.
@@ -138,12 +146,74 @@ func WithoutObservationReplay() Option {
 	return func(o *Options) { o.NoObservationReplay = true }
 }
 
+// WithSink streams every calibration decision to s as it is made; see
+// Options.Sink.
+func WithSink(s trace.Sink) Option { return func(o *Options) { o.Sink = s } }
+
 func buildOptions(opts []Option) Options {
 	var o Options
 	for _, fn := range opts {
 		fn(&o)
 	}
 	return o
+}
+
+// ruleName renders the decision-rule identifier for a fired trigger, e.g.
+// "alg1.count-open". internal/trace.RuleDoc maps each identifier to the
+// paper statement behind it; TestRuleNamesDocumented pins the two.
+func ruleName(alg string, tr Trigger) string {
+	switch tr {
+	case TriggerFlow:
+		return alg + ".flow-open"
+	case TriggerCount:
+		return alg + ".count-open"
+	case TriggerWeight:
+		return alg + ".weight-open"
+	case TriggerQueueFull:
+		return alg + ".queue-full-open"
+	case TriggerImmediate:
+		return alg + ".immediate-open"
+	}
+	return alg + ".none"
+}
+
+// decisionTracer carries the per-run bookkeeping the emitters share: the
+// algorithm name for rule identifiers, G for accrued cost, and a sequence
+// counter. A nil *decisionTracer means tracing is off; emit call sites are
+// guarded so the untraced path pays only that nil check.
+type decisionTracer struct {
+	sink trace.Sink
+	alg  string
+	g    int64
+	seq  int64
+}
+
+// newDecisionTracer returns nil when sink is nil, collapsing the traced
+// and untraced paths into one guard at each emission site.
+func newDecisionTracer(sink trace.Sink, alg string, g int64) *decisionTracer {
+	if sink == nil {
+		return nil
+	}
+	return &decisionTracer{sink: sink, alg: alg, g: g}
+}
+
+// emit records one calibration decision with a snapshot of the waiting
+// queue. calibrations counts calendar entries including the one being
+// opened.
+func (d *decisionTracer) emit(t int64, machine int, tr Trigger, q *queue.JobQueue, calibrations int) {
+	d.seq++
+	d.sink.Emit(trace.DecisionEvent{
+		Seq:             d.seq,
+		Time:            t,
+		Machine:         machine,
+		Alg:             d.alg,
+		Rule:            ruleName(d.alg, tr),
+		QueueLen:        q.Len(),
+		QueueWeight:     q.TotalWeight(),
+		ProspectiveFlow: q.FlowIfScheduledFrom(t),
+		Calibrations:    calibrations,
+		AccruedCost:     core.MustMul(d.g, int64(calibrations)),
+	})
 }
 
 func checkInput(in *core.Instance, g int64, wantP1, wantUnweighted bool) error {

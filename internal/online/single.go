@@ -9,6 +9,7 @@ import (
 // singlePolicy captures how Algorithms 1 and 2 differ inside the shared
 // single-machine engine.
 type singlePolicy struct {
+	alg              string // rule-identifier prefix for decision events
 	order            func(a, b core.Job) bool
 	countTrigger     bool // Alg1: |Q| >= G/T (as T*|Q| >= G)
 	weightTrigger    bool // Alg2: sum w >= G/T (as T*sum >= G)
@@ -24,11 +25,12 @@ func Alg1(in *core.Instance, g int64, opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	pol := singlePolicy{
+		alg:          "alg1",
 		order:        queue.ByRelease,
 		countTrigger: !o.FlowTriggerOnly,
 		immediate:    !o.NoImmediateCalibrations && !o.FlowTriggerOnly,
 	}
-	return runSingle(in, g, pol, o.Naive), nil
+	return runSingle(in, g, pol, o), nil
 }
 
 // Alg2 runs Algorithm 2 of the paper (online weighted calibration on one
@@ -44,11 +46,12 @@ func Alg2(in *core.Instance, g int64, opts ...Option) (*Result, error) {
 		order = queue.ByWeightAsc
 	}
 	pol := singlePolicy{
+		alg:              "alg2",
 		order:            order,
 		weightTrigger:    !o.FlowTriggerOnly,
 		queueFullTrigger: !o.FlowTriggerOnly,
 	}
-	return runSingle(in, g, pol, o.Naive), nil
+	return runSingle(in, g, pol, o), nil
 }
 
 // runSingle is the shared engine for Algorithms 1 and 2. Each iteration of
@@ -58,12 +61,14 @@ func Alg2(in *core.Instance, g int64, opts ...Option) (*Result, error) {
 // * queue cost) independent of the time horizon; with naive set the clock
 // instead advances one step at a time, matching the paper's pseudocode
 // line by line.
-func runSingle(in *core.Instance, g int64, pol singlePolicy, naive bool) *Result {
+func runSingle(in *core.Instance, g int64, pol singlePolicy, o Options) *Result {
+	naive := o.Naive
 	q := queue.NewJobQueue(pol.order)
 	arr := simul.NewArrivals(in)
 	sched := core.NewSchedule(in.N())
 	res := &Result{Schedule: sched}
 	T := in.T
+	tracer := newDecisionTracer(o.Sink, pol.alg, g)
 
 	var calStart, calEnd int64 = -1, -1
 	hadInterval := false
@@ -73,6 +78,9 @@ func runSingle(in *core.Instance, g int64, pol singlePolicy, naive bool) *Result
 		sched.Calibrate(0, t)
 		res.Triggers = append(res.Triggers, tr)
 		res.FlowAtCalibration = append(res.FlowAtCalibration, q.FlowIfScheduledFrom(t))
+		if tracer != nil {
+			tracer.emit(t, 0, tr, q, len(sched.Calendar))
+		}
 		calStart, calEnd = t, t+T
 		hadInterval = true
 		intervalFlow = 0

@@ -27,10 +27,11 @@ import (
 //
 // Step must be called for consecutive time steps starting at 0.
 type Stepper struct {
-	t   int64
-	g   int64
-	T   int64
-	pol singlePolicy
+	t      int64
+	g      int64
+	T      int64
+	pol    singlePolicy
+	tracer *decisionTracer // nil when tracing is off
 
 	q            *queue.JobQueue
 	calStart     int64
@@ -59,10 +60,11 @@ type StepEvent struct {
 func NewAlg1Stepper(t, g int64, opts ...Option) *Stepper {
 	o := buildOptions(opts)
 	return newStepper(t, g, singlePolicy{
+		alg:          "alg1",
 		order:        queue.ByRelease,
 		countTrigger: !o.FlowTriggerOnly,
 		immediate:    !o.NoImmediateCalibrations && !o.FlowTriggerOnly,
-	})
+	}, o)
 }
 
 // NewAlg2Stepper returns an incremental Algorithm 2 (weighted, one
@@ -74,15 +76,17 @@ func NewAlg2Stepper(t, g int64, opts ...Option) *Stepper {
 		order = queue.ByWeightAsc
 	}
 	return newStepper(t, g, singlePolicy{
+		alg:              "alg2",
 		order:            order,
 		weightTrigger:    !o.FlowTriggerOnly,
 		queueFullTrigger: !o.FlowTriggerOnly,
-	})
+	}, o)
 }
 
-func newStepper(t, g int64, pol singlePolicy) *Stepper {
+func newStepper(t, g int64, pol singlePolicy, o Options) *Stepper {
 	return &Stepper{
 		g: g, T: t, pol: pol,
+		tracer:   newDecisionTracer(o.Sink, pol.alg, g),
 		q:        queue.NewJobQueue(pol.order),
 		calStart: -1, calEnd: -1,
 		starts: make(map[int]int64),
@@ -129,6 +133,9 @@ func (s *Stepper) Step(arrivals []core.Job) StepEvent {
 		if tr != TriggerNone {
 			s.calendar = append(s.calendar, core.Calibration{Machine: 0, Start: s.t})
 			s.triggers = append(s.triggers, tr)
+			if s.tracer != nil {
+				s.tracer.emit(s.t, 0, tr, s.q, len(s.calendar))
+			}
 			s.calStart, s.calEnd = s.t, s.t+s.T
 			s.hadInterval = true
 			s.intervalFlow = 0

@@ -1,5 +1,7 @@
 package server
 
+import "calibsched/internal/trace"
+
 // JSON request/response schema of the calibserved v1 API. All quantities
 // are int64 on the wire, matching the exact integer model of
 // internal/core; DESIGN.md §7 documents the endpoint contract.
@@ -119,6 +121,19 @@ type ScheduleResponse struct {
 	// TotalCost is G*len(Calibrations) + Flow.
 	TotalCost int64 `json:"total_cost"`
 	Done      bool  `json:"done"`
+}
+
+// TraceResponse is the body of GET /v1/sessions/{id}/trace: the most
+// recent calibration decision events from the session's bounded ring
+// buffer, oldest first. Emitted counts every event the engine ever
+// produced; Dropped counts those evicted once the ring filled, so
+// Emitted - Dropped == len(Events).
+type TraceResponse struct {
+	Session  string                `json:"session"`
+	Capacity int                   `json:"capacity"`
+	Emitted  int64                 `json:"emitted"`
+	Dropped  int64                 `json:"dropped"`
+	Events   []trace.DecisionEvent `json:"events"`
 }
 
 // HealthResponse is the GET /healthz body.

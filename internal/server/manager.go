@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -29,6 +31,14 @@ type Config struct {
 	// JanitorInterval overrides the eviction sweep cadence (default
 	// IdleTTL/4, clamped to [10ms, 30s]); tests shorten it.
 	JanitorInterval time.Duration
+	// TraceRing bounds each session's decision-event ring buffer served
+	// at GET /v1/sessions/{id}/trace (default 1024); when full, the
+	// oldest events are dropped and the drop count is reported.
+	TraceRing int
+	// Logger receives one structured record per request (method, path,
+	// status, latency, plus handler-attached attrs such as the session
+	// id). Default: discard.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -40,6 +50,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStepBatch == 0 {
 		c.MaxStepBatch = 100_000
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if c.JanitorInterval == 0 && c.IdleTTL > 0 {
 		c.JanitorInterval = c.IdleTTL / 4
@@ -107,7 +123,7 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	}
 	m.nextID++
 	id := fmt.Sprintf("s-%06d", m.nextID)
-	s := newSession(id, spec, req.T, req.G, m.cfg.MaxBuffer, time.Now())
+	s := newSession(id, spec, req.T, req.G, m.cfg.MaxBuffer, m.cfg.TraceRing, time.Now())
 	m.sessions[id] = s
 	metrics.SessionsCreated.Add(1)
 	metrics.SessionsActive.Add(1)
@@ -142,12 +158,14 @@ func (m *Manager) Delete(id string) error {
 }
 
 // retire shuts a session's worker down and releases its buffered-arrival
-// contribution to the queue-depth gauge.
+// contribution to the queue-depth gauge. The subtraction uses the
+// session's own depth counter, not a rederived buffer length: a session
+// broken by an engine panic can hold jobs the buffer no longer reflects,
+// and Swap(0) returns exactly what this session added to the gauge.
 func (m *Manager) retire(s *session) {
 	s.halt()
 	<-s.done
-	// The worker has exited: buffer state is now safe to read.
-	metrics.QueueDepth.Add(-int64(s.buffer.Len()))
+	metrics.QueueDepth.Add(-s.depth.Swap(0))
 	metrics.SessionsActive.Add(-1)
 }
 
@@ -222,7 +240,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	for _, s := range ss {
 		select {
 		case <-s.done:
-			metrics.QueueDepth.Add(-int64(s.buffer.Len()))
+			metrics.QueueDepth.Add(-s.depth.Swap(0))
 			metrics.SessionsActive.Add(-1)
 		case <-ctx.Done():
 			return ctx.Err()

@@ -97,6 +97,25 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of samples observed.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// BucketBounds returns the histogram bucket upper bounds; the final
+// bucket (index len(BucketBounds())) is unbounded.
+func BucketBounds() []time.Duration {
+	return append([]time.Duration(nil), bucketBounds...)
+}
+
+// Snapshot returns the per-bucket counts (aligned with BucketBounds plus
+// one overflow bucket), the total sample count, and the summed latency in
+// nanoseconds. Each load is individually atomic; a snapshot taken under
+// concurrent Observe calls may be off by in-flight samples, which is fine
+// for scraping.
+func (h *Histogram) Snapshot() (counts []int64, count, totalNS int64) {
+	counts = make([]int64, numBuckets)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.count.Load(), h.totalNS.Load()
+}
+
 // String renders the histogram as a JSON object, satisfying expvar.Var.
 func (h *Histogram) String() string {
 	buf := []byte{'{'}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (format 0.0.4) over the calibserved expvar
+// registry: GET /metrics renders exactly the counters /debug/vars already
+// publishes, so the two views can never disagree, plus estimated latency
+// quantiles derived from the step histogram. Like the rest of this
+// package the float arithmetic here is reporting-only (exactarith
+// exemption; see internal/lint/exactarith.go).
+
+// gaugeKeys marks the expvar keys whose value can go down; everything
+// else with the calibserved prefix is a monotone counter.
+var gaugeKeys = map[string]bool{
+	"calibserved.sessions.active": true,
+	"calibserved.queue.depth":     true,
+}
+
+// promName converts an expvar key to a Prometheus metric name.
+func promName(key string) string { return strings.ReplaceAll(key, ".", "_") }
+
+// WritePrometheus renders every calibserved.* expvar in Prometheus text
+// exposition format: expvar.Int vars as counters/gauges, Histograms as
+// native histograms (cumulative le buckets in seconds, _sum, _count) plus
+// a gauge family of estimated quantiles.
+func WritePrometheus(w io.Writer) {
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !strings.HasPrefix(kv.Key, "calibserved.") {
+			return
+		}
+		switch v := kv.Value.(type) {
+		case *expvar.Int:
+			name := promName(kv.Key)
+			typ := "counter"
+			if gaugeKeys[kv.Key] {
+				typ = "gauge"
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, v.Value())
+		case *Histogram:
+			writePromHistogram(w, promName(kv.Key), v)
+		}
+	})
+}
+
+func writePromHistogram(w io.Writer, base string, h *Histogram) {
+	counts, count, totalNS := h.Snapshot()
+	bounds := BucketBounds()
+	name := base + "_seconds"
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i].Seconds())
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(totalNS)/1e9))
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+
+	qname := base + "_quantile_seconds"
+	fmt.Fprintf(w, "# TYPE %s gauge\n", qname)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(w, "%s{quantile=%q} %s\n", qname, formatFloat(q), formatFloat(estimateQuantile(counts, bounds2seconds(bounds), q)))
+	}
+}
+
+func bounds2seconds(bounds []time.Duration) []float64 {
+	out := make([]float64, len(bounds))
+	for i, b := range bounds {
+		out[i] = b.Seconds()
+	}
+	return out
+}
+
+// estimateQuantile linearly interpolates the q-quantile inside the bucket
+// containing it, the standard Prometheus histogram_quantile estimate. The
+// unbounded overflow bucket is clamped to the largest finite bound (the
+// estimate cannot exceed what the histogram can resolve). Returns 0 for
+// an empty histogram.
+func estimateQuantile(counts []int64, bounds []float64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + (bounds[i]-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
+// formatFloat renders a float in the shortest round-trip form, which the
+// exposition format accepts (including exponents like 5e-05).
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

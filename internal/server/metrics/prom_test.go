@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// expositionLine matches one Prometheus text-format sample:
+// name{labels} value — the same shape the CI gate enforces on a live
+// scrape.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+func TestWritePrometheusWellFormed(t *testing.T) {
+	// Touch the shared registry so every family has data; tests share the
+	// process-global vars, so only shape (not absolute values) is
+	// asserted.
+	StepsServed.Add(3)
+	QueueDepth.Add(2)
+	QueueDepth.Add(-2)
+	StepLatency.Observe(120 * time.Microsecond)
+	StepLatency.Observe(2 * time.Millisecond)
+
+	var b strings.Builder
+	WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE calibserved_steps_served counter",
+		"# TYPE calibserved_queue_depth gauge",
+		"# TYPE calibserved_sessions_active gauge",
+		"# TYPE calibserved_step_latency_seconds histogram",
+		`calibserved_step_latency_seconds_bucket{le="+Inf"}`,
+		"calibserved_step_latency_seconds_sum",
+		"calibserved_step_latency_seconds_count",
+		`calibserved_step_latency_quantile_seconds{quantile="0.5"}`,
+		`calibserved_step_latency_quantile_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(out))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line %d: %q", lines, line)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("empty exposition")
+	}
+	if strings.Contains(out, "memstats") || strings.Contains(out, "cmdline") {
+		t.Error("exposition leaked non-calibserved expvars")
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(10 * time.Microsecond)
+	h.Observe(60 * time.Microsecond)
+	h.Observe(time.Minute)
+	var b strings.Builder
+	writePromHistogram(&b, "x", h)
+	out := b.String()
+	if !strings.Contains(out, `x_seconds_bucket{le="5e-05"} 1`) {
+		t.Errorf("first bucket not cumulative-1:\n%s", out)
+	}
+	if !strings.Contains(out, `x_seconds_bucket{le="+Inf"} 3`) {
+		t.Errorf("+Inf bucket must equal total count:\n%s", out)
+	}
+	if !strings.Contains(out, "x_seconds_count 3") {
+		t.Errorf("count wrong:\n%s", out)
+	}
+}
+
+func TestEstimateQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	// 10 samples <=1s, 10 in (1,2].
+	counts := []int64{10, 10, 0, 0}
+	if got := estimateQuantile(counts, bounds, 0.5); got != 1 {
+		t.Errorf("p50 = %v, want 1 (end of first bucket)", got)
+	}
+	got := estimateQuantile(counts, bounds, 0.75)
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p75 = %v, want 1.5 (midpoint of second bucket)", got)
+	}
+	// Overflow-bucket mass clamps to the largest finite bound.
+	if got := estimateQuantile([]int64{0, 0, 0, 5}, bounds, 0.99); got != 4 {
+		t.Errorf("overflow quantile = %v, want clamp to 4", got)
+	}
+	if got := estimateQuantile([]int64{0, 0, 0, 0}, bounds, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -46,18 +47,22 @@ const maxBodyBytes = 8 << 20
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
+	log *slog.Logger
 }
 
 // New builds a server and its manager from the config.
 func New(cfg Config) *Server {
-	s := &Server{mgr: NewManager(cfg), mux: http.NewServeMux()}
+	mgr := NewManager(cfg)
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), log: mgr.cfg.Logger}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/arrivals", s.handleArrivals)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSchedule)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	return s
 }
@@ -69,8 +74,46 @@ func (s *Server) Manager() *Manager { return s.mgr }
 // Shutdown drains every session; see Manager.Shutdown.
 func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
 
+// reqAttrs carries per-request slog attrs that handlers attach while they
+// run (session id, steps simulated); ServeHTTP folds them into the final
+// access-log record. Handlers run synchronously on the request goroutine,
+// so no locking is needed.
+type reqAttrs struct{ attrs []slog.Attr }
+
+type reqAttrsKey struct{}
+
+// logAttrs attaches structured attrs to the request's access-log record.
+// A no-op for requests that did not pass through ServeHTTP (tests calling
+// handlers directly).
+func logAttrs(r *http.Request, attrs ...slog.Attr) {
+	if ra, ok := r.Context().Value(reqAttrsKey{}).(*reqAttrs); ok {
+		ra.attrs = append(ra.attrs, attrs...)
+	}
+}
+
+// statusWriter records the status code for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	ra := &reqAttrs{}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqAttrsKey{}, ra)))
+	attrs := append([]slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Duration("latency", time.Since(start)),
+	}, ra.attrs...)
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -84,6 +127,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	logAttrs(r, slog.String("session", info.ID), slog.String("alg", info.Alg))
 	writeJSON(w, http.StatusCreated, info)
 }
 
@@ -148,9 +192,11 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	resp, err := sess.Step(req.Steps, s.mgr.cfg.MaxStepBatch)
 	stop()
 	if err != nil {
+		logAttrs(r, slog.String("session", sess.id))
 		writeError(w, err)
 		return
 	}
+	logAttrs(r, slog.String("session", sess.id), slog.Int64("steps", resp.Stepped))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -166,6 +212,34 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves the session's decision-event ring. It reads the
+// ring directly — not through the worker — so a session busy inside a
+// long step batch can still be observed live; trace.Ring synchronizes
+// the concurrent worker writes internally.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	logAttrs(r, slog.String("session", sess.id))
+	events, emitted, dropped := sess.ring.Snapshot()
+	writeJSON(w, http.StatusOK, TraceResponse{
+		Session:  sess.id,
+		Capacity: sess.ring.Capacity(),
+		Emitted:  emitted,
+		Dropped:  dropped,
+		Events:   events,
+	})
+}
+
+// handleMetrics renders the expvar registry in Prometheus text
+// exposition format (0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WritePrometheus(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

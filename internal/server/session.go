@@ -10,6 +10,7 @@ import (
 	"calibsched/internal/online"
 	"calibsched/internal/queue"
 	"calibsched/internal/server/metrics"
+	"calibsched/internal/trace"
 )
 
 // session is one live scheduling session: an online.Engine plus a bounded
@@ -33,6 +34,19 @@ type session struct {
 	// read by the manager's idle janitor.
 	lastActive atomic.Int64
 
+	// depth is this session's live contribution to the global
+	// metrics.QueueDepth gauge. It is the accounting of record for
+	// teardown: retire subtracts depth.Swap(0), not a rederived buffer
+	// length, so the gauge returns exactly what this session added even
+	// if a panic interrupted an operation between buffer mutation and
+	// metric update (the staleness bug the janitor used to expose).
+	depth atomic.Int64
+
+	// ring buffers the engine's calibration decision events; written by
+	// the worker via the engine's sink, read directly (and concurrently)
+	// by the HTTP trace handler. trace.Ring synchronizes internally.
+	ring *trace.Ring
+
 	// Worker-owned state. Never touched outside the worker goroutine.
 	eng    online.Engine
 	buffer *queue.Heap[core.Job] // future arrivals, ordered by (Release, ID)
@@ -40,17 +54,19 @@ type session struct {
 	broken error                 // sticky failure from a recovered panic
 }
 
-func newSession(id string, spec online.EngineSpec, t, g int64, maxBuffer int, now time.Time) *session {
+func newSession(id string, spec online.EngineSpec, t, g int64, maxBuffer, traceRing int, now time.Time) *session {
+	ring := trace.NewRing(traceRing)
 	s := &session{
 		id:        id,
 		spec:      spec,
 		t:         t,
 		g:         g,
 		maxBuffer: maxBuffer,
+		ring:      ring,
 		cmds:      make(chan func()), // unbuffered: a submitted command is always executed
 		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
-		eng:       spec.New(t, g),
+		eng:       spec.New(t, g, online.WithSink(ring)),
 		buffer: queue.New(func(a, b core.Job) bool {
 			if a.Release != b.Release {
 				return a.Release < b.Release
@@ -177,6 +193,7 @@ func (s *session) admit(specs []JobSpec) (ArrivalsResponse, error) {
 	}
 	metrics.ArrivalsAccepted.Add(int64(len(specs)))
 	metrics.QueueDepth.Add(int64(len(specs)))
+	s.depth.Add(int64(len(specs)))
 	return ArrivalsResponse{
 		Accepted: len(specs),
 		IDs:      ids,
@@ -208,7 +225,6 @@ func (s *session) advance(k, maxBatch int64) (StepResponse, error) {
 		return StepResponse{}, &apiError{status: 400, msg: fmt.Sprintf("steps = %d exceeds the per-request limit %d; split the request", k, maxBatch)}
 	}
 	resp := StepResponse{Events: []StepEventJSON{}, Stepped: k}
-	var fed int64
 	var arrivals []core.Job
 	for i := int64(0); i < k; i++ {
 		now := s.eng.Now()
@@ -216,7 +232,13 @@ func (s *session) advance(k, maxBatch int64) (StepResponse, error) {
 		for !s.buffer.Empty() && s.buffer.Peek().Release == now {
 			arrivals = append(arrivals, s.buffer.Pop())
 		}
-		fed += int64(len(arrivals))
+		if len(arrivals) > 0 {
+			// Settle the gauge before Step: if the engine panics (overflow
+			// in its exact arithmetic), the fed jobs are already off the
+			// depth gauge instead of lingering as a stale contribution.
+			metrics.QueueDepth.Add(-int64(len(arrivals)))
+			s.depth.Add(-int64(len(arrivals)))
+		}
 		ev := s.eng.Step(arrivals)
 		if ev.Calibrated || ev.Ran >= 0 {
 			e := StepEventJSON{Time: ev.Time, Calibrated: ev.Calibrated, Ran: ev.Ran}
@@ -227,7 +249,6 @@ func (s *session) advance(k, maxBatch int64) (StepResponse, error) {
 		}
 	}
 	metrics.StepsServed.Add(k)
-	metrics.QueueDepth.Add(-fed)
 	resp.Now = s.eng.Now()
 	resp.Pending = s.eng.Pending()
 	resp.Buffered = s.buffer.Len()

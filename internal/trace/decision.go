@@ -1,0 +1,113 @@
+package trace
+
+import "sync"
+
+// DecisionEvent is one machine-readable calibration decision: which paper
+// rule fired, where and when, and what the algorithm could see at that
+// moment. Emitters (the online steppers, the batch algorithms, the offline
+// DP reconstruction) fill every field; the JSON shape is the wire format of
+// calibserved's GET /v1/sessions/{id}/trace endpoint and of calibsim's
+// trace replay, so field tags are part of the API.
+//
+// DESIGN.md §8 maps each Rule identifier to the lemma of the paper that
+// justifies it; RuleDoc returns the same mapping programmatically.
+type DecisionEvent struct {
+	// Seq is a per-emitter sequence number starting at 1.
+	Seq int64 `json:"seq"`
+	// Time is the scheduling step at which the calibration was opened.
+	Time int64 `json:"time"`
+	// Machine is the calibrated machine (always 0 on single-machine runs).
+	Machine int `json:"machine"`
+	// Alg names the emitting algorithm ("alg1", "alg2", "alg3",
+	// "alg2multi", "offline.dp").
+	Alg string `json:"alg"`
+	// Rule identifies the decision rule that fired, e.g. "alg1.count-open"
+	// or "alg2.flow-open"; see RuleDoc for the paper mapping.
+	Rule string `json:"rule"`
+	// QueueLen and QueueWeight snapshot the waiting queue at the decision:
+	// number of released-but-unscheduled jobs and their total weight.
+	QueueLen    int   `json:"queue_len"`
+	QueueWeight int64 `json:"queue_weight"`
+	// ProspectiveFlow is the queue's total weighted flow if its jobs were
+	// scheduled consecutively from Time with no further arrivals — the
+	// paper's f_l^q, the quantity every flow trigger compares against G.
+	ProspectiveFlow int64 `json:"prospective_flow"`
+	// Calibrations counts calendar entries including this one.
+	Calibrations int `json:"calibrations"`
+	// AccruedCost is G * Calibrations: the calibration cost spent so far.
+	AccruedCost int64 `json:"accrued_cost"`
+}
+
+// Sink receives decision events. Emitters treat a nil Sink as "tracing
+// off" and skip all event construction, so the untraced hot path pays only
+// a nil check (benchmarked in internal/online).
+//
+// Emit must be safe for the emitter's goroutine; Sink implementations that
+// are read concurrently (Ring) synchronize internally.
+type Sink interface {
+	Emit(DecisionEvent)
+}
+
+// Recorder is the simplest Sink: it appends every event to a slice. Not
+// safe for concurrent use; meant for batch runs (calibsim -explain, tests).
+type Recorder struct {
+	events []DecisionEvent
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(ev DecisionEvent) { r.events = append(r.events, ev) }
+
+// Events returns the recorded events in emission order.
+func (r *Recorder) Events() []DecisionEvent { return r.events }
+
+// Ring is a bounded, concurrency-safe Sink holding the most recent events.
+// A full ring drops the oldest event per Emit and counts the drop, so a
+// long-lived session exposes its recent decision history at O(capacity)
+// memory. Writers (a session worker) and readers (the HTTP trace handler)
+// may race freely; a mutex serializes them.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []DecisionEvent
+	start   int // index of the oldest event
+	n       int // events currently held
+	emitted int64
+	dropped int64
+}
+
+// NewRing returns a ring holding at most capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]DecisionEvent, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev DecisionEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emitted++
+	if r.n == len(r.buf) {
+		r.buf[r.start] = ev
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+		return
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = ev
+	r.n++
+}
+
+// Snapshot copies the buffered events oldest-first and reports how many
+// events were ever emitted and how many fell off the ring.
+func (r *Ring) Snapshot() (events []DecisionEvent, emitted, dropped int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events = make([]DecisionEvent, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		events = append(events, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return events, r.emitted, r.dropped
+}
+
+// Capacity returns the maximum number of buffered events.
+func (r *Ring) Capacity() int { return len(r.buf) }
