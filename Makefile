@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz bench serve loadtest ci
+.PHONY: all build vet lint test race fuzz bench serve loadtest crashtest ci
 
 all: ci
 
@@ -30,10 +30,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzAssignTimes -fuzztime=$(FUZZTIME) -run='^$$' ./internal/core
 	$(GO) test -fuzz=FuzzDPMatchesBrute -fuzztime=$(FUZZTIME) -run='^$$' ./internal/offline
 	$(GO) test -fuzz=FuzzReadInstance -fuzztime=$(FUZZTIME) -run='^$$' ./internal/workload
+	$(GO) test -fuzz=FuzzReadRecord -fuzztime=$(FUZZTIME) -run='^$$' ./internal/store
+	$(GO) test -fuzz=FuzzRecoverSession -fuzztime=$(FUZZTIME) -run='^$$' ./internal/store
 
 # bench writes a dated machine-readable performance report (ns/op,
-# allocs/op, steps/sec for the steppers, the offline DP, and the
-# decision-tracing overhead tiers).
+# allocs/op, steps/sec for the steppers, the offline DP, the
+# decision-tracing overhead tiers, and the serving persistence tiers:
+# in-memory vs WAL at each fsync policy).
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 bench:
 	$(GO) run ./cmd/calibbench -perf -out $(BENCH_OUT)
@@ -50,4 +53,9 @@ LOAD_ADDR ?= http://127.0.0.1:8373
 loadtest:
 	$(GO) run ./cmd/calibload -addr $(LOAD_ADDR) -sessions 64 -steps 200 -verify
 
-ci: build vet lint test race fuzz
+# crashtest is the kill -9 gate: boot calibserved with a data dir, drive
+# traffic, SIGKILL it, restart on the same dir, and diff the schedules.
+crashtest:
+	./scripts/crashtest.sh
+
+ci: build vet lint test race fuzz crashtest

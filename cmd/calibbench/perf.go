@@ -9,6 +9,7 @@ package main
 // ns/op and allocs/op.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,6 +20,8 @@ import (
 	"calibsched/internal/core"
 	"calibsched/internal/offline"
 	"calibsched/internal/online"
+	"calibsched/internal/server"
+	"calibsched/internal/store"
 	"calibsched/internal/trace"
 	"calibsched/internal/workload"
 )
@@ -157,9 +160,76 @@ func runPerf(out io.Writer, d time.Duration, n int) error {
 		},
 	}
 
+	// The serving-layer persistence tiers: one arrival + one step per op
+	// through a session worker, in-memory (the nil-persister fast path)
+	// against each WAL fsync policy. The in-memory case is the zero-
+	// overhead baseline; the tiers price durability.
+	for _, sc := range []struct {
+		name   string
+		policy store.FsyncPolicy
+		wal    bool
+	}{
+		{name: "serve/step/in-memory"},
+		{name: "serve/step/wal-none", policy: store.FsyncNone, wal: true},
+		{name: "serve/step/wal-batch", policy: store.FsyncBatch, wal: true},
+		{name: "serve/step/wal-always", policy: store.FsyncAlways, wal: true},
+	} {
+		res, err := measureServe(sc.name, d, sc.wal, sc.policy)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, res)
+	}
+
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// measureServe times the calibserved hot path — one accepted arrival and
+// one simulated step per op against a live session worker — with the
+// given persistence configuration.
+func measureServe(name string, d time.Duration, wal bool, policy store.FsyncPolicy) (perfResult, error) {
+	var st *store.Store
+	if wal {
+		dir, err := os.MkdirTemp("", "calibbench-wal-*")
+		if err != nil {
+			return perfResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		if st, err = store.Open(dir, store.Options{Fsync: policy}); err != nil {
+			return perfResult{}, err
+		}
+	}
+	mgr, err := server.NewManager(server.Config{Store: st, SnapshotEvery: 256})
+	if err != nil {
+		return perfResult{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}()
+	info, err := mgr.Create(server.CreateSessionRequest{Alg: "alg2", T: 8, G: 24})
+	if err != nil {
+		return perfResult{}, err
+	}
+	sess, err := mgr.Get(info.ID)
+	if err != nil {
+		return perfResult{}, err
+	}
+	var clock int64
+	job := []server.JobSpec{{Weight: 3}}
+	return measure(name, d, 1, func() {
+		job[0].Release = clock
+		if _, err := sess.Arrivals(job); err != nil {
+			panic("calibbench: serve arrivals failed: " + err.Error())
+		}
+		if _, err := sess.Step(1, 1); err != nil {
+			panic("calibbench: serve step failed: " + err.Error())
+		}
+		clock++
+	}), nil
 }
 
 // runPerfCmd is the -perf entry point: it writes the report to path (or

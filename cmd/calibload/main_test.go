@@ -12,7 +12,11 @@ import (
 // loadServer boots an in-process calibserved for the generator to hit.
 func loadServer(t *testing.T, cfg server.Config) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(server.New(cfg))
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"calibsched/internal/server"
+	"calibsched/internal/store"
 )
 
 func main() {
@@ -65,6 +66,9 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 		idleTTL         = fs.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (0 disables)")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining on shutdown")
 		logLevel        = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		dataDir         = fs.String("data-dir", "", "directory for durable session state: per-session WAL + snapshots, replayed on boot (empty disables persistence)")
+		fsyncMode       = fs.String("fsync", "batch", "WAL durability with -data-dir: always (fsync every record), batch (fsync every 64 records), or none (OS-buffered)")
+		snapshotEvery   = fs.Int("snapshot-every", 256, "WAL records between snapshots with -data-dir (each snapshot truncates the log)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,19 +81,41 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 		fmt.Fprintln(stderr, "calibserved: -max-sessions, -buffer, -max-step-batch, and -trace-ring must all be >= 1")
 		return 2
 	}
+	if *snapshotEvery < 1 {
+		fmt.Fprintln(stderr, "calibserved: -snapshot-every must be >= 1")
+		return 2
+	}
+	fsyncPolicy, err := store.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintf(stderr, "calibserved: bad -fsync %q (want always, batch, or none)\n", *fsyncMode)
+		return 2
+	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
 		fmt.Fprintf(stderr, "calibserved: bad -log-level %q (want debug, info, warn, or error)\n", *logLevel)
 		return 2
 	}
 	logger := slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: level}))
+	var st *store.Store
+	if *dataDir != "" {
+		// Open probes writability, so a missing or read-only data dir
+		// fails the boot here rather than surfacing on the first append.
+		st, err = store.Open(*dataDir, store.Options{Fsync: fsyncPolicy})
+		if err != nil {
+			fmt.Fprintln(stderr, "calibserved:", err)
+			return 1
+		}
+		logger.Info("persistence enabled", "data_dir", *dataDir, "fsync", fsyncPolicy.String(), "snapshot_every", *snapshotEvery)
+	}
 	if err := serve(ctx, *addr, *debugAddr, server.Config{
-		MaxSessions:  *maxSessions,
-		MaxBuffer:    *maxBuffer,
-		MaxStepBatch: *maxStepBatch,
-		TraceRing:    *traceRing,
-		IdleTTL:      *idleTTL,
-		Logger:       logger,
+		MaxSessions:   *maxSessions,
+		MaxBuffer:     *maxBuffer,
+		MaxStepBatch:  *maxStepBatch,
+		TraceRing:     *traceRing,
+		IdleTTL:       *idleTTL,
+		Logger:        logger,
+		Store:         st,
+		SnapshotEvery: *snapshotEvery,
 	}, *shutdownTimeout, logger, nil); err != nil {
 		fmt.Fprintln(stderr, "calibserved:", err)
 		return 1
@@ -116,7 +142,10 @@ func debugMux() *http.ServeMux {
 // the grace period. When ready is non-nil it receives the bound API
 // address once listening (tests use it to learn the :0 port).
 func serve(ctx context.Context, addr, debugAddr string, cfg server.Config, grace time.Duration, logger *slog.Logger, ready chan<- string) error {
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		return fmt.Errorf("boot: %w", err)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -170,6 +172,8 @@ func TestCLIFlagErrors(t *testing.T) {
 		{"bad bounds", []string{"-max-sessions", "0"}, "must all be >= 1"},
 		{"bad trace ring", []string{"-trace-ring", "0"}, "must all be >= 1"},
 		{"bad log level", []string{"-log-level", "loud"}, "bad -log-level"},
+		{"bad fsync", []string{"-fsync", "sometimes"}, "bad -fsync"},
+		{"bad snapshot cadence", []string{"-snapshot-every", "0"}, "-snapshot-every must be >= 1"},
 	} {
 		var stderr bytes.Buffer
 		if code := cliMain(tc.args, &stderr, ctx); code != 2 {
@@ -178,6 +182,141 @@ func TestCLIFlagErrors(t *testing.T) {
 		if !strings.Contains(stderr.String(), tc.msg) {
 			t.Errorf("%s: stderr %q does not mention %q", tc.name, stderr.String(), tc.msg)
 		}
+	}
+}
+
+// TestCLIDataDirError: an unusable -data-dir must fail the boot, before
+// any listener opens, not surface on the first append.
+func TestCLIDataDirError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A path routed through a regular file cannot become a directory on
+	// any platform, regardless of privileges.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	code := cliMain([]string{"-addr", "127.0.0.1:0", "-data-dir", filepath.Join(blocker, "sub")}, &stderr, ctx)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "store:") {
+		t.Errorf("stderr %q does not carry the store error", stderr.String())
+	}
+}
+
+// waitForAddr polls the log buffer until the daemon reports its bound
+// API address.
+func waitForAddr(t *testing.T, buf *logBuffer, done chan int) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if addr := logAddr(buf.String(), "listening"); addr != "" {
+			return addr
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("daemon exited %d before listening:\n%s", code, buf.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCLIRestartRecovers drives the full persistence lifecycle through
+// cliMain: boot with -data-dir, run a session, drain, boot a second
+// daemon on the same directory, and read back the identical schedule.
+func TestCLIRestartRecovers(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-fsync", "none", "-snapshot-every", "2"}
+	run := func(ctx context.Context) (*logBuffer, chan int) {
+		buf := &logBuffer{}
+		done := make(chan int, 1)
+		go func() { done <- cliMain(args, buf, ctx) }()
+		return buf, done
+	}
+	getBody := func(url string, want int) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: %d, want %d\n%s", url, resp.StatusCode, want, body.String())
+		}
+		return body.String()
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	buf1, done1 := run(ctx1)
+	base := "http://" + waitForAddr(t, buf1, done1)
+	if !strings.Contains(buf1.String(), "persistence enabled") {
+		t.Errorf("no persistence-enabled log record:\n%s", buf1.String())
+	}
+	resp, err := http.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"t":6,"g":12,"alg":"alg2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("create session: %d", resp.StatusCode)
+	}
+	url := base + "/v1/sessions/s-000001"
+	resp, err = http.Post(url+"/arrivals", "application/json",
+		strings.NewReader(`{"jobs":[{"release":0,"weight":5},{"release":3,"weight":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("arrivals: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(url+"/step", "application/json", strings.NewReader(`{"steps":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("step: %d", resp.StatusCode)
+	}
+	want := getBody(url+"/schedule", 200)
+
+	cancel1()
+	select {
+	case code := <-done1:
+		if code != 0 {
+			t.Fatalf("first daemon exited %d:\n%s", code, buf1.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("first daemon never drained")
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	buf2, done2 := run(ctx2)
+	base2 := "http://" + waitForAddr(t, buf2, done2)
+	got := getBody(base2+"/v1/sessions/s-000001/schedule", 200)
+	if got != want {
+		t.Fatalf("schedule changed across restart\nbefore: %s\nafter:  %s", want, got)
+	}
+	cancel2()
+	select {
+	case code := <-done2:
+		if code != 0 {
+			t.Fatalf("second daemon exited %d:\n%s", code, buf2.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second daemon never drained")
 	}
 }
 

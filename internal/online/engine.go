@@ -50,6 +50,11 @@ type EngineSpec struct {
 	UnitWeightsOnly bool
 	// New constructs a fresh engine for calibration length T and cost G.
 	New func(t, g int64, opts ...Option) Engine
+	// Restore reconstructs an engine from a state snapshot produced by
+	// its Snapshotter (crash recovery; see snapshot.go). nil for
+	// backends without snapshot support — their sessions recover by
+	// replaying the full command log instead.
+	Restore func(t, g int64, state []byte, opts ...Option) (Engine, error)
 }
 
 // engineSpecs is the backend registry, in listing order.
@@ -61,6 +66,7 @@ var engineSpecs = []EngineSpec{
 		New: func(t, g int64, opts ...Option) Engine {
 			return NewAlg1Stepper(t, g, opts...)
 		},
+		Restore: restoreStepper("alg1", NewAlg1Stepper),
 	},
 	{
 		Name: "alg2",
@@ -68,6 +74,7 @@ var engineSpecs = []EngineSpec{
 		New: func(t, g int64, opts ...Option) Engine {
 			return NewAlg2Stepper(t, g, opts...)
 		},
+		Restore: restoreStepper("alg2", NewAlg2Stepper),
 	},
 }
 

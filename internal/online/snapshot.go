@@ -1,0 +1,186 @@
+package online
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"calibsched/internal/core"
+)
+
+// Engine state snapshots.
+//
+// calibstore (internal/store) persists each serving session as a
+// write-ahead log of its deterministic command stream plus periodic
+// snapshots that let recovery skip replaying the whole history. The
+// snapshot needs the engine's internal state in a stable, versioned
+// encoding; engines opt in by implementing Snapshotter and registering a
+// Restore constructor on their EngineSpec. Backends that do not (a future
+// Alg2Multi engine, say) still persist correctly — the serving layer then
+// never truncates their log and recovery replays it from the first
+// record, which is slower but equally exact because engines are
+// deterministic functions of their command stream.
+
+// Snapshotter is implemented by engines whose full state can be captured
+// for crash recovery. MarshalState must be deterministic given the same
+// engine state (recovered and never-killed servers are differentially
+// compared) and must round-trip exactly through the spec's Restore.
+type Snapshotter interface {
+	// MarshalState encodes the engine's complete state. The encoding is
+	// owned by the engine; callers treat it as opaque bytes.
+	MarshalState() ([]byte, error)
+}
+
+var _ Snapshotter = (*Stepper)(nil)
+
+// stepperStateVersion versions the Stepper encoding; decode rejects
+// anything newer (older versions would be migrated here if the schema
+// ever changes).
+const stepperStateVersion = 1
+
+// startEntry is one (job, start) pair of the stepper's assignment map,
+// kept sorted by job ID so the encoding is deterministic.
+type startEntry struct {
+	Job   int   `json:"job"`
+	Start int64 `json:"start"`
+}
+
+// stepperState is the serialized form of a Stepper. Queue holds the
+// waiting jobs sorted by ID: the queue's pop order is a total order
+// (ties always break on ID), so rebuilding the heap by pushing in ID
+// order reproduces the exact pop sequence regardless of the original
+// heap layout.
+type stepperState struct {
+	Version      int                `json:"v"`
+	Alg          string             `json:"alg"`
+	T            int64              `json:"t"`
+	G            int64              `json:"g"`
+	Now          int64              `json:"now"`
+	CalStart     int64              `json:"cal_start"`
+	CalEnd       int64              `json:"cal_end"`
+	HadInterval  bool               `json:"had_interval"`
+	IntervalFlow int64              `json:"interval_flow"`
+	Queue        []core.Job         `json:"queue"`
+	Calendar     []core.Calibration `json:"calendar"`
+	Triggers     []Trigger          `json:"triggers"`
+	Starts       []startEntry       `json:"starts"`
+}
+
+// MarshalState encodes the stepper for crash recovery; see Snapshotter.
+func (s *Stepper) MarshalState() ([]byte, error) {
+	st := stepperState{
+		Version:      stepperStateVersion,
+		Alg:          s.pol.alg,
+		T:            s.T,
+		G:            s.g,
+		Now:          s.t,
+		CalStart:     s.calStart,
+		CalEnd:       s.calEnd,
+		HadInterval:  s.hadInterval,
+		IntervalFlow: s.intervalFlow,
+		Queue:        append([]core.Job(nil), s.q.Jobs()...),
+		Calendar:     append([]core.Calibration(nil), s.calendar...),
+		Triggers:     append([]Trigger(nil), s.triggers...),
+		Starts:       make([]startEntry, 0, len(s.starts)),
+	}
+	sort.Slice(st.Queue, func(a, b int) bool { return st.Queue[a].ID < st.Queue[b].ID })
+	for id, start := range s.starts {
+		st.Starts = append(st.Starts, startEntry{Job: id, Start: start})
+	}
+	sort.Slice(st.Starts, func(a, b int) bool { return st.Starts[a].Job < st.Starts[b].Job })
+	return json.Marshal(st)
+}
+
+// loadState restores a freshly constructed stepper to the encoded state.
+// The stepper must have been built by the same spec (alg, T, G) that
+// produced the encoding.
+func (s *Stepper) loadState(alg string, data []byte) error {
+	var st stepperState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("online: decoding %s state: %w", alg, err)
+	}
+	if st.Version != stepperStateVersion {
+		return fmt.Errorf("online: %s state version %d, want %d", alg, st.Version, stepperStateVersion)
+	}
+	if st.Alg != alg {
+		return fmt.Errorf("online: state is for engine %q, restoring %q", st.Alg, alg)
+	}
+	if st.T != s.T || st.G != s.g {
+		return fmt.Errorf("online: state has T=%d G=%d, engine has T=%d G=%d", st.T, st.G, s.T, s.g)
+	}
+	if st.Now < 0 {
+		return fmt.Errorf("online: state clock %d, want >= 0", st.Now)
+	}
+	if len(st.Triggers) != len(st.Calendar) {
+		return fmt.Errorf("online: state has %d triggers for %d calendar entries", len(st.Triggers), len(st.Calendar))
+	}
+	for _, tr := range st.Triggers {
+		if tr == TriggerNone || tr > TriggerImmediate {
+			return fmt.Errorf("online: state has invalid trigger %d", tr)
+		}
+	}
+	if st.CalStart >= 0 && st.CalEnd != st.CalStart+st.T {
+		return fmt.Errorf("online: state interval [%d,%d) inconsistent with T=%d", st.CalStart, st.CalEnd, st.T)
+	}
+	for _, j := range st.Queue {
+		if j.Release > st.Now {
+			return fmt.Errorf("online: queued job %d released at %d after state clock %d", j.ID, j.Release, st.Now)
+		}
+		if j.Weight < 1 {
+			return fmt.Errorf("online: queued job %d has weight %d, want >= 1", j.ID, j.Weight)
+		}
+	}
+	s.t = st.Now
+	s.calStart, s.calEnd = st.CalStart, st.CalEnd
+	s.hadInterval = st.HadInterval
+	s.intervalFlow = st.IntervalFlow
+	for _, j := range st.Queue {
+		s.q.Push(j)
+	}
+	s.calendar = append(s.calendar[:0], st.Calendar...)
+	s.triggers = append(s.triggers[:0], st.Triggers...)
+	for _, e := range st.Starts {
+		if e.Start < 0 || e.Start >= st.Now {
+			return fmt.Errorf("online: job %d started at %d outside [0,%d)", e.Job, e.Start, st.Now)
+		}
+		s.starts[e.Job] = e.Start
+	}
+	// Keep the decision-event sequence continuous across recovery: the
+	// next calibration's trace Seq follows the restored calendar.
+	if s.tracer != nil {
+		s.tracer.seq = int64(len(s.calendar))
+	}
+	return nil
+}
+
+// restoreStepper adapts a stepper constructor into an EngineSpec.Restore.
+func restoreStepper(alg string, build func(t, g int64, opts ...Option) *Stepper) func(t, g int64, state []byte, opts ...Option) (Engine, error) {
+	return func(t, g int64, state []byte, opts ...Option) (Engine, error) {
+		st := build(t, g, opts...)
+		if err := st.loadState(alg, state); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+}
+
+// RestoreEngine validates the parameters and reconstructs the named
+// backend from a state snapshot produced by its Snapshotter. Backends
+// without snapshot support return an error; their sessions recover by
+// full-log replay instead.
+func RestoreEngine(name string, t, g int64, state []byte, opts ...Option) (Engine, error) {
+	spec, ok := LookupEngine(name)
+	if !ok {
+		return nil, fmt.Errorf("online: unknown engine %q", name)
+	}
+	if spec.Restore == nil {
+		return nil, fmt.Errorf("online: engine %q has no snapshot support", name)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("online: calibration length T = %d, want >= 1", t)
+	}
+	if g < 0 {
+		return nil, fmt.Errorf("online: calibration cost G = %d, want >= 0", g)
+	}
+	return spec.Restore(t, g, state, opts...)
+}

@@ -11,6 +11,7 @@ import (
 
 	"calibsched/internal/online"
 	"calibsched/internal/server/metrics"
+	"calibsched/internal/store"
 )
 
 // Config tunes the serving layer. The zero value is usable: every field
@@ -39,6 +40,15 @@ type Config struct {
 	// status, latency, plus handler-attached attrs such as the session
 	// id). Default: discard.
 	Logger *slog.Logger
+	// Store enables durable session persistence: each session gets a
+	// write-ahead log + snapshot directory under the store root, and the
+	// manager replays everything on disk at boot before accepting
+	// traffic. Default nil: sessions are in-memory only.
+	Store *store.Store
+	// SnapshotEvery is the number of WAL records appended between
+	// snapshots (default 256); each snapshot truncates the log behind it,
+	// bounding both recovery replay time and disk growth.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +63,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceRing == 0 {
 		c.TraceRing = 1024
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 256
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -84,19 +97,27 @@ type Manager struct {
 }
 
 // NewManager starts a manager (and its idle janitor, when IdleTTL > 0).
-func NewManager(cfg Config) *Manager {
+// With a Store configured, every recoverable on-disk session is replayed
+// and live before NewManager returns; it errors only when the store root
+// itself cannot be scanned (individual bad sessions degrade to absent).
+func NewManager(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:         cfg.withDefaults(),
 		sessions:    make(map[string]*session),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	if m.cfg.Store != nil {
+		if err := m.recoverSessions(); err != nil {
+			return nil, err
+		}
+	}
 	if m.cfg.IdleTTL > 0 {
 		go m.janitor()
 	} else {
 		close(m.janitorDone)
 	}
-	return m
+	return m, nil
 }
 
 // Create builds a new session for the request.
@@ -123,7 +144,29 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	}
 	m.nextID++
 	id := fmt.Sprintf("s-%06d", m.nextID)
-	s := newSession(id, spec, req.T, req.G, m.cfg.MaxBuffer, m.cfg.TraceRing, time.Now())
+	var per *persister
+	if m.cfg.Store != nil {
+		// The directory, the log, and the create record exist before the
+		// session does; a crash right after this lands a recoverable (if
+		// empty) session, never an untracked one. Creation failure burns
+		// the ID, which is harmless.
+		log, err := m.cfg.Store.Create(id)
+		if err != nil {
+			return SessionInfo{}, &apiError{status: 500, msg: fmt.Sprintf("creating session storage: %v", err)}
+		}
+		n, err := log.AppendCreate(store.CreateCommand{Alg: spec.Name, T: req.T, G: req.G})
+		if err != nil {
+			log.Close()
+			if rmErr := m.cfg.Store.Remove(id); rmErr != nil {
+				m.cfg.Logger.Warn("removing half-created session directory", "session", id, "err", rmErr)
+			}
+			return SessionInfo{}, &apiError{status: 500, msg: fmt.Sprintf("persisting session create: %v", err)}
+		}
+		metrics.WALAppends.Add(1)
+		metrics.WALBytes.Add(int64(n))
+		per = &persister{log: log, every: m.cfg.SnapshotEvery, logger: m.cfg.Logger, id: id}
+	}
+	s := newSession(id, spec, req.T, req.G, m.cfg.MaxBuffer, m.cfg.TraceRing, per, time.Now())
 	m.sessions[id] = s
 	metrics.SessionsCreated.Add(1)
 	metrics.SessionsActive.Add(1)
@@ -153,20 +196,46 @@ func (m *Manager) Delete(id string) error {
 	if !ok {
 		return &apiError{status: 404, msg: fmt.Sprintf("no session %q", id)}
 	}
-	m.retire(s)
+	m.retire(s, diskDestroy)
 	return nil
 }
 
-// retire shuts a session's worker down and releases its buffered-arrival
-// contribution to the queue-depth gauge. The subtraction uses the
-// session's own depth counter, not a rederived buffer length: a session
-// broken by an engine panic can hold jobs the buffer no longer reflects,
-// and Swap(0) returns exactly what this session added to the gauge.
-func (m *Manager) retire(s *session) {
+// diskFate is what a retiring session leaves on disk.
+type diskFate int
+
+const (
+	// diskSettle writes a final snapshot and closes the log; the session
+	// survives the next boot. Graceful shutdown.
+	diskSettle diskFate = iota
+	// diskDestroy closes the log and removes the session directory; the
+	// session is gone for good. DELETE and idle eviction, which would
+	// otherwise leak orphaned directories that resurrect at every boot.
+	diskDestroy
+)
+
+// retire shuts a session's worker down, releases its buffered-arrival
+// contribution to the queue-depth gauge, and applies fate to its on-disk
+// state. The subtraction uses the session's own depth counter, not a
+// rederived buffer length: a session broken by an engine panic can hold
+// jobs the buffer no longer reflects, and Swap(0) returns exactly what
+// this session added to the gauge.
+func (m *Manager) retire(s *session, fate diskFate) {
 	s.halt()
 	<-s.done
 	metrics.QueueDepth.Add(-s.depth.Swap(0))
 	metrics.SessionsActive.Add(-1)
+	if s.per == nil {
+		return
+	}
+	switch fate {
+	case diskSettle:
+		s.per.settle(s)
+	case diskDestroy:
+		s.per.log.Close()
+		if err := m.cfg.Store.Remove(s.id); err != nil {
+			m.cfg.Logger.Warn("removing session directory", "session", s.id, "err", err)
+		}
+	}
 }
 
 // Len returns the number of live sessions.
@@ -205,7 +274,7 @@ func (m *Manager) evictIdle(now time.Time) {
 	}
 	m.mu.Unlock()
 	for _, s := range idle {
-		m.retire(s)
+		m.retire(s, diskDestroy)
 		metrics.SessionsEvicted.Add(1)
 	}
 }
@@ -242,6 +311,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		case <-s.done:
 			metrics.QueueDepth.Add(-s.depth.Swap(0))
 			metrics.SessionsActive.Add(-1)
+			// Graceful shutdown settles persistence — final snapshot plus
+			// clean close — so the next boot replays nothing.
+			if s.per != nil {
+				s.per.settle(s)
+			}
 		case <-ctx.Done():
 			return ctx.Err()
 		}

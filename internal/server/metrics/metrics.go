@@ -42,6 +42,22 @@ var (
 	QueueDepth = expvar.NewInt("calibserved.queue.depth")
 	// StepLatency is a histogram of POST .../step handling latency.
 	StepLatency = newHistogram("calibserved.step.latency")
+	// WALAppends counts records appended across all session WALs.
+	WALAppends = expvar.NewInt("calibserved.wal.appends")
+	// WALBytes counts bytes appended across all session WALs.
+	WALBytes = expvar.NewInt("calibserved.wal.bytes")
+	// SnapshotsWritten counts snapshots persisted; each one truncates the
+	// WAL behind it.
+	SnapshotsWritten = expvar.NewInt("calibserved.snapshots.written")
+	// RecoveredSessions counts sessions rebuilt from disk at boot.
+	RecoveredSessions = expvar.NewInt("calibserved.recovery.sessions")
+	// RecoveredRecords counts WAL records replayed at boot.
+	RecoveredRecords = expvar.NewInt("calibserved.recovery.records")
+	// RecoveryTruncations counts torn or corrupt WAL tails cut at boot.
+	RecoveryTruncations = expvar.NewInt("calibserved.recovery.truncations")
+	// RecoveryFailed counts session directories that could not be
+	// recovered and were left on disk for inspection.
+	RecoveryFailed = expvar.NewInt("calibserved.recovery.failed")
 )
 
 // bucketBounds are the histogram's upper bounds. The last bucket is

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"time"
+
+	"calibsched/internal/core"
+	"calibsched/internal/online"
+	"calibsched/internal/server/metrics"
+	"calibsched/internal/store"
+)
+
+// persister is a session's write-ahead persistence hook. It is owned by
+// the same goroutine that owns the engine — the session worker while the
+// session is live, the manager during boot replay and after the worker
+// has drained — so it needs no locks and adds nothing to the hot path
+// beyond the append itself. Sessions without a store run with a nil
+// persister and skip every call behind a single pointer check.
+type persister struct {
+	log    *store.Log
+	every  int // snapshot cadence, in records appended since the last one
+	since  int
+	logger *slog.Logger
+	id     string
+}
+
+// appendArrivals logs one accepted arrivals batch before it is applied.
+// baseID is the ID the first job of the batch will be assigned; recovery
+// asserts replay reassigns the same IDs.
+func (p *persister) appendArrivals(specs []JobSpec, baseID int) error {
+	cmd := store.ArrivalsCommand{Jobs: make([]store.JobRec, len(specs))}
+	for i, js := range specs {
+		cmd.Jobs[i] = store.JobRec{ID: baseID + i, Release: js.Release, Weight: js.Weight}
+	}
+	n, err := p.log.AppendArrivals(cmd)
+	if err != nil {
+		return err
+	}
+	p.appended(n)
+	return nil
+}
+
+// appendSteps logs one step command before the engine advances.
+func (p *persister) appendSteps(k int64) error {
+	n, err := p.log.AppendSteps(store.StepsCommand{K: k})
+	if err != nil {
+		return err
+	}
+	p.appended(n)
+	return nil
+}
+
+func (p *persister) appended(n int) {
+	metrics.WALAppends.Add(1)
+	metrics.WALBytes.Add(int64(n))
+	p.since++
+}
+
+// maybeSnapshot writes a snapshot when the cadence is due. Called by the
+// worker after a command has been appended and applied.
+func (p *persister) maybeSnapshot(s *session) {
+	if p.since >= p.every {
+		p.snapshot(s)
+	}
+}
+
+// snapshot persists the session's current state and truncates the WAL
+// behind it. Best-effort: on failure the WAL still holds the full
+// history, so the error is logged and the session keeps serving.
+func (p *persister) snapshot(s *session) {
+	snap, err := s.buildSnapshot()
+	if err != nil {
+		if !errors.Is(err, errNoSnapshot) {
+			p.logger.Warn("snapshot skipped; wal retained", "session", p.id, "err", err)
+		}
+		// Engines without snapshot support recover by full-log replay;
+		// their WALs are never truncated.
+		return
+	}
+	if err := p.log.WriteSnapshot(snap); err != nil {
+		p.logger.Warn("snapshot failed; wal retained", "session", p.id, "err", err)
+		return
+	}
+	p.since = 0
+	metrics.SnapshotsWritten.Add(1)
+}
+
+// settle finalizes a gracefully retiring session's on-disk state: a last
+// snapshot (so the next boot replays nothing) and a clean close. Broken
+// sessions skip the snapshot — a recovered panic may have interrupted
+// the engine mid-mutation, and replaying the intact WAL reproduces the
+// breakage deterministically instead of persisting the wreckage. Called
+// by the manager after the worker has drained (<-s.done), which orders
+// this read of worker-owned state after every worker write.
+func (p *persister) settle(s *session) {
+	if s.broken == nil {
+		p.snapshot(s)
+	}
+	if err := p.log.Close(); err != nil {
+		p.logger.Warn("closing wal", "session", p.id, "err", err)
+	}
+}
+
+// errNoSnapshot marks an engine that does not implement
+// online.Snapshotter; such sessions persist via full-log replay only.
+var errNoSnapshot = errors.New("engine does not support snapshots")
+
+// buildSnapshot captures the session's durable state: the engine's own
+// encoding plus the accepted-job table and the IDs still sitting in the
+// arrival buffer. Worker-owned (or post-drain manager-owned) state only.
+func (s *session) buildSnapshot() (*store.Snapshot, error) {
+	snapper, ok := s.eng.(online.Snapshotter)
+	if !ok {
+		return nil, errNoSnapshot
+	}
+	state, err := snapper.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	snap := &store.Snapshot{
+		Create: store.CreateCommand{Alg: s.spec.Name, T: s.t, G: s.g},
+		Engine: state,
+		Jobs:   make([]store.JobRec, len(s.jobs)),
+	}
+	for i, j := range s.jobs {
+		snap.Jobs[i] = store.JobRec{ID: j.ID, Release: j.Release, Weight: j.Weight}
+	}
+	if n := s.buffer.Len(); n > 0 {
+		ids := make([]int, 0, n)
+		for _, j := range s.buffer.Items() {
+			ids = append(ids, j.ID)
+		}
+		sort.Ints(ids)
+		snap.Buffered = ids
+	}
+	return snap, nil
+}
+
+// loadSnapshot restores worker-owned state from a recovered snapshot.
+// The buffer is rebuilt by pushing jobs in ascending ID order, which the
+// queue's total order (release, then ID) maps to the exact pop sequence
+// of the original run.
+func (s *session) loadSnapshot(snap *store.Snapshot) error {
+	if len(snap.Engine) == 0 {
+		return fmt.Errorf("snapshot carries no engine state")
+	}
+	eng, err := online.RestoreEngine(s.spec.Name, s.t, s.g, snap.Engine, online.WithSink(s.ring))
+	if err != nil {
+		return err
+	}
+	s.eng = eng
+	s.jobs = make([]core.Job, len(snap.Jobs))
+	for i, j := range snap.Jobs {
+		s.jobs[i] = core.Job{ID: j.ID, Release: j.Release, Weight: j.Weight}
+	}
+	for _, id := range snap.Buffered {
+		s.buffer.Push(s.jobs[id])
+	}
+	metrics.QueueDepth.Add(int64(len(snap.Buffered)))
+	s.depth.Add(int64(len(snap.Buffered)))
+	return nil
+}
+
+// apply replays one logged command against worker-owned state during
+// boot recovery (s.replaying is set, so nothing is re-appended or
+// re-counted). The command was validated and accepted in its first life;
+// any rejection now is divergence, except a panic-derived broken state,
+// which rebuild accepts when it lands on the final command.
+func (s *session) apply(cmd store.Command) error {
+	switch cmd.Type {
+	case store.RecordArrivals:
+		base := len(s.jobs)
+		specs := make([]JobSpec, len(cmd.Arrivals.Jobs))
+		for i, j := range cmd.Arrivals.Jobs {
+			if j.ID != base+i {
+				return fmt.Errorf("logged job ID %d where replay assigns %d", j.ID, base+i)
+			}
+			specs[i] = JobSpec{Release: j.Release, Weight: j.Weight}
+		}
+		return s.guard("replayed arrivals", func() error {
+			_, err := s.admit(specs)
+			return err
+		})
+	case store.RecordSteps:
+		// The logged k was within the batch limit when accepted; pass it
+		// as the limit so a later config change cannot fail replay.
+		return s.guard("replayed steps", func() error {
+			_, err := s.advance(cmd.Steps.K, cmd.Steps.K)
+			return err
+		})
+	default:
+		return fmt.Errorf("unexpected record type %d in command stream", cmd.Type)
+	}
+}
+
+// recoverSessions rebuilds every recoverable on-disk session before the
+// manager accepts traffic. Runs from NewManager, before any concurrent
+// access. Unrecoverable directories are logged, counted, and left on
+// disk for inspection; their IDs still advance the session numbering so
+// new sessions never collide with them.
+func (m *Manager) recoverSessions() error {
+	ids, err := m.cfg.Store.SessionIDs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		var n int64
+		if _, err := fmt.Sscanf(id, "s-%d", &n); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+	}
+	rec, err := m.cfg.Store.Recover()
+	if err != nil {
+		return err
+	}
+	for _, f := range rec.Failed {
+		m.cfg.Logger.Warn("session unrecoverable; directory kept for inspection",
+			"session", f.ID, "err", f.Err)
+		metrics.RecoveryFailed.Add(1)
+	}
+	now := time.Now()
+	for i := range rec.Sessions {
+		rs := &rec.Sessions[i]
+		s, err := m.rebuild(rs, now)
+		if err != nil {
+			m.cfg.Logger.Warn("session replay failed; directory kept for inspection",
+				"session", rs.ID, "err", err)
+			rs.Log.Close()
+			metrics.RecoveryFailed.Add(1)
+			continue
+		}
+		m.sessions[rs.ID] = s
+		metrics.SessionsActive.Add(1)
+		metrics.RecoveredSessions.Add(1)
+		metrics.RecoveredRecords.Add(int64(len(rs.Commands)))
+		if rs.Truncated {
+			metrics.RecoveryTruncations.Add(1)
+		}
+	}
+	return nil
+}
+
+// rebuild reconstructs one session from its recovered log: snapshot
+// state first, then the command stream replayed in order against the
+// deterministic engine. The worker starts only after the state matches
+// the log, so no request can observe a half-replayed session.
+func (m *Manager) rebuild(rs *store.RecoveredSession, now time.Time) (*session, error) {
+	spec, ok := online.LookupEngine(rs.Create.Alg)
+	if !ok {
+		return nil, fmt.Errorf("create record names unknown engine %q", rs.Create.Alg)
+	}
+	if _, err := online.NewEngine(rs.Create.Alg, rs.Create.T, rs.Create.G); err != nil {
+		return nil, err
+	}
+	per := &persister{log: rs.Log, every: m.cfg.SnapshotEvery, logger: m.cfg.Logger, id: rs.ID}
+	s := makeSession(rs.ID, spec, rs.Create.T, rs.Create.G, m.cfg.MaxBuffer, m.cfg.TraceRing, per, now)
+	s.replaying = true
+	if rs.Snap != nil {
+		if err := s.loadSnapshot(rs.Snap); err != nil {
+			return nil, err
+		}
+	}
+	for i, cmd := range rs.Commands {
+		err := s.apply(cmd)
+		if err == nil {
+			continue
+		}
+		if s.broken != nil && i == len(rs.Commands)-1 {
+			// The live run panicked on its last logged command; replay
+			// reproduced it. The session recovers in its broken state.
+			break
+		}
+		return nil, fmt.Errorf("replaying record %d (seq %d): %w", i, cmd.Seq, err)
+	}
+	s.replaying = false
+	// Replayed records mean the snapshot is that stale: carry the count
+	// into the cadence so a long log earns a fresh snapshot on the next
+	// append instead of replaying again after the next crash.
+	per.since = len(rs.Commands)
+	go s.work()
+	return s, nil
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"calibsched/internal/store"
+)
+
+// benchServe measures the per-command serving hot path — one arrival,
+// one step per iteration — with persistence configured per st (nil is
+// the in-memory baseline). The acceptance bar for the nil-persister fast
+// path is zero overhead: BenchmarkServeInMemory must report allocs/op
+// identical to the pre-store serving layer, since every persistence call
+// sits behind a single nil check.
+func benchServe(b *testing.B, st *store.Store) {
+	m, err := NewManager(Config{Store: st, SnapshotEvery: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := m.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	info, err := m.Create(CreateSessionRequest{Alg: "alg2", T: 8, G: 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := m.Get(info.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := []JobSpec{{Release: 0, Weight: 3}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job[0].Release = int64(i)
+		if _, err := s.Arrivals(job); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Step(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeInMemory(b *testing.B) {
+	benchServe(b, nil)
+}
+
+func benchServeWAL(b *testing.B, policy store.FsyncPolicy) {
+	st, err := store.Open(b.TempDir(), store.Options{Fsync: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchServe(b, st)
+}
+
+func BenchmarkServeWALNone(b *testing.B)   { benchServeWAL(b, store.FsyncNone) }
+func BenchmarkServeWALBatch(b *testing.B)  { benchServeWAL(b, store.FsyncBatch) }
+func BenchmarkServeWALAlways(b *testing.B) { benchServeWAL(b, store.FsyncAlways) }

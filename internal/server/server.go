@@ -50,9 +50,14 @@ type Server struct {
 	log *slog.Logger
 }
 
-// New builds a server and its manager from the config.
-func New(cfg Config) *Server {
-	mgr := NewManager(cfg)
+// New builds a server and its manager from the config. With a persistent
+// store configured it errors when the store root cannot be scanned at
+// boot; without one it cannot fail.
+func New(cfg Config) (*Server, error) {
+	mgr, err := NewManager(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{mgr: mgr, mux: http.NewServeMux(), log: mgr.cfg.Logger}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
@@ -64,7 +69,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
-	return s
+	return s, nil
 }
 
 // Manager exposes the underlying session manager (for shutdown wiring

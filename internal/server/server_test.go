@@ -17,7 +17,10 @@ import (
 // with the test.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
@@ -281,7 +284,10 @@ func TestActiveSessionSurvivesTTL(t *testing.T) {
 }
 
 func TestShutdownDrainsAndRefuses(t *testing.T) {
-	srv := New(Config{})
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := srv.Manager().Create(CreateSessionRequest{T: 5, G: 1, Alg: "alg1"}); err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +300,7 @@ func TestShutdownDrainsAndRefuses(t *testing.T) {
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("second shutdown: %v", err)
 	}
-	_, err := srv.Manager().Create(CreateSessionRequest{T: 5, G: 1, Alg: "alg1"})
+	_, err = srv.Manager().Create(CreateSessionRequest{T: 5, G: 1, Alg: "alg1"})
 	ae, ok := err.(*apiError)
 	if !ok || ae.status != 503 {
 		t.Fatalf("create after shutdown: %v", err)

@@ -47,14 +47,35 @@ type session struct {
 	// by the HTTP trace handler. trace.Ring synchronizes internally.
 	ring *trace.Ring
 
-	// Worker-owned state. Never touched outside the worker goroutine.
+	// Worker-owned state. Never touched outside the worker goroutine
+	// (boot recovery counts: it owns the session until go s.work()).
 	eng    online.Engine
 	buffer *queue.Heap[core.Job] // future arrivals, ordered by (Release, ID)
 	jobs   []core.Job            // every accepted job, indexed by ID
 	broken error                 // sticky failure from a recovered panic
+
+	// per is the write-ahead persistence hook; nil runs in-memory only,
+	// and every persistence call sits behind that one pointer check so
+	// the nil path costs nothing on the hot path.
+	per *persister
+	// replaying is set while boot recovery replays logged commands:
+	// appends and traffic counters are skipped (the records are already
+	// on disk and were counted in their first life) and admission
+	// backpressure is bypassed (accepted is accepted), but state
+	// mutations and the queue-depth gauge apply normally.
+	replaying bool
 }
 
-func newSession(id string, spec online.EngineSpec, t, g int64, maxBuffer, traceRing int, now time.Time) *session {
+// newSession builds a session and starts its worker.
+func newSession(id string, spec online.EngineSpec, t, g int64, maxBuffer, traceRing int, per *persister, now time.Time) *session {
+	s := makeSession(id, spec, t, g, maxBuffer, traceRing, per, now)
+	go s.work()
+	return s
+}
+
+// makeSession builds a session without starting the worker, so boot
+// recovery can replay state into it first.
+func makeSession(id string, spec online.EngineSpec, t, g int64, maxBuffer, traceRing int, per *persister, now time.Time) *session {
 	ring := trace.NewRing(traceRing)
 	s := &session{
 		id:        id,
@@ -63,6 +84,7 @@ func newSession(id string, spec online.EngineSpec, t, g int64, maxBuffer, traceR
 		g:         g,
 		maxBuffer: maxBuffer,
 		ring:      ring,
+		per:       per,
 		cmds:      make(chan func()), // unbuffered: a submitted command is always executed
 		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -75,7 +97,6 @@ func newSession(id string, spec online.EngineSpec, t, g int64, maxBuffer, traceR
 		}),
 	}
 	s.lastActive.Store(now.UnixNano())
-	go s.work()
 	return s
 }
 
@@ -175,13 +196,24 @@ func (s *session) admit(specs []JobSpec) (ArrivalsResponse, error) {
 				"engine %s is unweighted: job %d has weight %d, want 1", s.spec.Name, i, js.Weight)}
 		}
 	}
-	if s.buffer.Len()+len(specs) > s.maxBuffer {
+	// The buffer bound is admission policy, not state: replay bypasses it
+	// so a restart with a smaller -buffer cannot refuse jobs the log
+	// already accepted.
+	if s.buffer.Len()+len(specs) > s.maxBuffer && !s.replaying {
 		metrics.ArrivalsRejected.Add(int64(len(specs)))
 		return ArrivalsResponse{}, &apiError{
 			status:     429,
 			retryAfter: true,
 			msg: fmt.Sprintf("arrival buffer full (%d/%d buffered, %d offered); step the session and retry",
 				s.buffer.Len(), s.maxBuffer, len(specs)),
+		}
+	}
+	// Write-ahead: the batch lands in the log before it mutates state, so
+	// every accepted command is durable per the fsync policy. On append
+	// failure nothing was applied — the client sees a 500 and may retry.
+	if s.per != nil && !s.replaying {
+		if err := s.per.appendArrivals(specs, len(s.jobs)); err != nil {
+			return ArrivalsResponse{}, &apiError{status: 500, msg: fmt.Sprintf("persisting arrivals: %v", err)}
 		}
 	}
 	ids := make([]int, len(specs))
@@ -191,9 +223,14 @@ func (s *session) admit(specs []JobSpec) (ArrivalsResponse, error) {
 		s.buffer.Push(j)
 		ids[i] = j.ID
 	}
-	metrics.ArrivalsAccepted.Add(int64(len(specs)))
+	if !s.replaying {
+		metrics.ArrivalsAccepted.Add(int64(len(specs)))
+	}
 	metrics.QueueDepth.Add(int64(len(specs)))
 	s.depth.Add(int64(len(specs)))
+	if s.per != nil && !s.replaying {
+		s.per.maybeSnapshot(s)
+	}
 	return ArrivalsResponse{
 		Accepted: len(specs),
 		IDs:      ids,
@@ -224,6 +261,15 @@ func (s *session) advance(k, maxBatch int64) (StepResponse, error) {
 	if k > maxBatch {
 		return StepResponse{}, &apiError{status: 400, msg: fmt.Sprintf("steps = %d exceeds the per-request limit %d; split the request", k, maxBatch)}
 	}
+	// Write-ahead: the step command is durable before the engine moves.
+	// If the engine panics mid-batch, replay re-runs the same command and
+	// panics at the same sub-step — the recovered session is broken in
+	// exactly the way the live one was.
+	if s.per != nil && !s.replaying {
+		if err := s.per.appendSteps(k); err != nil {
+			return StepResponse{}, &apiError{status: 500, msg: fmt.Sprintf("persisting step: %v", err)}
+		}
+	}
 	resp := StepResponse{Events: []StepEventJSON{}, Stepped: k}
 	var arrivals []core.Job
 	for i := int64(0); i < k; i++ {
@@ -248,7 +294,12 @@ func (s *session) advance(k, maxBatch int64) (StepResponse, error) {
 			resp.Events = append(resp.Events, e)
 		}
 	}
-	metrics.StepsServed.Add(k)
+	if !s.replaying {
+		metrics.StepsServed.Add(k)
+	}
+	if s.per != nil && !s.replaying {
+		s.per.maybeSnapshot(s)
+	}
 	resp.Now = s.eng.Now()
 	resp.Pending = s.eng.Pending()
 	resp.Buffered = s.buffer.Len()

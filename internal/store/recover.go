@@ -1,0 +1,207 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// RecoveredSession is one session reconstructable from disk: its
+// construction parameters, the latest snapshot (nil when the whole
+// history lives in the log), the commands to replay on top, and the
+// log handle reopened for continued appends.
+type RecoveredSession struct {
+	ID     string
+	Create CreateCommand
+	// Snap is the state to start replay from; nil means replay begins
+	// with a fresh engine.
+	Snap *Snapshot
+	// Commands are the logged commands not reflected in Snap, in order.
+	// The create command is folded into Create and never appears here.
+	Commands []Command
+	// Log continues the session's WAL; its sequence numbering resumes
+	// after the last valid record.
+	Log *Log
+	// Truncated reports that a torn or corrupt tail was cut off.
+	Truncated bool
+}
+
+// FailedSession is a session directory that could not be recovered;
+// the session is absent from serving but its directory is left on disk
+// for inspection (the manager still skips its ID when numbering new
+// sessions).
+type FailedSession struct {
+	ID  string
+	Err error
+}
+
+// Recovery is the result of scanning a store root.
+type Recovery struct {
+	Sessions []RecoveredSession
+	Failed   []FailedSession
+}
+
+// Recover scans every session directory under the root and
+// reconstructs what it can. Recovery is deliberately tolerant: a torn
+// or checksum-invalid tail is truncated and the valid prefix served; a
+// directory with no usable state at all degrades to "session absent".
+// It never panics on any file contents and never surfaces a
+// checksum-invalid record.
+func (s *Store) Recover() (*Recovery, error) {
+	ids, err := s.SessionIDs()
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{}
+	for _, id := range ids {
+		rs, err := s.recoverSession(id)
+		if err != nil {
+			rec.Failed = append(rec.Failed, FailedSession{ID: id, Err: err})
+			continue
+		}
+		rec.Sessions = append(rec.Sessions, *rs)
+	}
+	return rec, nil
+}
+
+// recoverSession rebuilds one session directory.
+func (s *Store) recoverSession(id string) (*RecoveredSession, error) {
+	dir, err := s.dir(id)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := readSnapshot(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, err
+	}
+
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: reading wal: %w", err)
+	}
+	if snap == nil && len(data) == 0 {
+		// Nothing durable ever existed (crash between directory
+		// creation and the create record landing): session absent.
+		return nil, fmt.Errorf("store: empty log and no snapshot")
+	}
+
+	rs := &RecoveredSession{ID: id, Snap: snap}
+	var lastSeq uint64
+	if snap != nil {
+		rs.Create = snap.Create
+		lastSeq = snap.Seq
+	}
+	// Decode the command stream, tracking offsets so the file can be
+	// truncated at the first bad record — torn tail, checksum
+	// mismatch, or a CRC-valid record whose contents violate the
+	// stream's invariants (non-monotone seq, undecodable payload).
+	validLen, sawCreate := 0, false
+	for validLen < len(data) {
+		frame, n, err := readRecord(data[validLen:])
+		if err != nil {
+			rs.Truncated = true
+			break
+		}
+		cmd, err := decodeCommand(frame)
+		if err != nil {
+			rs.Truncated = true
+			break
+		}
+		if frame.Seq <= lastSeq && !(snap != nil && frame.Seq <= snap.Seq) {
+			rs.Truncated = true
+			break
+		}
+		if frame.Seq > lastSeq {
+			if cmd.Type == RecordCreate {
+				if sawCreate || snap != nil {
+					// A second create can only be corruption.
+					rs.Truncated = true
+					break
+				}
+				rs.Create = *cmd.Create
+				sawCreate = true
+			} else {
+				if snap == nil && !sawCreate {
+					// Commands before any create record: the log's
+					// head is gone; nothing can be replayed.
+					rs.Truncated = true
+					break
+				}
+				rs.Commands = append(rs.Commands, cmd)
+			}
+			lastSeq = frame.Seq
+		}
+		// Records with Seq <= snap.Seq are pre-snapshot leftovers from
+		// a crash between snapshot publish and log truncation: already
+		// reflected in the snapshot, skipped but kept as valid bytes.
+		validLen += n
+	}
+	if snap == nil && !sawCreate {
+		return nil, fmt.Errorf("store: no create record survives")
+	}
+	if rs.Truncated {
+		if err := os.Truncate(walPath, int64(validLen)); err != nil {
+			return nil, fmt.Errorf("store: truncating torn wal: %w", err)
+		}
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: reopening wal: %w", err)
+	}
+	rs.Log = &Log{dir: dir, f: f, fsync: s.fsync, batchEvery: s.batchEvery, seq: lastSeq}
+	return rs, nil
+}
+
+// decodeCommand parses a frame's payload per its type.
+func decodeCommand(frame Record) (Command, error) {
+	cmd := Command{Seq: frame.Seq, Type: frame.Type}
+	switch frame.Type {
+	case RecordCreate:
+		cmd.Create = &CreateCommand{}
+		if err := unmarshalStrict(frame.Payload, cmd.Create); err != nil {
+			return Command{}, err
+		}
+		if cmd.Create.Alg == "" || cmd.Create.T < 1 || cmd.Create.G < 0 {
+			return Command{}, fmt.Errorf("%w: create record alg=%q t=%d g=%d", ErrCorrupt,
+				cmd.Create.Alg, cmd.Create.T, cmd.Create.G)
+		}
+	case RecordArrivals:
+		cmd.Arrivals = &ArrivalsCommand{}
+		if err := unmarshalStrict(frame.Payload, cmd.Arrivals); err != nil {
+			return Command{}, err
+		}
+		if len(cmd.Arrivals.Jobs) == 0 {
+			return Command{}, fmt.Errorf("%w: empty arrivals record", ErrCorrupt)
+		}
+	case RecordSteps:
+		cmd.Steps = &StepsCommand{}
+		if err := unmarshalStrict(frame.Payload, cmd.Steps); err != nil {
+			return Command{}, err
+		}
+		if cmd.Steps.K < 1 {
+			return Command{}, fmt.Errorf("%w: steps record k=%d", ErrCorrupt, cmd.Steps.K)
+		}
+	default:
+		return Command{}, fmt.Errorf("%w: record type %d in wal", ErrCorrupt, frame.Type)
+	}
+	return cmd, nil
+}
+
+// unmarshalStrict decodes JSON rejecting unknown fields and trailing
+// data, so a payload that passed its checksum but does not match the
+// schema (a version skew bug) fails loudly instead of half-applying.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing payload data", ErrCorrupt)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Command payload schemas. These are the persistence wire format; the
+// serving layer converts to and from its own request types. All fields
+// are exact int64 quantities, matching internal/core's integer model.
+
+// CreateCommand is the payload of a session's first record: everything
+// needed to reconstruct a fresh engine.
+type CreateCommand struct {
+	// Alg names the engine backend (online.EngineNames).
+	Alg string `json:"alg"`
+	T   int64  `json:"t"`
+	G   int64  `json:"g"`
+}
+
+// JobRec is one job in an arrivals batch or a snapshot's job table. ID
+// is the server-assigned dense job ID; recovery asserts that replay
+// reassigns the same IDs (engines break ties on ID, so IDs are part of
+// the deterministic state).
+type JobRec struct {
+	ID      int   `json:"id"`
+	Release int64 `json:"release"`
+	Weight  int64 `json:"weight"`
+}
+
+// ArrivalsCommand is one accepted arrivals batch, in acceptance order.
+type ArrivalsCommand struct {
+	Jobs []JobRec `json:"jobs"`
+}
+
+// StepsCommand advances the session clock K steps.
+type StepsCommand struct {
+	K int64 `json:"k"`
+}
+
+// Command is one decoded WAL entry during recovery: exactly one of the
+// pointers is set, per Type.
+type Command struct {
+	Seq      uint64
+	Type     RecordType
+	Create   *CreateCommand
+	Arrivals *ArrivalsCommand
+	Steps    *StepsCommand
+}
+
+// snapshotVersion versions the snapshot payload schema.
+const snapshotVersion = 1
+
+// Snapshot captures a session's complete durable state at a log
+// position: WAL records with Seq <= Snapshot.Seq are reflected in it
+// and skipped on replay.
+type Snapshot struct {
+	Version int    `json:"v"`
+	Seq     uint64 `json:"seq"`
+	// Create repeats the session's construction parameters so a
+	// truncated log needs no create record.
+	Create CreateCommand `json:"create"`
+	// Engine is the engine's own state encoding (online.Snapshotter),
+	// opaque to the store. Empty means the engine does not support
+	// snapshots; such sessions never truncate their log and this file
+	// is never written.
+	Engine []byte `json:"engine"`
+	// Jobs is the full accepted-job table, indexed by ID.
+	Jobs []JobRec `json:"jobs"`
+	// Buffered lists the IDs of jobs sitting in the arrival buffer
+	// (accepted, not yet released to the engine), ascending.
+	Buffered []int `json:"buffered"`
+}
+
+// readSnapshot loads and validates a session's snapshot file. A missing
+// file returns (nil, nil): the session recovers from the full log.
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	rec, n, err := readRecord(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot frame: %w", err)
+	}
+	if rec.Type != RecordSnapshot {
+		return nil, fmt.Errorf("%w: snapshot file holds record type %d", ErrCorrupt, rec.Type)
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot", ErrCorrupt, len(data)-n)
+	}
+	var snap Snapshot
+	if err := unmarshalStrict(rec.Payload, &snap); err != nil {
+		return nil, fmt.Errorf("store: snapshot payload: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d", ErrCorrupt, snap.Version)
+	}
+	if snap.Seq != rec.Seq {
+		return nil, fmt.Errorf("%w: snapshot seq %d != frame seq %d", ErrCorrupt, snap.Seq, rec.Seq)
+	}
+	for i, j := range snap.Jobs {
+		if j.ID != i {
+			return nil, fmt.Errorf("%w: snapshot job table: entry %d has ID %d", ErrCorrupt, i, j.ID)
+		}
+	}
+	for i, id := range snap.Buffered {
+		if id < 0 || id >= len(snap.Jobs) {
+			return nil, fmt.Errorf("%w: buffered job %d out of table range", ErrCorrupt, id)
+		}
+		if i > 0 && snap.Buffered[i-1] >= id {
+			return nil, fmt.Errorf("%w: buffered IDs not ascending", ErrCorrupt)
+		}
+	}
+	return &snap, nil
+}

@@ -1,0 +1,427 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTestStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// writeSession logs a canonical little history: create, one arrivals
+// batch, one step command.
+func writeSession(t *testing.T, s *Store, id string) *Log {
+	t.Helper()
+	l, err := s.Create(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCreate(CreateCommand{Alg: "alg2", T: 5, G: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendArrivals(ArrivalsCommand{Jobs: []JobRec{{ID: 0, Release: 0, Weight: 3}, {ID: 1, Release: 2, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendSteps(StepsCommand{K: 4}); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func recoverOne(t *testing.T, s *Store) *Recovery {
+	t.Helper()
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	s := openTestStore(t, Options{Fsync: FsyncAlways})
+	l := writeSession(t, s, "s-000001")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := recoverOne(t, s)
+	if len(rec.Failed) != 0 || len(rec.Sessions) != 1 {
+		t.Fatalf("recovered %d sessions, %d failed: %+v", len(rec.Sessions), len(rec.Failed), rec.Failed)
+	}
+	rs := rec.Sessions[0]
+	defer rs.Log.Close()
+	if rs.ID != "s-000001" || rs.Truncated || rs.Snap != nil {
+		t.Fatalf("unexpected recovery shape: %+v", rs)
+	}
+	if rs.Create != (CreateCommand{Alg: "alg2", T: 5, G: 10}) {
+		t.Fatalf("create = %+v", rs.Create)
+	}
+	if len(rs.Commands) != 2 {
+		t.Fatalf("%d commands, want 2", len(rs.Commands))
+	}
+	if a := rs.Commands[0].Arrivals; a == nil || len(a.Jobs) != 2 || a.Jobs[1] != (JobRec{ID: 1, Release: 2, Weight: 1}) {
+		t.Fatalf("arrivals command = %+v", rs.Commands[0])
+	}
+	if st := rs.Commands[1].Steps; st == nil || st.K != 4 {
+		t.Fatalf("steps command = %+v", rs.Commands[1])
+	}
+	// The recovered log continues the sequence.
+	if rs.Log.Seq() != 3 {
+		t.Fatalf("recovered seq %d, want 3", rs.Log.Seq())
+	}
+	if _, err := rs.Log.AppendSteps(StepsCommand{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotTruncatesLog(t *testing.T) {
+	s := openTestStore(t, Options{})
+	l := writeSession(t, s, "s-000001")
+	snap := &Snapshot{
+		Version: snapshotVersion,
+		Create:  CreateCommand{Alg: "alg2", T: 5, G: 10},
+		Engine:  []byte(`{"fake":"state"}`),
+		Jobs:    []JobRec{{ID: 0, Release: 0, Weight: 3}, {ID: 1, Release: 2, Weight: 1}},
+	}
+	if err := l.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 3 {
+		t.Fatalf("snapshot seq %d, want 3", snap.Seq)
+	}
+	walPath := filepath.Join(l.Dir(), walName)
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal not truncated after snapshot: %v size=%d", err, fi.Size())
+	}
+	if _, err := l.AppendSteps(StepsCommand{K: 7}); err != nil {
+		t.Fatal(err)
+	}
+	l.Abort() // crash: post-snapshot record must still be recoverable
+
+	rs := recoverOne(t, s).Sessions[0]
+	defer rs.Log.Close()
+	if rs.Snap == nil || rs.Snap.Seq != 3 || string(rs.Snap.Engine) != `{"fake":"state"}` {
+		t.Fatalf("snapshot not recovered: %+v", rs.Snap)
+	}
+	if rs.Create != snap.Create {
+		t.Fatalf("create from snapshot = %+v", rs.Create)
+	}
+	if len(rs.Commands) != 1 || rs.Commands[0].Steps == nil || rs.Commands[0].Steps.K != 7 {
+		t.Fatalf("post-snapshot commands = %+v", rs.Commands)
+	}
+	if rs.Log.Seq() != 4 {
+		t.Fatalf("recovered seq %d, want 4", rs.Log.Seq())
+	}
+}
+
+// TestSnapshotThenStaleWal covers the crash window between snapshot
+// publish and log truncation: the log still holds pre-snapshot records,
+// which recovery must skip without replaying or truncating.
+func TestSnapshotThenStaleWal(t *testing.T) {
+	s := openTestStore(t, Options{})
+	l := writeSession(t, s, "s-000001")
+	walPath := filepath.Join(l.Dir(), walName)
+	stale, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(&Snapshot{
+		Version: snapshotVersion,
+		Create:  CreateCommand{Alg: "alg2", T: 5, G: 10},
+		Engine:  []byte("x"),
+		Jobs:    []JobRec{{ID: 0, Release: 0, Weight: 3}, {ID: 1, Release: 2, Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Abort()
+	// Undo the truncation, as if the crash hit between rename and
+	// truncate.
+	if err := os.WriteFile(walPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rs := recoverOne(t, s).Sessions[0]
+	defer rs.Log.Close()
+	if len(rs.Commands) != 0 {
+		t.Fatalf("pre-snapshot records replayed: %+v", rs.Commands)
+	}
+	if rs.Truncated {
+		t.Fatal("stale-but-valid records reported as truncation")
+	}
+	if rs.Log.Seq() != 3 {
+		t.Fatalf("seq %d, want 3", rs.Log.Seq())
+	}
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	for name, garbage := range map[string][]byte{
+		"partial header": {0x05, 0x00},
+		"partial body":   append([]byte{0xff, 0x00, 0x00, 0x00, 0x99, 0x99, 0x99, 0x99}, []byte("short")...),
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := openTestStore(t, Options{})
+			l := writeSession(t, s, "s-000001")
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			walPath := filepath.Join(s.Root(), "s-000001", walName)
+			goodLen := fileSize(t, walPath)
+			f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(garbage); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			rec := recoverOne(t, s)
+			if len(rec.Sessions) != 1 {
+				t.Fatalf("session lost to a torn tail: %+v", rec.Failed)
+			}
+			rs := rec.Sessions[0]
+			defer rs.Log.Close()
+			if !rs.Truncated {
+				t.Error("truncation not reported")
+			}
+			if len(rs.Commands) != 2 {
+				t.Errorf("%d commands survive, want 2", len(rs.Commands))
+			}
+			if got := fileSize(t, walPath); got != goodLen {
+				t.Errorf("wal size %d after recovery, want %d (bad tail cut off)", got, goodLen)
+			}
+		})
+	}
+}
+
+func TestCorruptRecordMidFile(t *testing.T) {
+	s := openTestStore(t, Options{})
+	l, err := s.Create("s-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCreate(CreateCommand{Alg: "alg1", T: 3, G: 6}); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(l.Dir(), walName)
+	cut := fileSize(t, walPath) // end of record 1
+	if _, err := l.AppendArrivals(ArrivalsCommand{Jobs: []JobRec{{ID: 0, Release: 0, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendSteps(StepsCommand{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside record 2: its checksum must fail and
+	// recovery must keep only record 1, discarding record 3 behind the
+	// corruption.
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[cut+recordHeaderLen+bodyPrefixLen] ^= 0xff
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rs := recoverOne(t, s).Sessions[0]
+	defer rs.Log.Close()
+	if !rs.Truncated {
+		t.Error("corruption not reported as truncation")
+	}
+	if len(rs.Commands) != 0 {
+		t.Errorf("commands past a corrupt record replayed: %+v", rs.Commands)
+	}
+	if got := fileSize(t, walPath); got != cut {
+		t.Errorf("wal size %d, want %d", got, cut)
+	}
+	if rs.Log.Seq() != 1 {
+		t.Errorf("seq %d, want 1", rs.Log.Seq())
+	}
+}
+
+func TestEmptyLogDegradesToAbsent(t *testing.T) {
+	s := openTestStore(t, Options{})
+	l, err := s.Create("s-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Abort() // crash before the create record
+
+	rec := recoverOne(t, s)
+	if len(rec.Sessions) != 0 {
+		t.Fatalf("empty log produced a session: %+v", rec.Sessions)
+	}
+	if len(rec.Failed) != 1 || !strings.Contains(rec.Failed[0].Err.Error(), "empty log") {
+		t.Fatalf("failed = %+v", rec.Failed)
+	}
+}
+
+func TestCorruptSnapshotDegradesToAbsent(t *testing.T) {
+	s := openTestStore(t, Options{})
+	l := writeSession(t, s, "s-000001")
+	if err := l.WriteSnapshot(&Snapshot{
+		Version: snapshotVersion,
+		Create:  CreateCommand{Alg: "alg2", T: 5, G: 10},
+		Engine:  []byte("x"),
+		Jobs:    []JobRec{{ID: 0, Release: 0, Weight: 3}, {ID: 1, Release: 2, Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Abort()
+	snapPath := filepath.Join(s.Root(), "s-000001", snapName)
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := recoverOne(t, s)
+	if len(rec.Sessions) != 0 || len(rec.Failed) != 1 {
+		t.Fatalf("corrupt snapshot: sessions=%d failed=%+v", len(rec.Sessions), rec.Failed)
+	}
+	if !errors.Is(rec.Failed[0].Err, ErrCorrupt) {
+		t.Fatalf("failure is not ErrCorrupt: %v", rec.Failed[0].Err)
+	}
+}
+
+func TestRemoveDeletesDirectory(t *testing.T) {
+	s := openTestStore(t, Options{})
+	l := writeSession(t, s, "s-000001")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("s-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(s.Root(), "s-000001")); !os.IsNotExist(err) {
+		t.Fatalf("session dir survives Remove: %v", err)
+	}
+	if ids, err := s.SessionIDs(); err != nil || len(ids) != 0 {
+		t.Fatalf("SessionIDs after Remove: %v %v", ids, err)
+	}
+	// Removing an absent session is not an error (idempotent delete).
+	if err := s.Remove("s-000001"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenFailsFast(t *testing.T) {
+	if _, err := Open("", Options{}); err == nil {
+		t.Error("Open(\"\") succeeded")
+	}
+	// A root path that collides with an existing file cannot be a
+	// directory: MkdirAll must fail at Open time, not on first append.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(file, Options{}); err == nil {
+		t.Error("Open over a plain file succeeded")
+	}
+	if _, err := Open(filepath.Join(file, "sub"), Options{}); err == nil {
+		t.Error("Open under a plain file succeeded")
+	}
+}
+
+func TestInvalidSessionIDs(t *testing.T) {
+	s := openTestStore(t, Options{})
+	for _, id := range []string{"", ".", "..", "a/b", `a\b`, "../escape"} {
+		if _, err := s.Create(id); err == nil {
+			t.Errorf("Create(%q) succeeded", id)
+		}
+		if err := s.Remove(id); err == nil {
+			t.Errorf("Remove(%q) succeeded", id)
+		}
+	}
+	// IDs are never reused: re-creating an existing directory fails.
+	if _, err := s.Create("s-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("s-000001"); err == nil {
+		t.Error("duplicate Create succeeded")
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{"always": FsyncAlways, "batch": FsyncBatch, "none": FsyncNone} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+		if got.String() != in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), in)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+// TestBatchPolicySyncCadence just exercises the batch path end to end;
+// sync effects are not observable in-process, but the counter reset and
+// append flow must not error.
+func TestBatchPolicySyncCadence(t *testing.T) {
+	s := openTestStore(t, Options{Fsync: FsyncBatch, BatchEvery: 2})
+	l, err := s.Create("s-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCreate(CreateCommand{Alg: "alg1", T: 2, G: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(1); k <= 5; k++ {
+		if _, err := l.AppendSteps(StepsCommand{K: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs := recoverOne(t, s).Sessions[0]
+	rs.Log.Close()
+	if len(rs.Commands) != 5 {
+		t.Fatalf("%d commands, want 5", len(rs.Commands))
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	s := openTestStore(t, Options{})
+	l := writeSession(t, s, "s-000001")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendSteps(StepsCommand{K: 1}); err == nil {
+		t.Error("append after Close succeeded")
+	}
+	if err := l.WriteSnapshot(&Snapshot{Version: snapshotVersion}); err == nil {
+		t.Error("snapshot after Close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

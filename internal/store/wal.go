@@ -1,0 +1,196 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const (
+	walName  = "wal"
+	snapName = "snap"
+)
+
+// Log is one session's write-ahead log. It is owned by the session's
+// worker goroutine (appends) or, after the worker has drained, by the
+// manager (settle/close); it is never used concurrently and holds no
+// locks, keeping the scheduling hot path lock-free.
+type Log struct {
+	dir        string
+	f          *os.File
+	fsync      FsyncPolicy
+	batchEvery int
+	unsynced   int
+	seq        uint64
+	closed     bool
+}
+
+// Seq returns the sequence number of the last record appended (or
+// reflected in the snapshot the log was recovered behind); 0 before the
+// first append.
+func (l *Log) Seq() uint64 { return l.seq }
+
+// Dir returns the session directory the log writes into.
+func (l *Log) Dir() string { return l.dir }
+
+// append frames and writes one record, honoring the fsync policy. It
+// returns the bytes written for metrics accounting.
+func (l *Log) append(typ RecordType, payload []byte) (int, error) {
+	if l.closed {
+		return 0, fmt.Errorf("store: append to closed log %s", l.dir)
+	}
+	l.seq++
+	buf := appendRecord(nil, typ, l.seq, payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("store: appending record %d: %w", l.seq, err)
+	}
+	switch l.fsync {
+	case FsyncAlways:
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: syncing record %d: %w", l.seq, err)
+		}
+	case FsyncBatch:
+		if l.unsynced++; l.unsynced >= l.batchEvery {
+			if err := l.Sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return len(buf), nil
+}
+
+// appendJSON marshals a command payload and appends it.
+func (l *Log) appendJSON(typ RecordType, v any) (int, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("store: encoding record payload: %w", err)
+	}
+	return l.append(typ, payload)
+}
+
+// AppendCreate logs the session-create command; it must be the first
+// record of a fresh log.
+func (l *Log) AppendCreate(c CreateCommand) (int, error) {
+	if l.seq != 0 {
+		return 0, fmt.Errorf("store: create record after %d records", l.seq)
+	}
+	return l.appendJSON(RecordCreate, c)
+}
+
+// AppendArrivals logs one accepted arrivals batch.
+func (l *Log) AppendArrivals(c ArrivalsCommand) (int, error) {
+	return l.appendJSON(RecordArrivals, c)
+}
+
+// AppendSteps logs one step command.
+func (l *Log) AppendSteps(c StepsCommand) (int, error) {
+	return l.appendJSON(RecordSteps, c)
+}
+
+// Sync flushes buffered appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	if l.closed {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing wal: %w", err)
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// WriteSnapshot atomically persists a snapshot reflecting every record
+// appended so far, then truncates the WAL behind it. The snapshot file
+// is written to a temp name, synced, and renamed over the previous
+// snapshot, so a crash at any point leaves either the old or the new
+// snapshot intact — and a crash between the rename and the truncate is
+// benign because recovery skips WAL records with Seq <= the snapshot's.
+func (l *Log) WriteSnapshot(snap *Snapshot) error {
+	if l.closed {
+		return fmt.Errorf("store: snapshot on closed log %s", l.dir)
+	}
+	// The WAL must be durable up to the state the snapshot captures
+	// before the old log prefix is dropped.
+	if l.fsync != FsyncNone {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	snap.Version = snapshotVersion
+	snap.Seq = l.seq
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	buf := appendRecord(nil, RecordSnapshot, l.seq, payload)
+
+	tmp := filepath.Join(l.dir, snapName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if l.fsync != FsyncNone {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: syncing snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: closing snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	if l.fsync != FsyncNone {
+		if err := syncDir(l.dir); err != nil {
+			return fmt.Errorf("store: syncing session dir: %w", err)
+		}
+	}
+	// The snapshot now covers every logged record; drop the log prefix.
+	// The fd is O_APPEND, so the next append lands at the new (zero)
+	// end of file.
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating wal behind snapshot: %w", err)
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// Close flushes (per policy) and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var syncErr error
+	if l.fsync != FsyncNone {
+		syncErr = l.f.Sync()
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("store: closing wal: %w", err)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("store: syncing wal on close: %w", syncErr)
+	}
+	return nil
+}
+
+// Abort closes the log without syncing or snapshotting, simulating a
+// hard process kill: whatever the OS has is whatever recovery will see.
+// Crash tests use it; production paths use Close or WriteSnapshot.
+func (l *Log) Abort() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.f.Close()
+}
