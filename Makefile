@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz bench serve loadtest crashtest ci
+.PHONY: all build vet lint test race fuzz bench solvebench serve loadtest crashtest ci
 
 all: ci
 
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadInstance -fuzztime=$(FUZZTIME) -run='^$$' ./internal/workload
 	$(GO) test -fuzz=FuzzReadRecord -fuzztime=$(FUZZTIME) -run='^$$' ./internal/store
 	$(GO) test -fuzz=FuzzRecoverSession -fuzztime=$(FUZZTIME) -run='^$$' ./internal/store
+	$(GO) test -fuzz=FuzzInstanceKey -fuzztime=$(FUZZTIME) -run='^$$' ./internal/solve
 
 # bench writes a dated machine-readable performance report (ns/op,
 # allocs/op, steps/sec for the steppers, the offline DP, the
@@ -40,6 +41,12 @@ fuzz:
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 bench:
 	$(GO) run ./cmd/calibbench -perf -out $(BENCH_OUT)
+
+# solvebench runs just the batch-solve tiers: sequential vs parallel DP
+# and budget sweep, plus the warm-cache repeat-solve path (prints to
+# stdout; use BENCH_OUT-style -out to persist).
+solvebench:
+	$(GO) run ./cmd/calibbench -perf -perf-filter offline,solve
 
 # serve boots the streaming scheduling daemon on SERVE_ADDR (see
 # DESIGN.md §7 for the API).

@@ -32,6 +32,7 @@ func main() {
 		perfOut  = flag.String("out", "", "perf report path (default stdout; see make bench)")
 		perfTime = flag.Duration("perf-duration", time.Second, "target wall time per perf case")
 		perfN    = flag.Int("perf-n", 2000, "jobs per stepper workload in perf mode")
+		perfSel  = flag.String("perf-filter", "", "comma-separated substrings selecting perf cases (empty = all; see make solvebench)")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 		return
 	}
 	if *perf {
-		if err := runPerfCmd(*perfOut, *perfTime, *perfN); err != nil {
+		if err := runPerfCmd(*perfOut, *perfTime, *perfN, *perfSel); err != nil {
 			fmt.Fprintln(os.Stderr, "calibbench:", err)
 			os.Exit(1)
 		}

@@ -47,7 +47,7 @@ func TestRunSelectedUnknown(t *testing.T) {
 // steps/sec on the stepper cases.
 func TestRunPerfReportShape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runPerf(&buf, time.Millisecond, 200); err != nil {
+	if err := runPerf(&buf, time.Millisecond, 200, ""); err != nil {
 		t.Fatal(err)
 	}
 	var report struct {
@@ -78,10 +78,41 @@ func TestRunPerfReportShape(t *testing.T) {
 	}
 	for _, want := range []string{
 		"alg1/stepper", "alg2/stepper", "alg2/stepper/nil-sink",
-		"alg2/stepper/ring-sink", "offline/dp",
+		"alg2/stepper/ring-sink", "offline/dp", "offline/dp/parallel",
+		"offline/sweep", "offline/sweep/parallel", "solve/cache-hit",
 	} {
 		if !byName[want] {
 			t.Errorf("report missing case %q; have %v", want, byName)
+		}
+	}
+}
+
+// TestRunPerfFilter checks that -perf-filter selects by substring.
+func TestRunPerfFilter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runPerf(&buf, time.Millisecond, 200, "solve,offline/sweep"); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Results []struct {
+			Name string `json:"name"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]bool{}
+	for _, r := range report.Results {
+		byName[r.Name] = true
+	}
+	for _, want := range []string{"solve/cache-hit", "offline/sweep", "offline/sweep/parallel"} {
+		if !byName[want] {
+			t.Errorf("filtered report missing %q; have %v", want, byName)
+		}
+	}
+	for _, reject := range []string{"alg1/stepper", "offline/dp", "serve/step/in-memory"} {
+		if byName[reject] {
+			t.Errorf("filtered report should not include %q", reject)
 		}
 	}
 }

@@ -15,12 +15,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"calibsched/internal/core"
 	"calibsched/internal/offline"
 	"calibsched/internal/online"
 	"calibsched/internal/server"
+	"calibsched/internal/solve"
 	"calibsched/internal/store"
 	"calibsched/internal/trace"
 	"calibsched/internal/workload"
@@ -112,9 +114,30 @@ func driveStepper(st *online.Stepper, in *core.Instance) int64 {
 	return steps
 }
 
-// runPerf measures every case for duration d each and writes the JSON
-// report to out.
-func runPerf(out io.Writer, d time.Duration, n int) error {
+// perfCase is one filterable entry in the -perf suite.
+type perfCase struct {
+	name  string
+	steps int64
+	fn    func()
+}
+
+// matchCase reports whether name is selected by the -perf-filter value: a
+// comma-separated list of substrings, empty selecting everything.
+func matchCase(filter, name string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, part := range strings.Split(filter, ",") {
+		if part = strings.TrimSpace(part); part != "" && strings.Contains(name, part) {
+			return true
+		}
+	}
+	return false
+}
+
+// runPerf measures every case selected by filter for duration d each and
+// writes the JSON report to out.
+func runPerf(out io.Writer, d time.Duration, n int, filter string) error {
 	const g = 64
 	weighted, err := perfInstance(n)
 	if err != nil {
@@ -124,40 +147,81 @@ func runPerf(out io.Writer, d time.Duration, n int) error {
 	if err != nil {
 		return err
 	}
-	// The DP is exponential in distinct release times; a small instance
-	// keeps one op in the milliseconds.
+	// The DP is cubic in the job count with a heavy constant; a small
+	// instance keeps one op in the milliseconds.
 	dpIn, err := perfInstance(12)
 	if err != nil {
 		return err
 	}
+	sweepK := dpIn.N()
 
 	steps1 := driveStepper(online.NewAlg1Stepper(unit.T, g), unit)
 	steps2 := driveStepper(online.NewAlg2Stepper(weighted.T, g), weighted)
+
+	// The solve-pool tier: one Submit+Wait per op against a warm result
+	// cache, priced against the offline/dp tier (the same instance and G
+	// solved cold) to show what the cache saves on repeat solves.
+	pool := solve.New(solve.Options{CacheSize: 8})
+	defer pool.Close()
+	solveReq := solve.Request{Instance: dpIn, Kind: solve.KindTotalCost, G: g}
+
+	cases := []perfCase{
+		{"alg1/stepper", steps1, func() {
+			driveStepper(online.NewAlg1Stepper(unit.T, g), unit)
+		}},
+		{"alg2/stepper", steps2, func() {
+			driveStepper(online.NewAlg2Stepper(weighted.T, g), weighted)
+		}},
+		{"alg2/stepper/nil-sink", steps2, func() {
+			driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(nil)), weighted)
+		}},
+		{"alg2/stepper/ring-sink", steps2, func() {
+			driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(trace.NewRing(1024))), weighted)
+		}},
+		{"offline/dp", 0, func() {
+			if _, _, _, err := offline.OptimalTotalCost(dpIn, g); err != nil {
+				panic("calibbench: offline DP failed on the perf instance: " + err.Error())
+			}
+		}},
+		{"offline/dp/parallel", 0, func() {
+			if _, _, _, err := offline.OptimalTotalCostParallel(dpIn, g, 0); err != nil {
+				panic("calibbench: parallel DP failed on the perf instance: " + err.Error())
+			}
+		}},
+		{"offline/sweep", 0, func() {
+			if _, err := offline.BudgetSweep(dpIn, sweepK); err != nil {
+				panic("calibbench: budget sweep failed on the perf instance: " + err.Error())
+			}
+		}},
+		{"offline/sweep/parallel", 0, func() {
+			if _, err := offline.BudgetSweepParallel(dpIn, sweepK, 0); err != nil {
+				panic("calibbench: parallel sweep failed on the perf instance: " + err.Error())
+			}
+		}},
+		{"solve/cache-hit", 0, func() {
+			// The warm-up call inside measure pays the one cold solve;
+			// every timed iteration is a cache hit.
+			id, err := pool.Submit(solveReq)
+			if err != nil {
+				panic("calibbench: solve submit failed: " + err.Error())
+			}
+			st, err := pool.Wait(context.Background(), id)
+			if err != nil || st.Err != "" {
+				panic(fmt.Sprintf("calibbench: solve failed: %v %s", err, st.Err))
+			}
+		}},
+	}
 
 	report := perfReport{
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		Results: []perfResult{
-			measure("alg1/stepper", d, steps1, func() {
-				driveStepper(online.NewAlg1Stepper(unit.T, g), unit)
-			}),
-			measure("alg2/stepper", d, steps2, func() {
-				driveStepper(online.NewAlg2Stepper(weighted.T, g), weighted)
-			}),
-			measure("alg2/stepper/nil-sink", d, steps2, func() {
-				driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(nil)), weighted)
-			}),
-			measure("alg2/stepper/ring-sink", d, steps2, func() {
-				driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(trace.NewRing(1024))), weighted)
-			}),
-			measure("offline/dp", d, 0, func() {
-				if _, _, _, err := offline.OptimalTotalCost(dpIn, g); err != nil {
-					panic("calibbench: offline DP failed on the perf instance: " + err.Error())
-				}
-			}),
-		},
+	}
+	for _, c := range cases {
+		if matchCase(filter, c.name) {
+			report.Results = append(report.Results, measure(c.name, d, c.steps, c.fn))
+		}
 	}
 
 	// The serving-layer persistence tiers: one arrival + one step per op
@@ -174,6 +238,9 @@ func runPerf(out io.Writer, d time.Duration, n int) error {
 		{name: "serve/step/wal-batch", policy: store.FsyncBatch, wal: true},
 		{name: "serve/step/wal-always", policy: store.FsyncAlways, wal: true},
 	} {
+		if !matchCase(filter, sc.name) {
+			continue
+		}
 		res, err := measureServe(sc.name, d, sc.wal, sc.policy)
 		if err != nil {
 			return err
@@ -234,7 +301,7 @@ func measureServe(name string, d time.Duration, wal bool, policy store.FsyncPoli
 
 // runPerfCmd is the -perf entry point: it writes the report to path (or
 // stdout when path is empty) and a one-line summary per case to stderr.
-func runPerfCmd(path string, d time.Duration, n int) error {
+func runPerfCmd(path string, d time.Duration, n int, filter string) error {
 	var out io.Writer = os.Stdout
 	if path != "" {
 		f, err := os.Create(path)
@@ -244,7 +311,7 @@ func runPerfCmd(path string, d time.Duration, n int) error {
 		defer f.Close()
 		out = f
 	}
-	if err := runPerf(out, d, n); err != nil {
+	if err := runPerf(out, d, n, filter); err != nil {
 		return err
 	}
 	if path != "" {

@@ -69,6 +69,12 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 		dataDir         = fs.String("data-dir", "", "directory for durable session state: per-session WAL + snapshots, replayed on boot (empty disables persistence)")
 		fsyncMode       = fs.String("fsync", "batch", "WAL durability with -data-dir: always (fsync every record), batch (fsync every 64 records), or none (OS-buffered)")
 		snapshotEvery   = fs.Int("snapshot-every", 256, "WAL records between snapshots with -data-dir (each snapshot truncates the log)")
+		readTimeout     = fs.Duration("read-timeout", 30*time.Second, "maximum duration for reading an entire request, body included (0 disables)")
+		writeTimeout    = fs.Duration("write-timeout", 60*time.Second, "maximum duration for writing a response (0 disables)")
+		idleTimeout     = fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout (0 means use read-timeout)")
+		solveWorkers    = fs.Int("solve-workers", 0, "concurrent exact-DP solves in the /v1/solve pool (0 = GOMAXPROCS)")
+		solveQueue      = fs.Int("solve-queue", 64, "queued /v1/solve requests before 429 backpressure")
+		solveCache      = fs.Int("solve-cache", 128, "solve result-cache capacity in entries (negative disables caching)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +89,14 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 	}
 	if *snapshotEvery < 1 {
 		fmt.Fprintln(stderr, "calibserved: -snapshot-every must be >= 1")
+		return 2
+	}
+	if *readTimeout < 0 || *writeTimeout < 0 || *idleTimeout < 0 {
+		fmt.Fprintln(stderr, "calibserved: -read-timeout, -write-timeout, and -idle-timeout must all be >= 0")
+		return 2
+	}
+	if *solveWorkers < 0 || *solveQueue < 1 {
+		fmt.Fprintln(stderr, "calibserved: -solve-workers must be >= 0 and -solve-queue >= 1")
 		return 2
 	}
 	fsyncPolicy, err := store.ParseFsyncPolicy(*fsyncMode)
@@ -107,16 +121,24 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 		}
 		logger.Info("persistence enabled", "data_dir", *dataDir, "fsync", fsyncPolicy.String(), "snapshot_every", *snapshotEvery)
 	}
+	timeouts := httpTimeouts{
+		Read:  *readTimeout,
+		Write: *writeTimeout,
+		Idle:  *idleTimeout,
+	}
 	if err := serve(ctx, *addr, *debugAddr, server.Config{
-		MaxSessions:   *maxSessions,
-		MaxBuffer:     *maxBuffer,
-		MaxStepBatch:  *maxStepBatch,
-		TraceRing:     *traceRing,
-		IdleTTL:       *idleTTL,
-		Logger:        logger,
-		Store:         st,
-		SnapshotEvery: *snapshotEvery,
-	}, *shutdownTimeout, logger, nil); err != nil {
+		MaxSessions:     *maxSessions,
+		MaxBuffer:       *maxBuffer,
+		MaxStepBatch:    *maxStepBatch,
+		TraceRing:       *traceRing,
+		IdleTTL:         *idleTTL,
+		Logger:          logger,
+		Store:           st,
+		SnapshotEvery:   *snapshotEvery,
+		SolveWorkers:    *solveWorkers,
+		SolveQueueDepth: *solveQueue,
+		SolveCacheSize:  *solveCache,
+	}, timeouts, *shutdownTimeout, logger, nil); err != nil {
 		fmt.Fprintln(stderr, "calibserved:", err)
 		return 1
 	}
@@ -137,11 +159,40 @@ func debugMux() *http.ServeMux {
 	return mux
 }
 
+// httpTimeouts bundles the connection deadlines applied to every
+// http.Server the daemon builds (API and debug alike). Only
+// ReadHeaderTimeout used to be set, which left slow-body clients free to
+// pin connections and session workers forever; full read/write/idle
+// deadlines close that hole.
+type httpTimeouts struct {
+	Read  time.Duration
+	Write time.Duration
+	Idle  time.Duration
+}
+
+// readHeaderTimeout bounds just the request-header read; it is not
+// flag-tunable because the full read deadline subsumes it for every
+// legitimate client.
+const readHeaderTimeout = 10 * time.Second
+
+// newHTTPServer builds an http.Server with the full set of connection
+// deadlines. Split out so tests can assert the configuration and so the
+// API and debug listeners can never drift apart.
+func newHTTPServer(h http.Handler, t httpTimeouts) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}
+
 // serve listens on addr (and debugAddr, when set) and serves until ctx
 // is cancelled, then drains HTTP connections and session workers within
 // the grace period. When ready is non-nil it receives the bound API
 // address once listening (tests use it to learn the :0 port).
-func serve(ctx context.Context, addr, debugAddr string, cfg server.Config, grace time.Duration, logger *slog.Logger, ready chan<- string) error {
+func serve(ctx context.Context, addr, debugAddr string, cfg server.Config, timeouts httpTimeouts, grace time.Duration, logger *slog.Logger, ready chan<- string) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return fmt.Errorf("boot: %w", err)
@@ -160,7 +211,7 @@ func serve(ctx context.Context, addr, debugAddr string, cfg server.Config, grace
 			return fmt.Errorf("debug listen: %w", err)
 		}
 		logger.Info("debug listening", "addr", dln.Addr().String())
-		debugSrv = &http.Server{Handler: debugMux(), ReadHeaderTimeout: 10 * time.Second}
+		debugSrv = newHTTPServer(debugMux(), timeouts)
 		go func() {
 			if err := debugSrv.Serve(dln); !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug server failed", "err", err)
@@ -171,7 +222,7 @@ func serve(ctx context.Context, addr, debugAddr string, cfg server.Config, grace
 		ready <- ln.Addr().String()
 	}
 
-	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	httpSrv := newHTTPServer(srv, timeouts)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -59,7 +62,7 @@ func TestServeBootAndDrain(t *testing.T) {
 	logBuf := &logBuffer{}
 	logger := slog.New(slog.NewJSONHandler(logBuf, nil))
 	go func() {
-		done <- serve(ctx, "127.0.0.1:0", "127.0.0.1:0", server.Config{Logger: logger}, 5*time.Second, logger, ready)
+		done <- serve(ctx, "127.0.0.1:0", "127.0.0.1:0", server.Config{Logger: logger}, httpTimeouts{}, 5*time.Second, logger, ready)
 	}()
 	var addr string
 	select {
@@ -174,6 +177,11 @@ func TestCLIFlagErrors(t *testing.T) {
 		{"bad log level", []string{"-log-level", "loud"}, "bad -log-level"},
 		{"bad fsync", []string{"-fsync", "sometimes"}, "bad -fsync"},
 		{"bad snapshot cadence", []string{"-snapshot-every", "0"}, "-snapshot-every must be >= 1"},
+		{"negative read timeout", []string{"-read-timeout", "-1s"}, "must all be >= 0"},
+		{"negative write timeout", []string{"-write-timeout", "-5s"}, "must all be >= 0"},
+		{"negative idle timeout", []string{"-idle-timeout", "-1ms"}, "must all be >= 0"},
+		{"negative solve workers", []string{"-solve-workers", "-1"}, "-solve-workers must be >= 0"},
+		{"zero solve queue", []string{"-solve-queue", "0"}, "-solve-queue >= 1"},
 	} {
 		var stderr bytes.Buffer
 		if code := cliMain(tc.args, &stderr, ctx); code != 2 {
@@ -224,6 +232,69 @@ func waitForAddr(t *testing.T, buf *logBuffer, done chan int) string {
 			t.Fatalf("daemon never reported its address:\n%s", buf.String())
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHTTPServerTimeouts pins the bugfix contract: every http.Server the
+// daemon builds carries the full set of connection deadlines, not just
+// ReadHeaderTimeout.
+func TestHTTPServerTimeouts(t *testing.T) {
+	cfg := httpTimeouts{Read: 7 * time.Second, Write: 11 * time.Second, Idle: 13 * time.Second}
+	srv := newHTTPServer(http.NewServeMux(), cfg)
+	if srv.ReadTimeout != cfg.Read {
+		t.Errorf("ReadTimeout = %v, want %v", srv.ReadTimeout, cfg.Read)
+	}
+	if srv.WriteTimeout != cfg.Write {
+		t.Errorf("WriteTimeout = %v, want %v", srv.WriteTimeout, cfg.Write)
+	}
+	if srv.IdleTimeout != cfg.Idle {
+		t.Errorf("IdleTimeout = %v, want %v", srv.IdleTimeout, cfg.Idle)
+	}
+	if srv.ReadHeaderTimeout != readHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", srv.ReadHeaderTimeout, readHeaderTimeout)
+	}
+}
+
+// TestCLISlowBodyClientDisconnected boots the daemon through cliMain
+// with a short -read-timeout and proves a slow-body client is cut off:
+// the connection closes instead of pinning a worker forever (the
+// pre-fix behavior, where only ReadHeaderTimeout was configured).
+func TestCLISlowBodyClientDisconnected(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	buf := &logBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- cliMain([]string{"-addr", "127.0.0.1:0", "-read-timeout", "300ms"}, buf, ctx)
+	}()
+	addr := waitForAddr(t, buf, done)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Headers complete promptly (so ReadHeaderTimeout is satisfied), but
+	// the promised body never arrives.
+	if _, err := conn.Write([]byte("POST /v1/sessions HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 100\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// With ReadTimeout armed the server must close the connection; the
+	// read returns (EOF or reset) well within the deadline.
+	if _, err := io.ReadAll(conn); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
+		// A reset is as good as EOF here: the connection died.
+		t.Logf("read ended with: %v", err)
+	} else if err != nil {
+		t.Fatal("server never closed the slow-body connection within 10s")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never exited")
 	}
 }
 

@@ -69,10 +69,19 @@ type solver struct {
 	rel  []int64 // 1-based
 	w    []int64 // 1-based
 	rank []int   // 1-based job index -> rank in 1..n
+	pos  []int   // rank -> 1-based job index (inverse of rank)
 
 	// pre[mu][j] = #{i in 1..j : rank_i > mu}; cnt(u,j,mu) is a prefix
 	// difference.
 	pre [][]int32
+
+	// ri answers minRankAbove queries in O(log^2 n) instead of an O(n)
+	// scan per DP state; see rankindex.go.
+	ri *rankIndex
+
+	// relScratch is the reusable release buffer of prefixSScan, hoisted
+	// so the scan variant does not allocate per call.
+	relScratch []int64
 
 	fMemo   map[uint64]int64
 	fChoice map[uint64]choice
@@ -91,8 +100,18 @@ type solver struct {
 	traceSeq int64
 }
 
+// keyBits is the field width of key(): u, v, and mu each pack into
+// keyBits bits of one uint64 memo key.
+const keyBits = 21
+
+// MaxDPJobs is the largest job count the DP accepts: u, v, and mu all
+// range over 0..n, so n must fit in a keyBits-bit field. Beyond it the
+// packed memo keys of key() would silently alias distinct states and the
+// DP would return wrong optima; newSolver fails fast instead.
+const MaxDPJobs = 1<<keyBits - 1
+
 func key(u, v, mu int) uint64 {
-	return uint64(u)<<42 | uint64(v)<<21 | uint64(mu)
+	return uint64(u)<<(2*keyBits) | uint64(v)<<keyBits | uint64(mu)
 }
 
 func newSolver(in *core.Instance) (*solver, error) {
@@ -100,6 +119,9 @@ func newSolver(in *core.Instance) (*solver, error) {
 		return nil, fmt.Errorf("offline: DP requires P = 1, got %d", in.P)
 	}
 	n := in.N()
+	if n > MaxDPJobs {
+		return nil, fmt.Errorf("offline: %d jobs exceed the DP limit %d (memo keys pack three %d-bit indices into a uint64; beyond that they would collide)", n, MaxDPJobs, keyBits)
+	}
 	for i := 1; i < n; i++ {
 		if in.Jobs[i].Release == in.Jobs[i-1].Release {
 			return nil, fmt.Errorf("offline: DP requires distinct release times (canonicalize first); jobs %d and %d share release %d", i-1, i, in.Jobs[i].Release)
@@ -134,6 +156,12 @@ func newSolver(in *core.Instance) (*solver, error) {
 		}
 		s.pre[mu] = row
 	}
+	s.pos = make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		s.pos[s.rank[i]] = i
+	}
+	s.ri = newRankIndex(s.pos)
+	s.relScratch = make([]int64, 0, n)
 	return s, nil
 }
 
@@ -146,8 +174,15 @@ func (s *solver) cnt(u, j, mu int) int64 {
 }
 
 // minRankAbove returns the index of the job in u..v with the smallest rank
-// exceeding mu, or 0 if none.
+// exceeding mu, or 0 if none. The merge-sort tree answers it in
+// O(log^2 n) instead of scanning the whole range.
 func (s *solver) minRankAbove(u, v, mu int) int {
+	return s.ri.minAbove(u, v, mu)
+}
+
+// minRankAboveScan is the original O(v-u) scan, retained to cross-check
+// the indexed minRankAbove in tests.
+func (s *solver) minRankAboveScan(u, v, mu int) int {
 	best := 0
 	bestRank := math.MaxInt
 	for i := u; i <= v; i++ {
@@ -163,16 +198,64 @@ func (s *solver) minRankAbove(u, v, mu int) int {
 // h >= 0 with h == |{j in J : r_j < b+h}| (mod T), where b = rel[v]+1-T.
 // Lemma 4.6: the machine is busy throughout [b, b+s) and every job is
 // scheduled at its release during [b+s, b+T).
+//
+// Let c(h) = |{j in J(u,v,mu) : r_j < b+h}| and d(h) = h - c(h). Release
+// times are distinct, so d is nondecreasing with unit steps, and the
+// fixed-point condition is d(h) ≡ 0 (mod T). Starting from d(0) = -c(0),
+// d passes through every integer it crosses, so the first fixed point is
+// the first h where d reaches the smallest multiple of T that is >= -c(0)
+// — found by binary search over h, with each c(h) a binary search over
+// the release-sorted index range plus a rank-prefix difference. O(log T
+// * log n) per call, allocation-free (the old scan built a fresh release
+// slice per call; see prefixSScan).
 func (s *solver) prefixS(u, v, mu int) int64 {
 	b := s.rel[v] + 1 - s.T
-	// Collect the releases of J(u,v,mu) in increasing order (indices are
-	// already in release order).
-	var rels []int64
+	count := func(h int64) int64 {
+		// Largest i in [u, v] with rel[i] < b+h (releases ascend with i).
+		lo, hi, idx := u, v, u-1
+		for lo <= hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.rel[mid] < b+h {
+				idx = mid
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+		return s.cnt(u, idx, mu)
+	}
+	c0 := count(0)
+	target := -core.MustMul(c0/s.T, s.T) // smallest multiple of T >= -c0
+	lo, hi, ans := int64(0), s.T, int64(-1)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if mid-count(mid) >= target {
+			ans = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if ans < 0 {
+		// A fixed point always exists in [0, T]: d(T) >= target because d
+		// moves by at most one per step while T covers a full residue class.
+		panic("offline: no busy-prefix fixed point; unreachable")
+	}
+	return ans
+}
+
+// prefixSScan is the original O(T + n) scan over the state's releases,
+// retained to cross-check prefixS in tests. The release buffer is hoisted
+// onto the solver so repeated calls do not allocate.
+func (s *solver) prefixSScan(u, v, mu int) int64 {
+	b := s.rel[v] + 1 - s.T
+	rels := s.relScratch[:0]
 	for i := u; i <= v; i++ {
 		if s.rank[i] > mu {
 			rels = append(rels, s.rel[i])
 		}
 	}
+	s.relScratch = rels
 	ptr := 0
 	for h := int64(0); h <= s.T; h++ {
 		for ptr < len(rels) && rels[ptr] < b+h {
@@ -182,8 +265,6 @@ func (s *solver) prefixS(u, v, mu int) int64 {
 			return h
 		}
 	}
-	// A fixed point always exists in [0, T]: h mod T sweeps every residue
-	// while the count changes by at most one per step.
 	panic("offline: no busy-prefix fixed point; unreachable")
 }
 

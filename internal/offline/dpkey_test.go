@@ -1,0 +1,119 @@
+package offline
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"calibsched/internal/core"
+)
+
+// TestKeyFieldsDoNotOverlap pins the packing layout: the three indices
+// occupy disjoint bit fields right up to the documented limit.
+func TestKeyFieldsDoNotOverlap(t *testing.T) {
+	cases := []struct{ u, v, mu int }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{MaxDPJobs, 0, 0},
+		{0, MaxDPJobs, 0},
+		{0, 0, MaxDPJobs},
+		{MaxDPJobs, MaxDPJobs, MaxDPJobs},
+		{MaxDPJobs, 1, MaxDPJobs - 1},
+	}
+	seen := make(map[uint64]struct{}, len(cases))
+	for _, c := range cases {
+		k := key(c.u, c.v, c.mu)
+		if gu := int(k >> (2 * keyBits)); gu != c.u {
+			t.Errorf("key(%d,%d,%d): recovered u = %d", c.u, c.v, c.mu, gu)
+		}
+		if gv := int(k >> keyBits & MaxDPJobs); gv != c.v {
+			t.Errorf("key(%d,%d,%d): recovered v = %d", c.u, c.v, c.mu, gv)
+		}
+		if gmu := int(k & MaxDPJobs); gmu != c.mu {
+			t.Errorf("key(%d,%d,%d): recovered mu = %d", c.u, c.v, c.mu, gmu)
+		}
+		if _, dup := seen[k]; dup {
+			t.Errorf("key(%d,%d,%d) collides with an earlier case", c.u, c.v, c.mu)
+		}
+		seen[k] = struct{}{}
+	}
+}
+
+// TestNewSolverRejectsOversizedInstance exercises the fail-fast guard:
+// beyond MaxDPJobs the packed memo keys would silently collide, so
+// newSolver must refuse the instance before allocating its O(n^2)
+// tables. The instance is built as a raw literal — core.NewInstance
+// would happily sort 2^21+1 jobs, but there is no need to pay for it.
+func TestNewSolverRejectsOversizedInstance(t *testing.T) {
+	n := MaxDPJobs + 1
+	jobs := make([]core.Job, n)
+	for i := range jobs {
+		jobs[i] = core.Job{Release: int64(i)}
+	}
+	in := &core.Instance{Jobs: jobs, P: 1, T: 4}
+	if _, err := newSolver(in); err == nil {
+		t.Fatalf("newSolver accepted %d jobs; memo keys only hold %d", n, MaxDPJobs)
+	} else if !strings.Contains(err.Error(), "exceed the DP limit") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+	// The guard must surface through every exported entry point.
+	if _, err := OptimalFlow(in, 1); err == nil {
+		t.Error("OptimalFlow accepted an oversized instance")
+	}
+	if _, err := BudgetSweep(in, 1); err == nil {
+		t.Error("BudgetSweep accepted an oversized instance")
+	}
+	if _, err := BudgetSweepParallel(in, 1, 2); err == nil {
+		t.Error("BudgetSweepParallel accepted an oversized instance")
+	}
+}
+
+// TestIndexedHelpersMatchScans cross-checks the O(log n) minRankAbove
+// and the binary-search prefixS against the original linear scans they
+// replaced, over every reachable (u, v, mu) state of random instances.
+func TestIndexedHelpersMatchScans(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 120; trial++ {
+		in := tinyInstance(rng, 10, 40, 6, 6)
+		n := in.N()
+		if n == 0 {
+			continue
+		}
+		s, err := newSolver(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 1; u <= n; u++ {
+			for v := u; v <= n; v++ {
+				for mu := 0; mu <= n; mu++ {
+					wantJ := s.minRankAboveScan(u, v, mu)
+					if gotJ := s.minRankAbove(u, v, mu); gotJ != wantJ {
+						t.Fatalf("minRankAbove(%d,%d,%d) = %d, scan = %d", u, v, mu, gotJ, wantJ)
+					}
+					// prefixS is only defined on states solveF reaches:
+					// nonempty J(u,v,mu) that passes the psi/jLast
+					// feasibility guard (otherwise no busy-prefix fixed
+					// point need exist). Replicate that guard here.
+					if s.cnt(u, v, mu) == 0 {
+						continue
+					}
+					b := s.rel[v] + 1 - s.T
+					feasible := true
+					for j := u; j <= v-1; j++ {
+						if s.rank[j] > mu && s.cnt(u, j, mu)%s.T == 0 && b <= s.rel[j] {
+							feasible = false
+							break
+						}
+					}
+					if !feasible {
+						continue
+					}
+					want := s.prefixSScan(u, v, mu)
+					if got := s.prefixS(u, v, mu); got != want {
+						t.Fatalf("prefixS(%d,%d,%d) = %d, scan = %d", u, v, mu, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package offline
+
+// rankIndex answers the DP's minRankAbove queries — "which job in the
+// index range [u, v] has the smallest rank exceeding mu?" — in O(log^2 n)
+// instead of an O(v-u) scan per state. It is a merge-sort tree over the
+// rank axis: node k of a complete binary tree covers a contiguous range
+// of ranks and stores the sorted job indices (positions) holding those
+// ranks, so a query walks toward the smallest qualifying rank, deciding
+// "does this subtree hold a position inside [u, v]?" with one binary
+// search per node.
+type rankIndex struct {
+	n    int // number of ranks (== number of jobs)
+	size int // leaf count: next power of two >= n
+	pos  [][]int32
+}
+
+// newRankIndex builds the tree from the rank inverse: pos[r] is the
+// 1-based job index holding rank r, for r in 1..len(pos)-1.
+func newRankIndex(pos []int) *rankIndex {
+	n := len(pos) - 1
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	ri := &rankIndex{n: n, size: size, pos: make([][]int32, 2*size)}
+	for r := 1; r <= n; r++ {
+		ri.pos[size+r-1] = []int32{int32(pos[r])}
+	}
+	for node := size - 1; node >= 1; node-- {
+		ri.pos[node] = mergeSorted(ri.pos[2*node], ri.pos[2*node+1])
+	}
+	return ri
+}
+
+// mergeSorted merges two ascending int32 slices into a fresh one.
+func mergeSorted(a, b []int32) []int32 {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// hasInRange reports whether the ascending slice ps holds a value in
+// [u, v].
+func hasInRange(ps []int32, u, v int) bool {
+	lo, hi := 0, len(ps)-1
+	first := len(ps)
+	for lo <= hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(ps[mid]) >= u {
+			first = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return first < len(ps) && int(ps[first]) <= v
+}
+
+// minAbove returns the job index in [u, v] with the smallest rank
+// exceeding mu, or 0 if none.
+func (ri *rankIndex) minAbove(u, v, mu int) int {
+	if mu >= ri.n {
+		return 0
+	}
+	return ri.query(1, 1, ri.size, mu+1, u, v)
+}
+
+// query finds the job with the smallest rank in node's range [lo, hi]
+// that is >= minRank and whose position lies in [u, v]; 0 if none.
+func (ri *rankIndex) query(node, lo, hi, minRank, u, v int) int {
+	if hi < minRank || lo > ri.n {
+		return 0
+	}
+	ps := ri.pos[node]
+	if len(ps) == 0 || !hasInRange(ps, u, v) {
+		return 0
+	}
+	if lo == hi {
+		return int(ps[0])
+	}
+	mid := int(uint(lo+hi) >> 1)
+	if r := ri.query(2*node, lo, mid, minRank, u, v); r != 0 {
+		return r
+	}
+	return ri.query(2*node+1, mid+1, hi, minRank, u, v)
+}

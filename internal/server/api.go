@@ -136,6 +136,55 @@ type TraceResponse struct {
 	Events   []trace.DecisionEvent `json:"events"`
 }
 
+// SolveRequest submits an exact offline solve: POST /v1/solve. The job
+// set is canonicalized to the paper's normal form (sorted, distinct
+// release times) before solving, so equivalent submissions share one
+// cache entry.
+type SolveRequest struct {
+	// T is the calibration length, >= 1.
+	T int64 `json:"t"`
+	// Kind selects the solver: "flow" (optimal flow under budget K),
+	// "sweep" (optimal flow for every budget 0..K), or "total"
+	// (minimum flow + G per calibration).
+	Kind string `json:"kind"`
+	// K is the calibration budget ("flow") or largest sweep budget
+	// ("sweep").
+	K int `json:"k,omitempty"`
+	// G is the per-calibration cost ("total").
+	G    int64     `json:"g,omitempty"`
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// SolveSubmitResponse acknowledges an accepted solve: 202 with the
+// handle to poll at GET /v1/solve/{id}. Cache hits come back already
+// done.
+type SolveSubmitResponse struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+}
+
+// SolveStatusResponse is the body of GET /v1/solve/{id}. Result fields
+// are populated only in state "done", and only those matching the
+// request kind: Flow for "flow", Flows for "sweep", Total/BestK for
+// "total"; Calibrations and Assignments carry the optimal schedule for
+// "flow" and "total".
+type SolveStatusResponse struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Kind     string `json:"kind,omitempty"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+	// Shared marks handles that attached to an identical in-flight solve.
+	Shared       bool              `json:"shared"`
+	Flow         *int64            `json:"flow,omitempty"`
+	Flows        []int64           `json:"flows,omitempty"`
+	Total        *int64            `json:"total,omitempty"`
+	BestK        *int              `json:"best_k,omitempty"`
+	Calibrations []CalibrationJSON `json:"calibrations,omitempty"`
+	Assignments  []AssignmentJSON  `json:"assignments,omitempty"`
+}
+
 // HealthResponse is the GET /healthz body.
 type HealthResponse struct {
 	Status   string `json:"status"`

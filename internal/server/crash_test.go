@@ -344,8 +344,17 @@ func TestJanitorRetiresDiskState(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if _, err := os.Stat(filepath.Join(dir, info.ID)); !os.IsNotExist(err) {
-		t.Fatalf("session dir survives idle eviction: %v", err)
+	// The janitor removes the session from the table before retiring its
+	// disk state, so the directory disappears shortly after Len hits 0 —
+	// poll rather than stat once.
+	for {
+		if _, err := os.Stat(filepath.Join(dir, info.ID)); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session dir survives idle eviction")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -49,6 +49,21 @@ type Config struct {
 	// snapshots (default 256); each snapshot truncates the log behind it,
 	// bounding both recovery replay time and disk growth.
 	SnapshotEvery int
+	// SolveWorkers is the offline-solve pool's concurrent DP runs
+	// (default GOMAXPROCS); SolveQueueDepth bounds queued solves before
+	// POST /v1/solve answers 429 (default 64); SolveCacheSize is the
+	// LRU result-cache capacity in entries (default 128, negative
+	// disables); SolveMaxJobs rejects larger instances with a 400
+	// (default offline.MaxParallelJobs). The pool itself applies these
+	// defaults — see solve.Options.
+	SolveWorkers    int
+	SolveQueueDepth int
+	SolveCacheSize  int
+	SolveMaxJobs    int
+
+	// solveTestHook is forwarded to the pool's TestHookBeforeRun so
+	// package-local tests can hold solves open; unexported on purpose.
+	solveTestHook func(key string)
 }
 
 func (c Config) withDefaults() Config {

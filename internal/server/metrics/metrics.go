@@ -58,6 +58,32 @@ var (
 	// RecoveryFailed counts session directories that could not be
 	// recovered and were left on disk for inspection.
 	RecoveryFailed = expvar.NewInt("calibserved.recovery.failed")
+
+	// SolveSubmitted counts accepted POST /v1/solve requests.
+	SolveSubmitted = expvar.NewInt("calibserved.solve.submitted")
+	// SolveRejected counts solves refused because the pool queue was full.
+	SolveRejected = expvar.NewInt("calibserved.solve.rejected")
+	// SolveCacheHits counts solves answered from the result cache.
+	SolveCacheHits = expvar.NewInt("calibserved.solve.cache.hits")
+	// SolveCacheMisses counts solves that had to consult the pool queue.
+	SolveCacheMisses = expvar.NewInt("calibserved.solve.cache.misses")
+	// SolveCacheEvictions counts LRU evictions from the result cache.
+	SolveCacheEvictions = expvar.NewInt("calibserved.solve.cache.evictions")
+	// SolveDedupShared counts solves that attached to an identical
+	// in-flight DP run instead of starting their own.
+	SolveDedupShared = expvar.NewInt("calibserved.solve.dedup.shared")
+	// SolveRuns counts DP executions actually performed by pool workers.
+	SolveRuns = expvar.NewInt("calibserved.solve.runs")
+	// SolveCompleted counts solve handles finished with a result.
+	SolveCompleted = expvar.NewInt("calibserved.solve.completed")
+	// SolveFailed counts solve handles finished with an error.
+	SolveFailed = expvar.NewInt("calibserved.solve.failed")
+	// SolveQueueDepth is a gauge of queued (not yet running) solves.
+	SolveQueueDepth = expvar.NewInt("calibserved.solve.queue.depth")
+	// SolveRunning is a gauge of DP runs currently executing.
+	SolveRunning = expvar.NewInt("calibserved.solve.running")
+	// SolveCacheEntries is a gauge of live result-cache entries.
+	SolveCacheEntries = expvar.NewInt("calibserved.solve.cache.entries")
 )
 
 // bucketBounds are the histogram's upper bounds. The last bucket is

@@ -19,8 +19,11 @@ import (
 // gaugeKeys marks the expvar keys whose value can go down; everything
 // else with the calibserved prefix is a monotone counter.
 var gaugeKeys = map[string]bool{
-	"calibserved.sessions.active": true,
-	"calibserved.queue.depth":     true,
+	"calibserved.sessions.active":     true,
+	"calibserved.queue.depth":         true,
+	"calibserved.solve.queue.depth":   true,
+	"calibserved.solve.running":       true,
+	"calibserved.solve.cache.entries": true,
 }
 
 // promName converts an expvar key to a Prometheus metric name.

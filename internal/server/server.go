@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"calibsched/internal/server/metrics"
+	"calibsched/internal/solve"
 )
 
 // apiError is an error with an HTTP mapping. retryAfter marks
@@ -45,9 +46,10 @@ const maxBodyBytes = 8 << 20
 
 // Server is the HTTP front of a Manager. It implements http.Handler.
 type Server struct {
-	mgr *Manager
-	mux *http.ServeMux
-	log *slog.Logger
+	mgr  *Manager
+	pool *solve.Pool
+	mux  *http.ServeMux
+	log  *slog.Logger
 }
 
 // New builds a server and its manager from the config. With a persistent
@@ -58,7 +60,17 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{mgr: mgr, mux: http.NewServeMux(), log: mgr.cfg.Logger}
+	pool := solve.New(solve.Options{
+		Workers:           mgr.cfg.SolveWorkers,
+		QueueDepth:        mgr.cfg.SolveQueueDepth,
+		CacheSize:         mgr.cfg.SolveCacheSize,
+		MaxJobs:           mgr.cfg.SolveMaxJobs,
+		OnEvent:           solveEvent,
+		TestHookBeforeRun: mgr.cfg.solveTestHook,
+	})
+	s := &Server{mgr: mgr, pool: pool, mux: http.NewServeMux(), log: mgr.cfg.Logger}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolveSubmit)
+	s.mux.HandleFunc("GET /v1/solve/{id}", s.handleSolveGet)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
@@ -76,8 +88,17 @@ func New(cfg Config) (*Server, error) {
 // and tests).
 func (s *Server) Manager() *Manager { return s.mgr }
 
-// Shutdown drains every session; see Manager.Shutdown.
-func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+// Pool exposes the offline-solve pool (for shutdown wiring and tests).
+func (s *Server) Pool() *solve.Pool { return s.pool }
+
+// Shutdown drains every session and stops the solve pool; see
+// Manager.Shutdown. The pool is closed first — running solves finish,
+// queued ones fail fast with 503s — so a slow DP cannot hold the drain
+// past the caller's deadline budget for sessions.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.pool.Close()
+	return s.mgr.Shutdown(ctx)
+}
 
 // reqAttrs carries per-request slog attrs that handlers attach while they
 // run (session id, steps simulated); ServeHTTP folds them into the final
@@ -243,6 +264,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // handleMetrics renders the expvar registry in Prometheus text
 // exposition format (0.0.4).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncSolveGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	metrics.WritePrometheus(w)
 }

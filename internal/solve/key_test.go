@@ -1,0 +1,79 @@
+package solve
+
+import (
+	"testing"
+
+	"calibsched/internal/core"
+)
+
+func TestInstanceKeyDeterministic(t *testing.T) {
+	a := core.MustInstance(1, 4, []int64{0, 3, 7}, []int64{2, 1, 5})
+	b := core.MustInstance(1, 4, []int64{0, 3, 7}, []int64{2, 1, 5})
+	if InstanceKey(a, KindFlow, 2) != InstanceKey(b, KindFlow, 2) {
+		t.Error("equal instances hash differently")
+	}
+	// NewInstance sorts by (Release, ID): submitting the same job set in
+	// a different order yields the same canonical instance, same key.
+	c := core.MustInstance(1, 4, []int64{7, 0, 3}, []int64{5, 2, 1})
+	if InstanceKey(a, KindFlow, 2) != InstanceKey(c, KindFlow, 2) {
+		t.Error("permuted job set hashes differently")
+	}
+}
+
+func TestInstanceKeySensitivity(t *testing.T) {
+	base := core.MustInstance(1, 4, []int64{0, 3, 7}, []int64{2, 1, 5})
+	ref := InstanceKey(base, KindFlow, 2)
+	variants := map[string]string{
+		"different T":       InstanceKey(core.MustInstance(1, 5, []int64{0, 3, 7}, []int64{2, 1, 5}), KindFlow, 2),
+		"different release": InstanceKey(core.MustInstance(1, 4, []int64{0, 3, 8}, []int64{2, 1, 5}), KindFlow, 2),
+		"different weight":  InstanceKey(core.MustInstance(1, 4, []int64{0, 3, 7}, []int64{2, 2, 5}), KindFlow, 2),
+		"dropped job":       InstanceKey(core.MustInstance(1, 4, []int64{0, 3}, []int64{2, 1}), KindFlow, 2),
+		"different param":   InstanceKey(base, KindFlow, 3),
+		"different kind":    InstanceKey(base, KindSweep, 2),
+	}
+	for name, k := range variants {
+		if k == ref {
+			t.Errorf("%s: key unchanged", name)
+		}
+	}
+}
+
+// FuzzInstanceKey fuzzes the canonical-hash contract: structurally equal
+// instances always share a key, and single-field perturbations change it.
+func FuzzInstanceKey(f *testing.F) {
+	f.Add(int64(3), int64(0), int64(1), int64(5), int64(2), int64(1))
+	f.Add(int64(1), int64(9), int64(9), int64(1), int64(7), int64(40))
+	f.Fuzz(func(t *testing.T, tt, r1, r2, w1, w2, param int64) {
+		if tt <= 0 || tt > 1<<20 {
+			t.Skip()
+		}
+		clamp := func(v int64) int64 {
+			if v < 0 {
+				v = -v
+			}
+			return v % (1 << 20)
+		}
+		r1, r2, param = clamp(r1), clamp(r2), clamp(param)
+		w1, w2 = 1+clamp(w1), 1+clamp(w2)
+		build := func() *core.Instance {
+			return core.MustInstance(1, tt, []int64{r1, r2}, []int64{w1, w2})
+		}
+		a, b := build(), build()
+		for _, kind := range []Kind{KindFlow, KindSweep, KindTotalCost} {
+			ka, kb := InstanceKey(a, kind, param), InstanceKey(b, kind, param)
+			if ka != kb {
+				t.Fatalf("equal instances, kind %s: %s != %s", kind, ka, kb)
+			}
+			if kp := InstanceKey(a, kind, param+1); kp == ka {
+				t.Fatalf("kind %s: param change left key %s unchanged", kind, ka)
+			}
+		}
+		mut := core.MustInstance(1, tt, []int64{r1, r2}, []int64{w1 + 1, w2})
+		if InstanceKey(mut, KindFlow, param) == InstanceKey(a, KindFlow, param) {
+			t.Fatal("weight perturbation left key unchanged")
+		}
+		if InstanceKey(a, KindFlow, param) == InstanceKey(a, KindSweep, param) {
+			t.Fatal("kind not part of the key")
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package solve
+
+import "container/list"
+
+// lruCache is a plain least-recently-used map: get promotes, add evicts
+// the coldest entry once the capacity is exceeded. Not goroutine-safe —
+// the pool serializes access under its own mutex. A capacity <= 0
+// disables caching entirely (every get misses, every add is dropped).
+type lruCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val outcome
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key string) (outcome, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return outcome{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) key and reports the evicted key, if the
+// insert pushed the cache over capacity.
+func (c *lruCache) add(key string, val outcome) (evicted string, didEvict bool) {
+	if c.capacity <= 0 {
+		return "", false
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return "", false
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() <= c.capacity {
+		return "", false
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	k := oldest.Value.(*lruEntry).key
+	delete(c.items, k)
+	return k, true
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }
