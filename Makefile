@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race fuzz bench solvebench serve loadtest crashtest ci
+.PHONY: all build vet lint lint-json test race fuzz bench solvebench serve loadtest crashtest ci
 
 all: ci
 
@@ -16,6 +16,11 @@ vet:
 # lint runs the caliblint invariant suite (internal/lint) over the module.
 lint:
 	$(GO) run ./cmd/caliblint ./...
+
+# lint-json emits the same diagnostics as a machine-readable JSON array
+# (always an array, [] when clean) for editor and tooling integration.
+lint-json:
+	$(GO) run ./cmd/caliblint -json ./...
 
 test:
 	$(GO) test ./...

@@ -4,72 +4,155 @@
 //
 //	go run ./cmd/caliblint ./...
 //
-// Diagnostics print as file:line:col: analyzer: message. Exit status is
-// 0 when clean, 1 when violations were found, and 2 when the packages
-// could not be loaded (e.g. they do not type-check).
+// Diagnostics print as file:line:col: analyzer: message by default;
+// -json emits one machine-readable array on stdout, and -github emits
+// GitHub Actions workflow annotations (::error file=...) so CI failures
+// surface inline on the pull-request diff. Exit status is 0 when clean,
+// 1 when violations were found, and 2 when the packages could not be
+// loaded (e.g. they do not type-check).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"calibsched/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "print the analyzer suite and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: caliblint [-list] [patterns...]\n\npatterns are module-relative directories or recursive ./... forms; default ./...\n\nanalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected: it parses args, loads the
+// module surrounding the working directory, and writes diagnostics to
+// stdout in the selected format. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("caliblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	asGitHub := fs.Bool("github", false, "emit diagnostics as GitHub Actions ::error annotations")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: caliblint [-list] [-json|-github] [patterns...]\n\npatterns are module-relative directories or recursive ./... forms; default ./...\n\nanalyzers:\n")
 		for _, a := range lint.Analyzers {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-18s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asGitHub {
+		fmt.Fprintln(stderr, "caliblint: -json and -github are mutually exclusive")
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "caliblint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "caliblint:", err)
+		return 2
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	loader, err := lint.NewLoader(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "caliblint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "caliblint:", err)
+		return 2
 	}
 	targets, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "caliblint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "caliblint:", err)
+		return 2
 	}
 	diags, err := lint.Run(loader, targets, lint.Analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "caliblint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "caliblint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	switch {
+	case *asJSON:
+		writeJSON(stdout, diags)
+	case *asGitHub:
+		writeGitHub(stdout, diags)
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "caliblint: %d violation(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "caliblint: %d violation(s)\n", len(diags))
+		return 1
 	}
+	return 0
+}
+
+// jsonDiagnostic is the -json wire shape of one diagnostic. The field
+// set is deliberately flat so CI scripts can jq over it without knowing
+// token.Position internals.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the diagnostics as one JSON array (always an array,
+// [] when clean, so consumers never special-case the empty run).
+func writeJSON(w io.Writer, diags []lint.Diagnostic) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding a flat slice of strings and ints cannot fail; a broken
+	// stdout pipe surfaces to the caller through the writer, not here.
+	_ = enc.Encode(out)
+}
+
+// writeGitHub emits one workflow annotation per diagnostic in the
+// ::error command format, which GitHub Actions renders inline on the
+// offending line of the pull-request diff.
+func writeGitHub(w io.Writer, diags []lint.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=caliblint(%s)::%s\n",
+			d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, githubEscape(d.Message))
+	}
+}
+
+// githubEscape encodes the characters the workflow-command parser treats
+// as message terminators (the data portion uses URL-style %-escapes).
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // findModuleRoot walks upward from the working directory to the nearest

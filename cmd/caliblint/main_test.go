@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"calibsched/internal/lint"
@@ -71,5 +74,116 @@ func Pick(n int) int {
 	}
 	if diags[0].Analyzer != "seededrand" {
 		t.Errorf("diagnostic from %s, want seededrand: %s", diags[0].Analyzer, diags[0])
+	}
+}
+
+// writeSyntheticModule lays down a throwaway module with exactly one
+// seededrand violation and returns its root.
+func writeSyntheticModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/tiny\n\ngo 1.22\n")
+	write("pick/pick.go", `package pick
+
+import "math/rand/v2"
+
+func Pick(n int) int {
+	return rand.IntN(n)
+}
+`)
+	return dir
+}
+
+// TestRunJSONOutput drives the full CLI path with -json and checks the
+// output is a parseable array with the expected flat fields.
+func TestRunJSONOutput(t *testing.T) {
+	t.Chdir(writeSyntheticModule(t))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1 (one violation); stderr: %s", code, stderr.String())
+	}
+	var got []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(got), got)
+	}
+	d := got[0]
+	if d.Analyzer != "seededrand" || d.File != filepath.Join("pick", "pick.go") || d.Line != 6 || d.Col == 0 || d.Message == "" {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+}
+
+// TestRunJSONCleanIsEmptyArray pins the contract that a clean run still
+// emits a JSON array (so consumers never special-case it) and exits 0.
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/empty\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ok.go"), []byte("package empty\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout.String())
+	}
+}
+
+// TestRunGitHubOutput checks the ::error annotation format, including
+// the file/line fields GitHub needs to anchor the annotation.
+func TestRunGitHubOutput(t *testing.T) {
+	t.Chdir(writeSyntheticModule(t))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-github", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := strings.TrimSpace(stdout.String())
+	lines := strings.Split(out, "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d annotation lines, want 1:\n%s", len(lines), out)
+	}
+	wantPrefix := "::error file=" + filepath.Join("pick", "pick.go") + ",line=6,col="
+	if !strings.HasPrefix(lines[0], wantPrefix) {
+		t.Errorf("annotation %q does not start with %q", lines[0], wantPrefix)
+	}
+	if !strings.Contains(lines[0], "title=caliblint(seededrand)::") {
+		t.Errorf("annotation %q missing analyzer title", lines[0])
+	}
+}
+
+// TestRunFlagConflict rejects -json with -github rather than silently
+// picking one.
+func TestRunFlagConflict(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-github"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr %q does not explain the conflict", stderr.String())
+	}
+}
+
+// TestGitHubEscape pins the workflow-command data escaping: %, CR, and
+// LF must be %-encoded or GitHub truncates the message.
+func TestGitHubEscape(t *testing.T) {
+	got := githubEscape("50% done\r\nnext line")
+	want := "50%25 done%0D%0Anext line"
+	if got != want {
+		t.Errorf("githubEscape = %q, want %q", got, want)
 	}
 }

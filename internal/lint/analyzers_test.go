@@ -28,11 +28,27 @@ func TestNoIgnoredValidateFixture(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "noignoredvalidate"), "fix", lint.NoIgnoredValidate, "./...")
 }
 
+func TestLockHoldFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "lockhold"), "fix", lint.LockHold, "./...")
+}
+
+func TestGoroutineStopFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "goroutinestop"), "fix", lint.GoroutineStop, "./...")
+}
+
+func TestDurableSyncFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "durablesync"), "fix", lint.DurableSync, "./...")
+}
+
+func TestWallTimeFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "walltime"), "fix", lint.WallTime, "./...")
+}
+
 // TestAnalyzerMetadata pins the suite's shape: distinct names (directives
 // address analyzers by name) and documented invariants.
 func TestAnalyzerMetadata(t *testing.T) {
-	if len(lint.Analyzers) != 4 {
-		t.Fatalf("suite has %d analyzers, want 4", len(lint.Analyzers))
+	if len(lint.Analyzers) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8", len(lint.Analyzers))
 	}
 	seen := make(map[string]bool)
 	for _, a := range lint.Analyzers {

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// parseForDirectives parses src and returns the fset and file for
+// directive-scope assertions.
+func parseForDirectives(t *testing.T, src string) (map[int][]string, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := allowedLines(fset, []*ast.File{f})
+	out := make(map[int][]string, len(allowed))
+	for line, names := range allowed {
+		var ns []string
+		for n := range names {
+			ns = append(ns, n)
+		}
+		sort.Strings(ns)
+		out[line] = ns
+	}
+	return out, fset
+}
+
+// TestDirectiveParsing covers the //caliblint:allow grammar edge cases:
+// a single analyzer, comma-separated lists (with and without spaces),
+// "all", a trailing "-- rationale", and malformed directives that must
+// be ignored rather than suppress anything. Each case is parsed on its
+// own so overlapping L/L+1 spans cannot mask a wrong expectation.
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		name    string
+		comment string
+		want    []string // nil: the directive must be ignored entirely
+	}{
+		{"single name", "//caliblint:allow exactarith", []string{"exactarith"}},
+		{"comma list", "//caliblint:allow exactarith,checkedmul", []string{"checkedmul", "exactarith"}},
+		{"comma list with spaces", "//caliblint:allow exactarith, checkedmul , seededrand",
+			[]string{"checkedmul", "exactarith", "seededrand"}},
+		{"all", "//caliblint:allow all", []string{"all"}},
+		{"trailing rationale", "//caliblint:allow lockhold -- held lock is a spinlock; bounded by construction",
+			[]string{"lockhold"}},
+		{"rationale without spaces", "//caliblint:allow walltime--clock reads are replayed from the trace",
+			[]string{"walltime"}},
+		{"fused keyword", "//caliblint:allowexactarith", nil},
+		{"space after slashes", "// caliblint:allow exactarith", nil},
+		{"empty name list", "//caliblint:allow", nil},
+		{"rationale only", "//caliblint:allow -- why though", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "package d\n\nvar x = 1 " + tc.comment + "\n"
+			got, _ := parseForDirectives(t, src)
+			if tc.want == nil {
+				if len(got) != 0 {
+					t.Fatalf("malformed directive suppressed %v, want nothing", got)
+				}
+				return
+			}
+			if !reflect.DeepEqual(got[3], tc.want) {
+				t.Errorf("directive line allowed %v, want %v", got[3], tc.want)
+			}
+			if !reflect.DeepEqual(got[4], tc.want) {
+				t.Errorf("following line allowed %v, want %v", got[4], tc.want)
+			}
+		})
+	}
+}
+
+// TestDirectiveLineScope pins the L/L+1 rule: a directive on line L
+// suppresses diagnostics on L and L+1 only — not L-1, not L+2.
+func TestDirectiveLineScope(t *testing.T) {
+	src := `package d
+
+var before = 1
+//caliblint:allow checkedmul -- applies to this line and the next
+var on = 2
+var after = 3
+`
+	got, _ := parseForDirectives(t, src)
+	if _, ok := got[3]; ok {
+		t.Error("line above the directive must not be suppressed")
+	}
+	if !reflect.DeepEqual(got[4], []string{"checkedmul"}) {
+		t.Errorf("directive line: allowed %v, want [checkedmul]", got[4])
+	}
+	if !reflect.DeepEqual(got[5], []string{"checkedmul"}) {
+		t.Errorf("line after the directive: allowed %v, want [checkedmul]", got[5])
+	}
+	if _, ok := got[6]; ok {
+		t.Error("two lines below the directive must not be suppressed")
+	}
+}
+
+// TestDirectiveRationaleNotParsedAsNames ensures the "-- rationale" tail
+// never leaks into the analyzer name list, including rationales that
+// themselves contain commas and analyzer-like words.
+func TestDirectiveRationaleNotParsedAsNames(t *testing.T) {
+	src := `package d
+
+var x = 1 //caliblint:allow durablesync -- close, sync, and walltime are all fine here
+`
+	got, _ := parseForDirectives(t, src)
+	if !reflect.DeepEqual(got[3], []string{"durablesync"}) {
+		t.Errorf("allowed %v, want [durablesync] only", got[3])
+	}
+}
+
+// TestEnclosingFuncNameNestedLiterals pins the attribution rule:
+// function literals belong to the named declaration they appear in, at
+// any nesting depth, and package-scope positions return "".
+func TestEnclosingFuncNameNestedLiterals(t *testing.T) {
+	src := `package d
+
+var pkgVar = 1
+
+func Outer() func() {
+	inner := func() {
+		nested := func() int {
+			return pkgVar
+		}
+		_ = nested()
+	}
+	return inner
+}
+
+func (r recv) Method() {
+	f := func() {}
+	f()
+}
+
+type recv struct{}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Fset: fset, Files: []*ast.File{f}}
+
+	// Find positions by line: 8 is inside the doubly-nested literal,
+	// 3 is package scope, 16 is inside Method's literal.
+	posAtLine := func(line int) token.Pos {
+		file := fset.File(f.Pos())
+		return file.LineStart(line) + 4
+	}
+	if got := pass.EnclosingFuncName(posAtLine(8)); got != "Outer" {
+		t.Errorf("doubly-nested literal attributed to %q, want Outer", got)
+	}
+	if got := pass.EnclosingFuncName(posAtLine(3)); got != "" {
+		t.Errorf("package scope attributed to %q, want \"\"", got)
+	}
+	if got := pass.EnclosingFuncName(posAtLine(16)); got != "Method" {
+		t.Errorf("method literal attributed to %q, want Method", got)
+	}
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MustCheckCallee names functions or methods whose return value (which
+// includes an error or a byte count) must never be discarded. It is the
+// configuration unit of NewMustCheckAnalyzer, the generalization of
+// noignoredvalidate's hard-wired core.Validate/core.NewInstance rule to
+// arbitrary callee sets.
+type MustCheckCallee struct {
+	// PkgSuffix matches the callee's package path at a component boundary
+	// ("os" matches the standard library's os; "internal/store" matches
+	// calibsched/internal/store and a fixture module's fix/internal/store).
+	PkgSuffix string
+	// Type is the receiver type name for methods; "" matches package-level
+	// functions.
+	Type string
+	// Methods are the function or method names covered.
+	Methods []string
+}
+
+func (c MustCheckCallee) matches(fn *types.Func) bool {
+	if fn.Pkg() == nil || !pathHasSuffix(fn.Pkg().Path(), c.PkgSuffix) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if c.Type == "" {
+		if sig.Recv() != nil {
+			return false
+		}
+	} else {
+		if sig.Recv() == nil {
+			return false
+		}
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Name() != c.Type {
+			return false
+		}
+	}
+	for _, m := range c.Methods {
+		if fn.Name() == m {
+			return true
+		}
+	}
+	return false
+}
+
+// NewMustCheckAnalyzer builds an analyzer that forbids discarding the
+// results of the configured callees: as a bare expression statement, via
+// assignment of the trailing result to the blank identifier, or through
+// defer/go (where Go itself throws the return value away).
+func NewMustCheckAnalyzer(name, doc string, applies func(string) bool, callees []MustCheckCallee) *Analyzer {
+	return &Analyzer{
+		Name:      name,
+		Doc:       doc,
+		Applies:   applies,
+		SkipTests: true,
+		Run: func(pass *Pass) error {
+			return runMustCheck(pass, callees)
+		},
+	}
+}
+
+// calleeName returns "pkg.Fn" or "Type.Method" for diagnostics.
+func calleeName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func runMustCheck(pass *Pass, callees []MustCheckCallee) error {
+	match := func(call *ast.CallExpr) *types.Func {
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		case *ast.Ident:
+			id = fun
+		default:
+			return nil
+		}
+		fn, ok := pass.Info.Uses[id].(*types.Func)
+		if !ok {
+			return nil
+		}
+		for _, c := range callees {
+			if c.matches(fn) {
+				return fn
+			}
+		}
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if fn := match(call); fn != nil {
+					pass.Reportf(n.Pos(), "result of %s discarded; durability errors must be checked or explicitly waived with a rationale directive", calleeName(fn))
+				}
+			}
+		case *ast.DeferStmt:
+			if fn := match(n.Call); fn != nil {
+				pass.Reportf(n.Pos(), "defer discards the result of %s; capture it in a deferred closure or waive with a rationale directive", calleeName(fn))
+			}
+		case *ast.GoStmt:
+			if fn := match(n.Call); fn != nil {
+				pass.Reportf(n.Pos(), "go discards the result of %s; run it synchronously or capture the error", calleeName(fn))
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := match(call)
+			if fn == nil {
+				return true
+			}
+			// The error (or sole result) is the trailing result of every
+			// configured callee; dropping it to _ is the violation.
+			if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(id.Pos(), "trailing result of %s assigned to the blank identifier; durability errors must be checked", calleeName(fn))
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// durablePkgSuffixes scopes DurableSync to the write-ahead-log and
+// snapshot paths: the store itself and the serving layer that drives it.
+var durablePkgSuffixes = []string{
+	"internal/store",
+	"internal/server",
+}
+
+func isDurablePkg(path string) bool {
+	for _, s := range durablePkgSuffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// durableCallees is the configured must-check set: the os.File operations
+// the WAL and snapshot code performs, and the store.Log API the server
+// calls. A dropped Sync or Close on these paths silently converts
+// "durable" into "probably durable" — the exact bug class ROADMAP's
+// group-commit work would amplify.
+var durableCallees = []MustCheckCallee{
+	{PkgSuffix: "os", Type: "File", Methods: []string{"Write", "WriteString", "Sync", "Close", "Truncate"}},
+	{PkgSuffix: "internal/store", Type: "Log", Methods: []string{
+		"Sync", "Close", "WriteSnapshot", "AppendCreate", "AppendArrivals", "AppendSteps"}},
+}
+
+// DurableSync forbids dropping the return values of file and WAL
+// operations on the persistence paths. See NewMustCheckAnalyzer for the
+// mechanism and durableCallees for the configured set.
+var DurableSync = NewMustCheckAnalyzer(
+	"durablesync",
+	"never drop File.Write/Sync/Close or store.Log results on WAL and snapshot paths",
+	isDurablePkg,
+	durableCallees,
+)

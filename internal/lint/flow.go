@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the framework's intra-procedural statement-flow support: a
+// lightweight, stdlib-only lock-state walker that visits every statement
+// of a function body in control-flow order while tracking which
+// sync.Mutex / sync.RWMutex receivers are held at that point.
+//
+// The flow model is deliberately simple and conservative, matching how
+// the repository actually uses locks (short critical sections, optionally
+// a deferred unlock):
+//
+//   - statements in a block are walked in source order;
+//   - mu.Lock() / mu.RLock() pushes a held lock, mu.Unlock() / mu.RUnlock()
+//     pops the most recent matching one;
+//   - defer mu.Unlock() marks the lock deferred: it stays held for the
+//     rest of the function (which is exactly what matters for "no blocking
+//     operation while holding a lock" analyses);
+//   - branch bodies (if/else, for, range, switch, select cases) are walked
+//     with a copy of the entry state and their lock mutations are
+//     discarded afterwards, so the fall-through path keeps the state it
+//     had before the branch. An early `mu.Unlock(); return` inside an if
+//     therefore does not leak an "unlocked" state onto the path that
+//     continues past the if — which still holds the lock;
+//   - go statements and function literals do not inherit the caller's
+//     held set (a spawned goroutine does not hold the spawning
+//     goroutine's locks), and their bodies are not descended into; an
+//     analyzer that cares about closure bodies walks them as separate
+//     functions with an empty entry state.
+//
+// Lock identity is the canonical source text of the receiver expression
+// (types.ExprString), so m.mu and p.pool.mu are distinct and two mentions
+// of m.mu match. This is an intra-procedural approximation — aliased
+// mutexes and helper lock wrappers are out of scope — but it is sound for
+// the direct Lock/Unlock discipline the serving planes use, and false
+// negatives from aliasing are preferable to unreviewable false positives.
+
+// HeldLock is one mutex held at a program point.
+type HeldLock struct {
+	// Expr is the canonical receiver expression of the Lock call,
+	// e.g. "m.mu" or "p.mu".
+	Expr string
+	// Pos is the position of the Lock/RLock call that acquired it.
+	Pos token.Pos
+	// Read marks a read lock (RLock).
+	Read bool
+	// Deferred marks a lock whose release is a deferred Unlock: it is
+	// held until the function returns.
+	Deferred bool
+}
+
+// lockOp classifies one sync mutex method call.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// classifyLockCall reports whether call invokes Lock/RLock/Unlock/RUnlock
+// on a sync.Mutex or sync.RWMutex (directly or as a promoted method of an
+// embedding struct), and returns the canonical receiver expression.
+func classifyLockCall(info *types.Info, call *ast.CallExpr) (lockOp, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return opNone, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return opNone, ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return opNone, ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return opNone, ""
+	}
+	op := opNone
+	switch fn.Name() {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return opNone, ""
+	}
+	return op, types.ExprString(sel.X)
+}
+
+// lockWalker carries the walk's shared state.
+type lockWalker struct {
+	info  *types.Info
+	visit func(stmt ast.Stmt, held []HeldLock)
+}
+
+// WalkLockState visits every statement of body in control-flow order,
+// passing the set of locks held when the statement begins executing. The
+// held slice is reused between calls; visitors that retain it must copy.
+func WalkLockState(info *types.Info, body *ast.BlockStmt, visit func(stmt ast.Stmt, held []HeldLock)) {
+	w := &lockWalker{info: info, visit: visit}
+	held := []HeldLock{}
+	w.walkStmts(body.List, &held)
+}
+
+// walkStmts walks one statement list, mutating held in place for
+// sequential lock operations and cloning it across branch bodies.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held *[]HeldLock) {
+	for _, stmt := range stmts {
+		w.walkStmt(stmt, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, held *[]HeldLock) {
+	// Labels are transparent to lock state.
+	if ls, ok := stmt.(*ast.LabeledStmt); ok {
+		w.walkStmt(ls.Stmt, held)
+		return
+	}
+	w.visit(stmt, *held)
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			w.applyLockCall(call, held, false)
+		}
+	case *ast.DeferStmt:
+		w.applyLockCall(s.Call, held, true)
+	case *ast.BlockStmt:
+		// A bare block is sequential: state flows through it.
+		w.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		branch := clone(*held)
+		w.walkStmt(s.Body, &branch)
+		if s.Else != nil {
+			branch = clone(*held)
+			w.walkStmt(s.Else, &branch)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		branch := clone(*held)
+		if s.Post != nil {
+			w.walkStmt(s.Post, &branch)
+		}
+		w.walkStmt(s.Body, &branch)
+	case *ast.RangeStmt:
+		branch := clone(*held)
+		w.walkStmt(s.Body, &branch)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.walkCases(s.Body, *held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.walkCases(s.Body, *held)
+	case *ast.SelectStmt:
+		// Each comm clause body runs after the select fires. The comm
+		// statement itself (the send or receive being selected on) is
+		// part of the select's blocking semantics, not a standalone
+		// statement, so it is not visited separately.
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := clone(*held)
+			w.walkStmts(cc.Body, &branch)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold the spawner's locks; its
+		// body (if a literal) is a separate function.
+	}
+}
+
+// walkCases walks each case clause of a switch body with a cloned state.
+func (w *lockWalker) walkCases(body *ast.BlockStmt, held []HeldLock) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		branch := clone(held)
+		w.walkStmts(cc.Body, &branch)
+	}
+}
+
+// applyLockCall updates held for a direct or deferred mutex method call.
+func (w *lockWalker) applyLockCall(call *ast.CallExpr, held *[]HeldLock, deferred bool) {
+	op, expr := classifyLockCall(w.info, call)
+	switch op {
+	case opLock, opRLock:
+		if deferred {
+			return // defer mu.Lock() acquires at return; not a held span
+		}
+		*held = append(*held, HeldLock{Expr: expr, Pos: call.Pos(), Read: op == opRLock})
+	case opUnlock, opRUnlock:
+		read := op == opRUnlock
+		if deferred {
+			// The lock stays held until the function returns.
+			for i := len(*held) - 1; i >= 0; i-- {
+				if (*held)[i].Expr == expr && (*held)[i].Read == read {
+					(*held)[i].Deferred = true
+					return
+				}
+			}
+			return
+		}
+		for i := len(*held) - 1; i >= 0; i-- {
+			if (*held)[i].Expr == expr && (*held)[i].Read == read {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+func clone(held []HeldLock) []HeldLock {
+	out := make([]HeldLock, len(held))
+	copy(out, held)
+	return out
+}
+
+// FuncBodies returns every function body in the pass's files — named
+// declarations and function literals — each paired with a description for
+// diagnostics. Literals get their own entry because they do not inherit
+// the enclosing function's lock state.
+func FuncBodies(files []*ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+			}
+			return true
+		})
+	}
+	return bodies
+}
+
+// shallowInspect applies fn to the expressions owned directly by stmt —
+// its conditions, operands, and arguments — without descending into
+// nested statements (which the lock walker visits on their own), into
+// select comm clauses (whose blocking semantics the select statement
+// carries as a whole), or into function literal bodies (which run with
+// their own lock state, possibly on another goroutine).
+func shallowInspect(stmt ast.Stmt, fn func(ast.Node) bool) {
+	root := ast.Node(stmt)
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if n == root {
+			return fn(n)
+		}
+		switch n.(type) {
+		case ast.Stmt, *ast.FuncLit:
+			return false
+		}
+		return fn(n)
+	})
+}

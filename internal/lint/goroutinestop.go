@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// spawningPkgSuffixes names the packages whose goroutines outlive a
+// request: session workers, the janitor, the solver pool, and any future
+// persistence daemons. A goroutine here that loops forever with no stop
+// path survives Shutdown, leaks under the race detector, and turns
+// graceful drain into a hang.
+var spawningPkgSuffixes = []string{
+	"internal/server",
+	"internal/solve",
+	"internal/store",
+}
+
+func isSpawningPkg(path string) bool {
+	for _, s := range spawningPkgSuffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// GoroutineStop enforces that every goroutine spawned in the serving
+// packages has a visible stop path. The unit of enforcement is the
+// unbounded loop: a goroutine whose body (or whose named same-package
+// callee's body) contains a `for` with no condition must provide, inside
+// that loop, at least one of
+//
+//   - a select statement (the done-/ctx-channel pattern),
+//   - a channel receive or a range over a channel (the loop ends when the
+//     channel closes),
+//   - a return or break (a bounded exit the reader can point at), or
+//   - a call to (*sync.WaitGroup).Done (registration-managed shutdown).
+//
+// Goroutines with only bounded loops (or none) terminate structurally and
+// pass. Goroutines whose body is not visible in the package (a function
+// value, a method of another package) are skipped: the analyzer reports
+// only what it can prove about code it can see.
+var GoroutineStop = &Analyzer{
+	Name:      "goroutinestop",
+	Doc:       "every goroutine in the serving packages must have a visible stop path (select, channel receive, return/break, or WaitGroup.Done in its loops)",
+	Applies:   isSpawningPkg,
+	SkipTests: true,
+	Run:       runGoroutineStop,
+}
+
+func runGoroutineStop(pass *Pass) error {
+	// Index the package's function declarations by their object, so
+	// `go s.work()` resolves to the body of (*session).work.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := goBody(pass, decls, gs.Call)
+		if body == nil {
+			return true
+		}
+		for _, loop := range unboundedLoops(body) {
+			if !loopHasStopPath(pass, loop) {
+				pass.Reportf(gs.Pos(), "goroutine loops forever with no visible stop path (no select, channel receive, return, break, or WaitGroup.Done in the loop at %s)",
+					pass.Fset.Position(loop.For))
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// goBody resolves the function body a go statement runs: a literal's own
+// body, or the declaration of a named same-package function or method.
+func goBody(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd, ok := decls[pass.Info.Uses[fun]]; ok {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd, ok := decls[pass.Info.Uses[fun.Sel]]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// unboundedLoops returns every `for` statement without a condition inside
+// body, excluding nested function literals (their goroutine, their rules).
+func unboundedLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var loops []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				loops = append(loops, n)
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+// loopHasStopPath reports whether the loop body contains a visible exit:
+// a select, a channel receive (unary or range), a return or break, or a
+// WaitGroup.Done call. Nested function literals do not count — code that
+// runs on yet another goroutine cannot stop this one.
+func loopHasStopPath(pass *Pass, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -203,3 +203,17 @@ func Run(loader *Loader, targets []*TargetPackage, analyzers []*Analyzer) ([]Dia
 func pathHasSuffix(path, s string) bool {
 	return path == s || strings.HasSuffix(path, "/"+s)
 }
+
+// Analyzers is the full caliblint suite in reporting order: the arithmetic
+// and determinism contracts (PR 1), then the concurrency and durability
+// contracts over the serving planes.
+var Analyzers = []*Analyzer{
+	ExactArith,
+	SeededRand,
+	CheckedMul,
+	NoIgnoredValidate,
+	LockHold,
+	GoroutineStop,
+	DurableSync,
+	WallTime,
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// concurrentPkgSuffixes names the packages whose locks guard the serving
+// hot paths: the session manager, the solver pool, the trace rings, the
+// metrics plane, and the persistence layer. Holding one of their mutexes
+// across a blocking operation stalls every session or solve sharing the
+// lock — the exact failure mode group-commit and multi-node migration
+// (ROADMAP items 1–2) will make catastrophic rather than slow.
+var concurrentPkgSuffixes = []string{
+	"internal/server",
+	"internal/server/metrics",
+	"internal/solve",
+	"internal/store",
+	"internal/trace",
+}
+
+func isConcurrentPkg(path string) bool {
+	for _, s := range concurrentPkgSuffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// LockHold reports blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held: channel sends and receives, range over a channel,
+// select statements without a default case, sync waits
+// ((*sync.WaitGroup).Wait, (*sync.Cond).Wait), time.Sleep, and file or
+// network I/O (calls into os, net, or net/http, minus a short list of
+// non-blocking accessors). Lock spans are tracked intra-procedurally by
+// the statement-flow walker (see flow.go): an explicit Unlock ends the
+// span, a deferred Unlock extends it to the end of the function, and
+// branch bodies do not leak state onto the fall-through path. A send or
+// receive that is the comm clause of a select with a default case is
+// non-blocking and not reported.
+var LockHold = &Analyzer{
+	Name:      "lockhold",
+	Doc:       "forbid blocking operations (channel ops, selects without default, sync waits, file/network I/O) while a mutex is held",
+	Applies:   isConcurrentPkg,
+	SkipTests: true,
+	Run:       runLockHold,
+}
+
+// nonBlockingOSFuncs are package-level os functions that read process
+// state rather than touching the filesystem.
+var nonBlockingOSFuncs = map[string]bool{
+	"Getenv":       true,
+	"LookupEnv":    true,
+	"Environ":      true,
+	"Getpid":       true,
+	"Getppid":      true,
+	"Getuid":       true,
+	"Geteuid":      true,
+	"Getgid":       true,
+	"Getegid":      true,
+	"Exit":         true,
+	"IsNotExist":   true,
+	"IsExist":      true,
+	"IsPermission": true,
+	"IsTimeout":    true,
+	"TempDir":      true,
+	"Expand":       true,
+	"ExpandEnv":    true,
+}
+
+func runLockHold(pass *Pass) error {
+	for _, body := range FuncBodies(pass.Files) {
+		WalkLockState(pass.Info, body, func(stmt ast.Stmt, held []HeldLock) {
+			if len(held) == 0 {
+				return
+			}
+			lock := held[len(held)-1]
+			switch s := stmt.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(s.Arrow, "channel send while %s is held (locked at %s); release the lock before blocking",
+					lock.Expr, pass.Fset.Position(lock.Pos))
+			case *ast.SelectStmt:
+				if !selectHasDefault(s) {
+					pass.Reportf(s.Select, "select without default while %s is held (locked at %s); the select can block indefinitely",
+						lock.Expr, pass.Fset.Position(lock.Pos))
+				}
+				return // comm clauses are the select's own semantics
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[s.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(s.For, "range over a channel while %s is held (locked at %s); each iteration can block",
+							lock.Expr, pass.Fset.Position(lock.Pos))
+					}
+				}
+			}
+			shallowInspect(stmt, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						pass.Reportf(n.OpPos, "channel receive while %s is held (locked at %s); release the lock before blocking",
+							lock.Expr, pass.Fset.Position(lock.Pos))
+					}
+				case *ast.CallExpr:
+					if why := blockingCall(pass.Info, n); why != "" {
+						pass.Reportf(n.Pos(), "%s while %s is held (locked at %s); release the lock before blocking",
+							why, lock.Expr, pass.Fset.Position(lock.Pos))
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall classifies a call as a blocking operation, returning a
+// short description or "".
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch fn.Pkg().Path() {
+	case "sync":
+		if fn.Name() == "Wait" {
+			return "sync wait (" + types.ExprString(sel.X) + ".Wait)"
+		}
+	case "time":
+		if !isMethod && fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "os", "net", "net/http":
+		if fn.Pkg().Path() == "os" && !isMethod && nonBlockingOSFuncs[fn.Name()] {
+			return ""
+		}
+		return fn.Pkg().Name() + " I/O (" + fn.Pkg().Name() + "." + fn.Name() + ")"
+	}
+	return ""
+}

@@ -97,6 +97,3 @@ func runNoIgnoredValidate(pass *Pass) error {
 	})
 	return nil
 }
-
-// Analyzers is the full caliblint suite in reporting order.
-var Analyzers = []*Analyzer{ExactArith, SeededRand, CheckedMul, NoIgnoredValidate}

@@ -1,0 +1,19 @@
+// Package server is the durablesync fixture's serving side: the
+// configured must-check set generalizes beyond os.File to the fixture
+// module's own store.Log API.
+package server
+
+import "fix/internal/store"
+
+// Settle checks the Log result: the allowed pattern.
+func Settle(l *store.Log) error {
+	return l.Close()
+}
+
+func BadSettle(l *store.Log) {
+	l.Close() // want `result of Log.Close discarded`
+}
+
+func BadSyncBlank(l *store.Log) {
+	_ = l.Sync() // want `trailing result of Log.Sync assigned to the blank identifier`
+}

@@ -1,0 +1,42 @@
+// Package store is a durablesync fixture: the os.File half of the
+// configured must-check set.
+package store
+
+import "os"
+
+type Log struct {
+	f *os.File
+}
+
+// Sync propagates the file sync result: the allowed pattern.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Close propagates the close result.
+func (l *Log) Close() error { return l.f.Close() }
+
+// Append checks every durability-relevant result.
+func (l *Log) Append(b []byte) error {
+	if _, err := l.f.Write(b); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *Log) BadAppend(b []byte) {
+	l.f.Write(b) // want `result of File.Write discarded`
+	l.f.Sync()   // want `result of File.Sync discarded`
+}
+
+func (l *Log) BadBlank(b []byte) {
+	_, _ = l.f.Write(b) // want `trailing result of File.Write assigned to the blank identifier`
+}
+
+func (l *Log) BadDefer() {
+	defer l.f.Close() // want `defer discards the result of File.Close`
+}
+
+// Abort drops the close deliberately: it simulates a hard kill, and the
+// rationale is on record.
+func (l *Log) Abort() {
+	l.f.Close() //caliblint:allow durablesync -- simulated crash; recovery must cope with whatever the OS kept
+}

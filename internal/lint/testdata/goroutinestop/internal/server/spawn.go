@@ -1,0 +1,100 @@
+// Package server is a goroutinestop fixture: goroutines with and without
+// visible stop paths.
+package server
+
+type Worker struct {
+	cmds chan func()
+	quit chan struct{}
+}
+
+// GoodWorker is the canonical shape: an unbounded loop selecting on a
+// quit channel.
+func (w *Worker) GoodWorker() {
+	go func() {
+		for {
+			select {
+			case fn := <-w.cmds:
+				fn()
+			case <-w.quit:
+				return
+			}
+		}
+	}()
+}
+
+// GoodBounded terminates structurally: the loop has a condition.
+func GoodBounded(n int) {
+	go func() {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += i
+		}
+		_ = total
+	}()
+}
+
+// GoodRange ends when the channel closes.
+func (w *Worker) GoodRange() {
+	go func() {
+		for fn := range w.cmds {
+			fn()
+		}
+	}()
+}
+
+// GoodNamed spawns a named same-package method whose body is resolved
+// and found to select on the quit channel.
+func (w *Worker) GoodNamed() {
+	go w.loop()
+}
+
+func (w *Worker) loop() {
+	for {
+		select {
+		case fn := <-w.cmds:
+			fn()
+		case <-w.quit:
+			return
+		}
+	}
+}
+
+// GoodFlagBreak exits via break: a visible, reviewable stop path.
+func (w *Worker) GoodFlagBreak(stop func() bool) {
+	go func() {
+		for {
+			if stop() {
+				break
+			}
+		}
+	}()
+}
+
+func spin() {}
+
+func (w *Worker) BadSpin() {
+	go func() { // want `goroutine loops forever with no visible stop path`
+		for {
+			spin()
+		}
+	}()
+}
+
+func (w *Worker) BadNamed() {
+	go w.spinForever() // want `goroutine loops forever with no visible stop path`
+}
+
+func (w *Worker) spinForever() {
+	for {
+		spin()
+	}
+}
+
+// AllowedDaemon is the deliberate exception, rationale on record.
+func (w *Worker) AllowedDaemon() {
+	go func() { //caliblint:allow goroutinestop -- process-lifetime daemon; exits with the process
+		for {
+			spin()
+		}
+	}()
+}

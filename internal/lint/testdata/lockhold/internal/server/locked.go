@@ -1,0 +1,120 @@
+// Package server is a lockhold fixture: blocking operations under held
+// mutexes, plus the allowed patterns (unlock-before-block, select with
+// default, branch-local early unlocks).
+package server
+
+import (
+	"os"
+	"sync"
+)
+
+type Manager struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	wg   sync.WaitGroup
+	vals map[string]int
+}
+
+// GoodSendAfterUnlock releases the lock before the blocking send.
+func (m *Manager) GoodSendAfterUnlock(v int) {
+	m.mu.Lock()
+	m.vals["x"] = v
+	m.mu.Unlock()
+	m.ch <- v
+}
+
+// GoodNonBlockingSend selects with a default case, which cannot block.
+func (m *Manager) GoodNonBlockingSend(v int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case m.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// GoodBranches: the branch-local unlock+return does not end the
+// fall-through span, and the send happens after the top-level unlock.
+func (m *Manager) GoodBranches(v int) {
+	m.mu.Lock()
+	if v < 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.vals["x"] = v
+	m.mu.Unlock()
+	m.ch <- v
+}
+
+// GoodGoroutine: the spawned goroutine does not hold the spawner's lock.
+func (m *Manager) GoodGoroutine(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	go func() {
+		m.ch <- v
+	}()
+}
+
+func (m *Manager) BadSend(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ch <- v // want `channel send while m.mu is held`
+}
+
+func (m *Manager) BadRecv() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return <-m.ch // want `channel receive while m.mu is held`
+}
+
+func (m *Manager) BadSelect() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select { // want `select without default while m.mu is held`
+	case v := <-m.ch:
+		m.vals["x"] = v
+	}
+}
+
+// BadEarlyReturnKeepsSpan: after the if, the fall-through path still
+// holds the lock even though one branch released it.
+func (m *Manager) BadEarlyReturnKeepsSpan(v int) {
+	m.mu.Lock()
+	if v < 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.ch <- v // want `channel send while m.mu is held`
+	m.mu.Unlock()
+}
+
+func (m *Manager) BadRange() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for v := range m.ch { // want `range over a channel while m.mu is held`
+		m.vals["x"] = v
+	}
+}
+
+func (m *Manager) BadWaitUnderRLock() {
+	m.rw.RLock()
+	defer m.rw.RUnlock()
+	m.wg.Wait() // want `sync wait \(m.wg.Wait\) while m.rw is held`
+}
+
+func (m *Manager) BadFileIO(f *os.File, b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := f.Write(b) // want `os I/O \(os.Write\) while m.mu is held`
+	return err
+}
+
+// AllowedSend is the deliberate exception, rationale on record.
+func (m *Manager) AllowedSend(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ch <- v //caliblint:allow lockhold -- channel buffered to capacity; send cannot block
+}

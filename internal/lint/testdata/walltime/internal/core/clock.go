@@ -1,0 +1,32 @@
+// Package core is a walltime fixture: wall-clock reads in a
+// deterministic package, plus the allowed duration arithmetic.
+package core
+
+import "time"
+
+// Timeout is allowed: duration arithmetic never reads the clock.
+func Timeout(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// Parse is allowed: methods on time values don't read the clock either.
+func Parse(t time.Time) int64 {
+	return t.UnixNano()
+}
+
+func BadNow() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+// Stamp carries the deliberate exception, rationale on record.
+func Stamp() int64 {
+	return time.Now().Unix() //caliblint:allow walltime -- diagnostics banner only; never feeds a schedule
+}

@@ -171,7 +171,9 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 		}
 		n, err := log.AppendCreate(store.CreateCommand{Alg: spec.Name, T: req.T, G: req.G})
 		if err != nil {
-			log.Close()
+			if cErr := log.Close(); cErr != nil {
+				m.cfg.Logger.Warn("closing wal of half-created session", "session", id, "err", cErr)
+			}
 			if rmErr := m.cfg.Store.Remove(id); rmErr != nil {
 				m.cfg.Logger.Warn("removing half-created session directory", "session", id, "err", rmErr)
 			}
@@ -246,7 +248,9 @@ func (m *Manager) retire(s *session, fate diskFate) {
 	case diskSettle:
 		s.per.settle(s)
 	case diskDestroy:
-		s.per.log.Close()
+		if err := s.per.log.Close(); err != nil {
+			m.cfg.Logger.Warn("closing wal before removal", "session", s.id, "err", err)
+		}
 		if err := m.cfg.Store.Remove(s.id); err != nil {
 			m.cfg.Logger.Warn("removing session directory", "session", s.id, "err", err)
 		}

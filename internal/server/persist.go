@@ -228,7 +228,9 @@ func (m *Manager) recoverSessions() error {
 		if err != nil {
 			m.cfg.Logger.Warn("session replay failed; directory kept for inspection",
 				"session", rs.ID, "err", err)
-			rs.Log.Close()
+			if cErr := rs.Log.Close(); cErr != nil {
+				m.cfg.Logger.Warn("closing wal of unreplayable session", "session", rs.ID, "err", cErr)
+			}
 			metrics.RecoveryFailed.Add(1)
 			continue
 		}
