@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json test race fuzz bench solvebench serve loadtest crashtest ci
+.PHONY: all build vet lint lint-json test race fuzz bench solvebench serve loadtest crashtest clustersmoke ci
 
 all: ci
 
@@ -70,4 +70,11 @@ loadtest:
 crashtest:
 	./scripts/crashtest.sh
 
-ci: build vet lint test race fuzz crashtest
+# clustersmoke is the multi-node gate: two calibserved backends behind
+# calibgate, live migration, join/leave rebalances, then kill -9 one
+# backend and require fail-open 503s for its shard while the survivor
+# keeps serving. Writes the aggregated /metrics scrape to METRICS_OUT.
+clustersmoke:
+	./scripts/clustersmoke.sh
+
+ci: build vet lint test race fuzz crashtest clustersmoke

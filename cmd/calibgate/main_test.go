@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"calibsched/internal/cluster"
+	"calibsched/internal/server"
+)
+
+// logBuffer is a goroutine-safe sink for the gateway's JSON log stream.
+type logBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// backend boots one in-process calibserved.
+func backend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ts
+}
+
+// TestServeLifecycle boots the gateway daemon over two live backends,
+// creates a session through it, migrates the session, checks the
+// aggregated metrics plane, cancels, and drains.
+func TestServeLifecycle(t *testing.T) {
+	b1, b2 := backend(t), backend(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	logBuf := &logBuffer{}
+	logger := slog.New(slog.NewJSONHandler(logBuf, nil))
+	go func() {
+		done <- serve(ctx, "127.0.0.1:0", cluster.Options{
+			Backends: []string{b1.URL, b2.URL},
+			Logger:   logger,
+		}, 5*time.Second, logger, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway never became ready")
+	}
+	base := "http://" + addr
+
+	post := func(path, body string, want int) []byte {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s: %d, want %d\n%s", path, resp.StatusCode, want, raw)
+		}
+		return raw
+	}
+
+	raw := post("/v1/sessions", `{"t":8,"g":16,"alg":"alg2"}`, 201)
+	var info server.SessionInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(info.ID, "g-") {
+		t.Fatalf("gateway-minted id: %q", info.ID)
+	}
+	post("/v1/sessions/"+info.ID+"/arrivals", `{"jobs":[{"release":1,"weight":2},{"release":4,"weight":1}]}`, 200)
+	post("/v1/sessions/"+info.ID+"/step", `{"steps":5}`, 200)
+
+	raw = post("/v1/cluster/migrate", `{"session":"`+info.ID+`"}`, 200)
+	var mig cluster.MigrateResponse
+	if err := json.Unmarshal(raw, &mig); err != nil {
+		t.Fatal(err)
+	}
+	if mig.From == mig.To || mig.Session != info.ID {
+		t.Fatalf("migrate response %+v", mig)
+	}
+	post("/v1/sessions/"+info.ID+"/step", `{"steps":40}`, 200)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics Content-Type %q is not Prometheus 0.0.4", ct)
+	}
+	for _, want := range []string{
+		"calibgate_sessions_migrated 1",
+		"calibgate_ring_nodes 2",
+		"calibserved_sessions_created",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("aggregated metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+		Ready  int    `json:"ready"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Nodes != 2 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway never drained")
+	}
+	logs := logBuf.String()
+	for _, want := range []string{"listening", "session migrated", "drained cleanly"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("no %q log record:\n%s", want, logs)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(logs), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("non-JSON log line %q: %v", line, err)
+		}
+	}
+}
+
+func TestCLIFlagErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, tc := range []struct {
+		name string
+		args []string
+		msg  string
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"positional arg", []string{"extra"}, "unexpected argument"},
+		{"no backends", nil, "-backends is required"},
+		{"empty backends", []string{"-backends", " , "}, "-backends is required"},
+		{"bad vnodes", []string{"-backends", "http://x", "-vnodes", "0"}, "-vnodes must be >= 1"},
+		{"negative retries", []string{"-backends", "http://x", "-retries", "-1"}, "-retries >= 0"},
+		{"bad probe timeout", []string{"-backends", "http://x", "-probe-timeout", "0s"}, "must be > 0"},
+		{"bad log level", []string{"-backends", "http://x", "-log-level", "loud"}, "bad -log-level"},
+	} {
+		var stderr bytes.Buffer
+		if code := cliMain(tc.args, &stderr, ctx); code != 2 {
+			t.Errorf("%s: exit %d, want 2", tc.name, code)
+		}
+		if !strings.Contains(stderr.String(), tc.msg) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, stderr.String(), tc.msg)
+		}
+	}
+}
+
+// TestCLIBootErrors: a malformed backend URL fails the boot with exit 1.
+func TestCLIBootErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stderr bytes.Buffer
+	if code := cliMain([]string{"-addr", "127.0.0.1:0", "-backends", "not-a-url"}, &stderr, ctx); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "http(s) base URL") {
+		t.Errorf("stderr %q does not carry the backend URL error", stderr.String())
+	}
+}
+
+// TestCLIListenError: an unusable -addr is exit 1, after gateway boot.
+func TestCLIListenError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stderr bytes.Buffer
+	if code := cliMain([]string{"-addr", "256.256.256.256:1", "-backends", "http://127.0.0.1:1"}, &stderr, ctx); code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "listen") {
+		t.Errorf("stderr %q does not mention listen", stderr.String())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -42,16 +43,17 @@ func main() {
 
 // config is the parsed flag set of one calibload run.
 type config struct {
-	addr      string
-	sessions  int
-	steps     int64
-	stepBatch int64
-	jobs      int
-	alg       string
-	t, g      int64
-	seed      uint64
-	verify    bool
-	timeout   time.Duration
+	addr         string
+	sessions     int
+	steps        int64
+	stepBatch    int64
+	jobs         int
+	alg          string
+	t, g         int64
+	seed         uint64
+	verify       bool
+	timeout      time.Duration
+	migrateEvery int
 }
 
 func cliMain(args []string, stdout, stderr io.Writer) int {
@@ -69,6 +71,7 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	fs.Uint64Var(&cfg.seed, "seed", 1, "base workload seed (session i uses seed+i)")
 	fs.BoolVar(&cfg.verify, "verify", true, "verify each served cost against the local batch algorithm")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
+	fs.IntVar(&cfg.migrateEvery, "migrate-every", 0, "cluster mode: live-migrate every Nth session mid-stream via the gateway's POST /v1/cluster/migrate (0 disables; requires -addr to point at calibgate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,6 +81,10 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if cfg.sessions < 1 || cfg.steps < 1 || cfg.stepBatch < 1 || cfg.jobs < 0 {
 		fmt.Fprintln(stderr, "calibload: -sessions, -steps, and -step-batch must be >= 1 and -jobs >= 0")
+		return 2
+	}
+	if cfg.migrateEvery < 0 {
+		fmt.Fprintln(stderr, "calibload: -migrate-every must be >= 0")
 		return 2
 	}
 	if _, ok := online.LookupEngine(cfg.alg); !ok {
@@ -100,7 +107,10 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 type report struct {
 	mu         sync.Mutex
 	requests   int64
-	backoffs   int64
+	backoffs   int64         // 429 retries (arrival-buffer / session backpressure)
+	unavail    int64         // 503/409 retries (gateway fail-open, busy admin plane)
+	retrySlept time.Duration // total time spent waiting between retries
+	migrations int64         // cluster mode: live migrations triggered
 	jobsFed    int64
 	stepsFed   int64
 	latencies  []float64 // milliseconds, one per request
@@ -127,8 +137,11 @@ func (r *report) write(w io.Writer, cfg config) {
 	fmt.Fprintf(w, "calibload: %d sessions × %d-step horizon, %s T=%d G=%d\n",
 		cfg.sessions, cfg.steps, cfg.alg, cfg.t, cfg.g)
 	fmt.Fprintf(w, "fed           %d jobs, %d steps\n", r.jobsFed, r.stepsFed)
-	fmt.Fprintf(w, "requests      %d   errors %d   backpressure retries %d\n",
-		r.requests, len(r.errs), r.backoffs)
+	fmt.Fprintf(w, "requests      %d   errors %d   backpressure retries %d   unavailable retries %d   retry wait %.2fs\n",
+		r.requests, len(r.errs), r.backoffs, r.unavail, r.retrySlept.Seconds())
+	if r.migrations > 0 {
+		fmt.Fprintf(w, "migrations    %d sessions live-migrated mid-stream\n", r.migrations)
+	}
 	if r.elapsedSec > 0 {
 		fmt.Fprintf(w, "elapsed       %.2fs   throughput %.0f req/s   %.0f steps/s\n",
 			r.elapsedSec, float64(r.requests)/r.elapsedSec, float64(r.stepsFed)/r.elapsedSec)
@@ -186,6 +199,10 @@ func driveSession(cfg config, i int, hc *http.Client, rep *report) error {
 	}
 	sessURL := "/v1/sessions/" + info.ID
 
+	// Cluster mode: session i migrates once, mid-stream, after its first
+	// step batch — exercising drain → ship → replay → resume under load.
+	migrate := cfg.migrateEvery > 0 && i%cfg.migrateEvery == 0
+
 	next := 0
 	now := int64(0)
 	done := len(jobs) == 0
@@ -208,6 +225,16 @@ func driveSession(cfg config, i int, hc *http.Client, rep *report) error {
 		rep.mu.Lock()
 		rep.stepsFed += cfg.stepBatch
 		rep.mu.Unlock()
+		if migrate && !done {
+			migrate = false
+			if err := c.do("POST", "/v1/cluster/migrate",
+				map[string]string{"session": info.ID}, nil); err != nil {
+				return fmt.Errorf("migrate at step %d: %w", now, err)
+			}
+			rep.mu.Lock()
+			rep.migrations++
+			rep.mu.Unlock()
+		}
 		if now > cfg.steps+10_000_000 {
 			return fmt.Errorf("session never completed (clock at %d)", now)
 		}
@@ -305,8 +332,47 @@ func verifySession(cfg config, jobs []server.JobSpec, sched *server.ScheduleResp
 	return nil
 }
 
+// Retry pacing: capped exponential starting at retryBase, raised to the
+// server's Retry-After when it asks for a longer wait. The cap keeps a
+// misbehaving Retry-After (or deep backpressure) from stalling a worker
+// for the whole run.
+const (
+	retryBase = 50 * time.Millisecond
+	retryCap  = 2 * time.Second
+)
+
+// retryable reports whether a response is worth re-issuing: 429 is the
+// documented backpressure contract, and a 503 or 409 carrying
+// Retry-After is the cluster gateway's fail-open answer (node not
+// ready, admin operation in flight) — transient by definition.
+func retryable(resp *http.Response) bool {
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return true
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusConflict {
+		return resp.Header.Get("Retry-After") != ""
+	}
+	return false
+}
+
+// retryDelay computes the wait before attempt+1: exponential in the
+// attempt number, never below what Retry-After requests, never above
+// retryCap.
+func retryDelay(attempt int, retryAfter string) time.Duration {
+	d := retryBase << (attempt - 1)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		if ra := time.Duration(secs) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	if d > retryCap {
+		d = retryCap
+	}
+	return d
+}
+
 // client is a minimal JSON client that records latency per request and
-// backs off on 429 responses per their Retry-After contract.
+// backs off on 429/503/409 responses per their Retry-After contract.
 type client struct {
 	base string
 	hc   *http.Client
@@ -339,13 +405,19 @@ func (c *client) do(method, path string, in, out any) error {
 		c.rep.latencies = append(c.rep.latencies, float64(elapsed)/float64(time.Millisecond))
 		c.rep.mu.Unlock()
 
-		if resp.StatusCode == http.StatusTooManyRequests && attempt < maxAttempts {
+		if attempt < maxAttempts && retryable(resp) {
+			delay := retryDelay(attempt, resp.Header.Get("Retry-After"))
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			c.rep.mu.Lock()
-			c.rep.backoffs++
+			if resp.StatusCode == http.StatusTooManyRequests {
+				c.rep.backoffs++
+			} else {
+				c.rep.unavail++
+			}
+			c.rep.retrySlept += delay
 			c.rep.mu.Unlock()
-			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+			time.Sleep(delay)
 			continue
 		}
 		defer resp.Body.Close()

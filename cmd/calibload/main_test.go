@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"calibsched/internal/cluster"
 	"calibsched/internal/server"
 )
 
@@ -63,6 +66,94 @@ func TestRunLoadHonorsBackpressure(t *testing.T) {
 	}
 	if rep.verified != cfg.sessions {
 		t.Fatalf("verified %d/%d", rep.verified, cfg.sessions)
+	}
+}
+
+// TestRunLoadClusterMode drives sessions through a real two-node
+// gateway with mid-stream live migration, and still verifies every
+// served schedule against the batch engine — the migration must be
+// invisible in the output.
+func TestRunLoadClusterMode(t *testing.T) {
+	b1, b2 := loadServer(t, server.Config{}), loadServer(t, server.Config{})
+	g, err := cluster.NewGateway(cluster.Options{Backends: []string{b1.URL, b2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := httptest.NewServer(g)
+	t.Cleanup(func() {
+		gw.Close()
+		g.Close()
+	})
+	cfg := config{
+		addr: gw.URL, sessions: 3, steps: 60, stepBatch: 8, jobs: 10,
+		alg: "alg2", t: 8, g: 24, seed: 5, verify: true, migrateEvery: 2,
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.errs) > 0 {
+		t.Fatalf("request errors: %v", rep.errs)
+	}
+	if rep.verified != cfg.sessions || rep.mismatches != 0 {
+		t.Fatalf("verified %d/%d, %d mismatches", rep.verified, cfg.sessions, rep.mismatches)
+	}
+	if rep.migrations != 2 { // sessions 0 and 2
+		t.Fatalf("migrations = %d, want 2", rep.migrations)
+	}
+	var out bytes.Buffer
+	rep.write(&out, cfg)
+	if !strings.Contains(out.String(), "migrations    2 sessions live-migrated") {
+		t.Errorf("report does not surface migrations:\n%s", out.String())
+	}
+}
+
+func TestRetryDelay(t *testing.T) {
+	for _, tc := range []struct {
+		attempt    int
+		retryAfter string
+		want       time.Duration
+	}{
+		{1, "", 50 * time.Millisecond},
+		{2, "", 100 * time.Millisecond},
+		{3, "", 200 * time.Millisecond},
+		{10, "", retryCap},               // exponent capped
+		{1, "1", time.Second},            // server asked for more
+		{1, "600", retryCap},             // hostile Retry-After capped
+		{4, "0", 400 * time.Millisecond}, // zero header ignored
+		{2, "junk", 100 * time.Millisecond},
+	} {
+		if got := retryDelay(tc.attempt, tc.retryAfter); got != tc.want {
+			t.Errorf("retryDelay(%d, %q) = %v, want %v", tc.attempt, tc.retryAfter, got, tc.want)
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	mk := func(status int, retryAfter string) *http.Response {
+		h := http.Header{}
+		if retryAfter != "" {
+			h.Set("Retry-After", retryAfter)
+		}
+		return &http.Response{StatusCode: status, Header: h}
+	}
+	for _, tc := range []struct {
+		resp *http.Response
+		want bool
+	}{
+		{mk(429, ""), true},
+		{mk(429, "1"), true},
+		{mk(503, "1"), true},
+		{mk(409, "1"), true},
+		{mk(503, ""), false}, // 503 without Retry-After is not the fail-open contract
+		{mk(409, ""), false}, // plain conflict (duplicate id) must not retry
+		{mk(500, "1"), false},
+		{mk(200, ""), false},
+	} {
+		if got := retryable(tc.resp); got != tc.want {
+			t.Errorf("retryable(%d, Retry-After %q) = %v, want %v",
+				tc.resp.StatusCode, tc.resp.Header.Get("Retry-After"), got, tc.want)
+		}
 	}
 }
 

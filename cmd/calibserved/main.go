@@ -23,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -34,6 +35,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -188,15 +190,41 @@ func newHTTPServer(h http.Handler, t httpTimeouts) *http.Server {
 	}
 }
 
+// bootHandler answers for the daemon between listen and the end of
+// boot-time WAL replay: /healthz reports the process alive, /readyz
+// reports "booting" with a 503 (so the cluster gateway's health prober
+// does not route sessions here yet — see internal/cluster), and every
+// other path gets a 503 + Retry-After.
+func bootHandler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, server.ReadyResponse{Status: "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, server.ReadyResponse{Status: "booting"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			server.ErrorResponse{Error: "booting: replaying durable session state; retry shortly"})
+	})
+	return mux
+}
+
 // serve listens on addr (and debugAddr, when set) and serves until ctx
 // is cancelled, then drains HTTP connections and session workers within
 // the grace period. When ready is non-nil it receives the bound API
 // address once listening (tests use it to learn the :0 port).
+//
+// The listener opens before server.New runs, fronted by bootHandler, so
+// a node recovering a large WAL is observable (and observably
+// not-ready) for the whole replay instead of connection-refusing.
 func serve(ctx context.Context, addr, debugAddr string, cfg server.Config, timeouts httpTimeouts, grace time.Duration, logger *slog.Logger, ready chan<- string) error {
-	srv, err := server.New(cfg)
-	if err != nil {
-		return fmt.Errorf("boot: %w", err)
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
@@ -222,9 +250,27 @@ func serve(ctx context.Context, addr, debugAddr string, cfg server.Config, timeo
 		ready <- ln.Addr().String()
 	}
 
-	httpSrv := newHTTPServer(srv, timeouts)
+	var handler atomic.Pointer[http.Handler] // bootHandler, then the Server
+	boot := bootHandler()
+	handler.Store(&boot)
+	httpSrv := newHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	}), timeouts)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	srv, err := server.New(cfg) // boot-time WAL replay happens in here
+	if err != nil {
+		httpSrv.Close()
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
+		<-serveErr
+		return fmt.Errorf("boot: %w", err)
+	}
+	var live http.Handler = srv
+	handler.Store(&live)
+	logger.Info("serving")
 
 	select {
 	case err := <-serveErr:

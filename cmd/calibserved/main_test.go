@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -159,6 +160,36 @@ func TestServeBootAndDrain(t *testing.T) {
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			t.Errorf("non-JSON log line %q: %v", line, err)
 		}
+	}
+}
+
+// TestBootHandler pins the pre-ready surface: while WAL replay runs the
+// process is alive (/healthz ok) but not ready (/readyz "booting"), and
+// API calls are refused with a retryable 503 instead of a confusing 404.
+func TestBootHandler(t *testing.T) {
+	h := bootHandler()
+	get := func(method, path string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, "http://x"+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Result()
+	}
+	resp := get("GET", "/healthz")
+	if resp.StatusCode != 200 {
+		t.Errorf("boot /healthz: %d, want 200", resp.StatusCode)
+	}
+	resp = get("GET", "/readyz")
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 503 || !strings.Contains(string(body), "booting") {
+		t.Errorf("boot /readyz: %d %s, want 503 booting", resp.StatusCode, body)
+	}
+	resp = get("POST", "/v1/sessions")
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("boot API call: %d (Retry-After %q), want 503 + Retry-After", resp.StatusCode, resp.Header.Get("Retry-After"))
 	}
 }
 

@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cluster-wide /metrics: the gateway scrapes every ready backend's
+// Prometheus 0.0.4 exposition and merges the families — counters
+// summed, gauges re-emitted per node under a node label, histograms
+// merged bucket-by-bucket — then appends its own calibgate_* counters.
+// The output is itself valid 0.0.4 exposition, deterministic in order,
+// so one scrape of the gateway observes the whole cluster. Float
+// arithmetic here is reporting-only, like internal/server/metrics
+// (exactarith exemption).
+
+// promFamily is one merged metric family.
+type promFamily struct {
+	name string
+	typ  string // "counter", "gauge", or "histogram"
+
+	// counter: summed per label-set (calibserved counters are unlabeled,
+	// but summing per label-set keeps the merge general).
+	counterSums  map[string]float64
+	counterOrder []string
+
+	// gauge: one sample per (node, original label-set).
+	gauges []gaugeSample
+
+	// histogram: cumulative counts per le, plus _sum and _count.
+	buckets map[string]float64
+	leOrder []string
+	histSum float64
+	histCnt float64
+}
+
+type gaugeSample struct {
+	node   string
+	labels string // original label text, without braces ("" when none)
+	value  float64
+}
+
+// aggregator merges expositions from many nodes.
+type aggregator struct {
+	families map[string]*promFamily
+	order    []string
+}
+
+func newAggregator() *aggregator {
+	return &aggregator{families: make(map[string]*promFamily)}
+}
+
+func (a *aggregator) family(name, typ string) *promFamily {
+	f, ok := a.families[name]
+	if !ok {
+		f = &promFamily{name: name, typ: typ, counterSums: make(map[string]float64), buckets: make(map[string]float64)}
+		a.families[name] = f
+		a.order = append(a.order, name)
+	}
+	return f
+}
+
+// ingest parses one node's exposition text into the aggregate. Lines it
+// cannot attribute (no preceding # TYPE, malformed values) are skipped:
+// aggregation is a best-effort read over remote output, not a
+// validator.
+func (a *aggregator) ingest(node, text string) {
+	var cur *promFamily
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				cur = a.family(fields[2], fields[3])
+			}
+			continue
+		}
+		if cur == nil {
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		switch cur.typ {
+		case "counter":
+			if name != cur.name {
+				continue
+			}
+			if _, seen := cur.counterSums[labels]; !seen {
+				cur.counterOrder = append(cur.counterOrder, labels)
+			}
+			cur.counterSums[labels] += value
+		case "gauge":
+			if name != cur.name {
+				continue
+			}
+			cur.gauges = append(cur.gauges, gaugeSample{node: node, labels: labels, value: value})
+		case "histogram":
+			switch name {
+			case cur.name + "_bucket":
+				le := labelValue(labels, "le")
+				if le == "" {
+					continue
+				}
+				if _, seen := cur.buckets[le]; !seen {
+					cur.leOrder = append(cur.leOrder, le)
+				}
+				cur.buckets[le] += value
+			case cur.name + "_sum":
+				cur.histSum += value
+			case cur.name + "_count":
+				cur.histCnt += value
+			}
+		}
+	}
+}
+
+// parseSample splits `name{labels} value` or `name value`.
+func parseSample(line string) (name, labels string, value float64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	head := strings.TrimSpace(line[:sp])
+	if i := strings.IndexByte(head, '{'); i >= 0 {
+		if !strings.HasSuffix(head, "}") {
+			return "", "", 0, false
+		}
+		return head[:i], head[i+1 : len(head)-1], v, true
+	}
+	return head, "", v, true
+}
+
+// labelValue extracts one label's (quoted) value from a label text.
+func labelValue(labels, key string) string {
+	for _, part := range splitLabels(labels) {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k != key {
+			continue
+		}
+		if uq, err := strconv.Unquote(v); err == nil {
+			return uq
+		}
+		return v
+	}
+	return ""
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(labels string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '"':
+			if i == 0 || labels[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, strings.TrimSpace(labels[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		out = append(out, strings.TrimSpace(labels[start:]))
+	}
+	return out
+}
+
+// render writes the merged families as 0.0.4 exposition, sorted by
+// family name for a deterministic artifact.
+func (a *aggregator) render(w io.Writer) {
+	names := append([]string(nil), a.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		f := a.families[name]
+		switch f.typ {
+		case "counter":
+			fmt.Fprintf(w, "# TYPE %s counter\n", f.name)
+			for _, labels := range f.counterOrder {
+				if labels == "" {
+					fmt.Fprintf(w, "%s %s\n", f.name, fmtVal(f.counterSums[labels]))
+				} else {
+					fmt.Fprintf(w, "%s{%s} %s\n", f.name, labels, fmtVal(f.counterSums[labels]))
+				}
+			}
+		case "gauge":
+			fmt.Fprintf(w, "# TYPE %s gauge\n", f.name)
+			samples := append([]gaugeSample(nil), f.gauges...)
+			sort.Slice(samples, func(i, j int) bool {
+				if samples[i].labels != samples[j].labels {
+					return samples[i].labels < samples[j].labels
+				}
+				return samples[i].node < samples[j].node
+			})
+			for _, s := range samples {
+				labels := fmt.Sprintf("node=%q", s.node)
+				if s.labels != "" {
+					labels = s.labels + "," + labels
+				}
+				fmt.Fprintf(w, "%s{%s} %s\n", f.name, labels, fmtVal(s.value))
+			}
+		case "histogram":
+			fmt.Fprintf(w, "# TYPE %s histogram\n", f.name)
+			les := append([]string(nil), f.leOrder...)
+			sort.Slice(les, func(i, j int) bool { return leLess(les[i], les[j]) })
+			for _, le := range les {
+				fmt.Fprintf(w, "%s_bucket{le=%q} %s\n", f.name, le, fmtVal(f.buckets[le]))
+			}
+			fmt.Fprintf(w, "%s_sum %s\n", f.name, fmtVal(f.histSum))
+			fmt.Fprintf(w, "%s_count %s\n", f.name, fmtVal(f.histCnt))
+		}
+	}
+}
+
+// leLess orders bucket bounds numerically with +Inf last.
+func leLess(a, b string) bool {
+	av, aerr := strconv.ParseFloat(a, 64)
+	bv, berr := strconv.ParseFloat(b, 64)
+	if aerr != nil {
+		return false // a is +Inf (or junk): sort last
+	}
+	if berr != nil {
+		return true
+	}
+	return av < bv
+}
+
+func fmtVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// handleMetrics scrapes every ready backend and serves the merged
+// exposition plus the gateway's own counters. Unready nodes are skipped
+// and reported through the calibgate_node_up gauge instead of failing
+// the scrape.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	agg := newAggregator()
+	nodes := g.ring.Nodes()
+	up := make(map[string]bool, len(nodes))
+	for _, node := range nodes {
+		if !g.health.Ready(node) {
+			continue
+		}
+		res, err := g.send(http.MethodGet, node, "/metrics", nil)
+		if err != nil || res.status != http.StatusOK {
+			g.log.Warn("scraping node metrics", "node", node, "err", err)
+			continue
+		}
+		up[node] = true
+		agg.ingest(node, string(res.body))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	agg.render(w)
+	g.writeOwnMetrics(w, nodes, up)
+}
+
+// writeOwnMetrics appends the gateway's calibgate_* families.
+func (g *Gateway) writeOwnMetrics(w io.Writer, nodes []string, up map[string]bool) {
+	counter := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	counter("calibgate_requests_proxied", g.metrics.proxied.Load())
+	counter("calibgate_request_retries", g.metrics.retries.Load())
+	counter("calibgate_requests_unroutable", g.metrics.unroutable.Load())
+	counter("calibgate_proxy_errors", g.metrics.proxyErrors.Load())
+	counter("calibgate_sessions_migrated", g.metrics.migrations.Load())
+	counter("calibgate_migration_failures", g.metrics.migrationFailures.Load())
+	counter("calibgate_rebalances", g.metrics.rebalances.Load())
+	fmt.Fprintf(w, "# TYPE calibgate_ring_nodes gauge\ncalibgate_ring_nodes %d\n", len(nodes))
+	fmt.Fprintf(w, "# TYPE calibgate_node_up gauge\n")
+	for _, n := range nodes {
+		v := 0
+		if up[n] {
+			v = 1
+		}
+		fmt.Fprintf(w, "calibgate_node_up{node=%q} %d\n", n, v)
+	}
+}

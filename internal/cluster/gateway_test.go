@@ -1,0 +1,425 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"calibsched/internal/server"
+)
+
+// bootBackend starts one in-memory calibserved serving layer.
+func bootBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("backend shutdown: %v", err)
+		}
+	})
+	return ts
+}
+
+// bootGateway starts a gateway over the given backends with health
+// probing disabled (every member ready), the mode unit tests use.
+func bootGateway(t *testing.T, backends ...string) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g, err := NewGateway(Options{Backends: backends, VNodes: 16})
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	ts := httptest.NewServer(g)
+	t.Cleanup(func() {
+		ts.Close()
+		g.Close()
+	})
+	return g, ts
+}
+
+// call issues a JSON request and decodes the JSON response.
+func call(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	status, raw := callRaw(t, method, url, body)
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding response %q: %v", method, url, raw, err)
+		}
+	}
+	return status
+}
+
+// callRaw issues a JSON request and returns the raw response bytes.
+func callRaw(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func TestGatewayProxiesSessionAPI(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	g, gw := bootGateway(t, b1.URL, b2.URL)
+
+	var info server.SessionInfo
+	if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 10, G: 20, Alg: "alg2"}, &info); status != 201 {
+		t.Fatalf("create: status %d", status)
+	}
+	if !strings.HasPrefix(info.ID, "g-") {
+		t.Fatalf("gateway did not mint the id: %q", info.ID)
+	}
+	owner, ok := g.route(info.ID)
+	if !ok {
+		t.Fatal("no route for created session")
+	}
+	// The session must live exactly where the ring says: present on the
+	// owner, absent elsewhere.
+	other := b1.URL
+	if owner == b1.URL {
+		other = b2.URL
+	}
+	if status := call(t, "GET", owner+"/v1/sessions/"+info.ID, nil, nil); status != 200 {
+		t.Fatalf("session missing on ring owner: status %d", status)
+	}
+	if status := call(t, "GET", other+"/v1/sessions/"+info.ID, nil, nil); status != 404 {
+		t.Fatalf("session present off the ring owner: status %d", status)
+	}
+
+	var ar server.ArrivalsResponse
+	if status := call(t, "POST", gw.URL+"/v1/sessions/"+info.ID+"/arrivals", server.ArrivalsRequest{
+		Jobs: []server.JobSpec{{Release: 0, Weight: 2}, {Release: 3, Weight: 1}},
+	}, &ar); status != 200 || ar.Accepted != 2 {
+		t.Fatalf("arrivals via gateway: status %d resp %+v", status, ar)
+	}
+	var sr server.StepResponse
+	if status := call(t, "POST", gw.URL+"/v1/sessions/"+info.ID+"/step", server.StepRequest{Steps: 60}, &sr); status != 200 || !sr.Done {
+		t.Fatalf("step via gateway: status %d resp %+v", status, sr)
+	}
+	var sched server.ScheduleResponse
+	if status := call(t, "GET", gw.URL+"/v1/sessions/"+info.ID+"/schedule", nil, &sched); status != 200 || sched.Assigned != 2 {
+		t.Fatalf("schedule via gateway: status %d resp %+v", status, sched)
+	}
+	var tr server.TraceResponse
+	if status := call(t, "GET", gw.URL+"/v1/sessions/"+info.ID+"/trace", nil, &tr); status != 200 || tr.Session != info.ID {
+		t.Fatalf("trace via gateway: status %d resp %+v", status, tr)
+	}
+
+	var list server.SessionListResponse
+	if status := call(t, "GET", gw.URL+"/v1/sessions", nil, &list); status != 200 || len(list.Sessions) != 1 {
+		t.Fatalf("list via gateway: status %d, %d sessions", status, len(list.Sessions))
+	}
+	if status := call(t, "DELETE", gw.URL+"/v1/sessions/"+info.ID, nil, nil); status != 204 {
+		t.Fatalf("delete via gateway: status %d", status)
+	}
+	if status := call(t, "GET", gw.URL+"/v1/sessions/"+info.ID, nil, nil); status != 404 {
+		t.Fatalf("session survived delete: status %d", status)
+	}
+	// Backend errors pass through untouched (404 for a session that
+	// never existed, not a gateway 5xx).
+	if status := call(t, "GET", gw.URL+"/v1/sessions/g-nope-000001", nil, nil); status != 404 {
+		t.Fatalf("unknown session via gateway: status %d", status)
+	}
+}
+
+func TestGatewayPinsClientSuppliedID(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	g, gw := bootGateway(t, b1.URL, b2.URL)
+	var info server.SessionInfo
+	if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 5, G: 3, Alg: "alg2", ID: "pin-42"}, &info); status != 201 {
+		t.Fatalf("create: status %d", status)
+	}
+	if info.ID != "pin-42" {
+		t.Fatalf("id = %q", info.ID)
+	}
+	owner, _ := g.route("pin-42")
+	ringOwner, _ := g.ring.Owner("pin-42")
+	if owner != ringOwner {
+		t.Fatalf("route %q disagrees with ring %q", owner, ringOwner)
+	}
+}
+
+func TestGatewayBlocksInternalEndpoints(t *testing.T) {
+	b1 := bootBackend(t)
+	_, gw := bootGateway(t, b1.URL)
+	if status := call(t, "POST", gw.URL+"/v1/sessions/import", map[string]string{"id": "x"}, nil); status != 403 {
+		t.Fatalf("import via gateway: status %d, want 403", status)
+	}
+	if status := call(t, "POST", gw.URL+"/v1/sessions/x/export", nil, nil); status != 403 {
+		t.Fatalf("export via gateway: status %d, want 403", status)
+	}
+}
+
+func TestGatewaySolveRouting(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	_, gw := bootGateway(t, b1.URL, b2.URL)
+	req := server.SolveRequest{T: 3, Kind: "flow", K: 2, Jobs: []server.JobSpec{
+		{Release: 0, Weight: 1}, {Release: 2, Weight: 1}, {Release: 9, Weight: 1},
+	}}
+	var sub server.SolveSubmitResponse
+	if status := call(t, "POST", gw.URL+"/v1/solve", req, &sub); status != 202 && status != 200 {
+		t.Fatalf("solve submit: status %d", status)
+	}
+	if !strings.Contains(sub.ID, "~") {
+		t.Fatalf("solve id %q is not a composite gateway handle", sub.ID)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st server.SolveStatusResponse
+		if status := call(t, "GET", gw.URL+"/v1/solve/"+sub.ID, nil, &st); status != 200 {
+			t.Fatalf("solve get: status %d", status)
+		}
+		if st.State == "done" {
+			if st.Flow == nil {
+				t.Fatalf("done without flow: %+v", st)
+			}
+			if st.ID != sub.ID {
+				t.Fatalf("status id %q, want %q", st.ID, sub.ID)
+			}
+			break
+		}
+		if st.State == "failed" {
+			t.Fatalf("solve failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("solve did not finish in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status := call(t, "GET", gw.URL+"/v1/solve/not-composite", nil, nil); status != 400 {
+		t.Fatalf("bare solve handle: status %d, want 400", status)
+	}
+	if status := call(t, "GET", gw.URL+"/v1/solve/deadbeef~h-1", nil, nil); status != 404 {
+		t.Fatalf("departed-node solve handle: status %d, want 404", status)
+	}
+}
+
+// TestGatewayDeadBackend covers the fail-open path: a backend that
+// stops answering turns into 502s (transport) on first contact, flips
+// the health table via the dial-error fast path, and subsequent
+// requests answer 503 + Retry-After without waiting on a probe cycle.
+func TestGatewayDeadBackend(t *testing.T) {
+	b1 := bootBackend(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	g, err := NewGateway(Options{
+		Backends:       []string{b1.URL, deadURL},
+		VNodes:         16,
+		HealthInterval: 50 * time.Millisecond,
+		ProbeTimeout:   200 * time.Millisecond,
+		Retries:        1,
+		RetryBackoff:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+	defer g.Close()
+
+	// Find an ID owned by the dead node.
+	var deadID string
+	for i := 0; ; i++ {
+		id := g.newSessionID()
+		if owner, _ := g.ring.Owner(id); owner == deadURL {
+			deadID = id
+			break
+		}
+		if i > 10_000 {
+			t.Fatal("could not find an id hashing to the dead node")
+		}
+	}
+
+	// First contact: dial failure → 502 (or 503 if a probe already ran).
+	status, _ := callRaw(t, "GET", gw.URL+"/v1/sessions/"+deadID, nil)
+	if status != 502 && status != 503 {
+		t.Fatalf("dead-node request: status %d, want 502 or 503", status)
+	}
+	// The dial error marked the node unready: now it is a fast 503 with
+	// Retry-After, the fail-open contract.
+	req, _ := http.NewRequest("GET", gw.URL+"/v1/sessions/"+deadID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("second dead-node request: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// The surviving shard keeps serving.
+	var info server.SessionInfo
+	for i := 0; i < 10_000; i++ {
+		id := g.newSessionID()
+		if owner, _ := g.ring.Owner(id); owner == b1.URL {
+			if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 5, G: 3, Alg: "alg2", ID: id}, &info); status != 201 {
+				t.Fatalf("create on surviving shard: status %d", status)
+			}
+			break
+		}
+	}
+	if info.ID == "" {
+		t.Fatal("could not place a session on the surviving shard")
+	}
+	if status := call(t, "GET", gw.URL+"/v1/sessions/"+info.ID, nil, nil); status != 200 {
+		t.Fatalf("surviving shard unreachable: status %d", status)
+	}
+}
+
+// TestAggregatedMetrics drives traffic through two backends and checks
+// the gateway's merged /metrics: valid 0.0.4 exposition, counters that
+// sum across nodes, per-node gauges, merged histograms, and the
+// gateway's own families.
+func TestAggregatedMetrics(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	_, gw := bootGateway(t, b1.URL, b2.URL)
+
+	// Create enough sessions to touch both backends with high odds.
+	for i := 0; i < 8; i++ {
+		var info server.SessionInfo
+		if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 5, G: 3, Alg: "alg2"}, &info); status != 201 {
+			t.Fatalf("create %d: status %d", i, status)
+		}
+		if status := call(t, "POST", gw.URL+"/v1/sessions/"+info.ID+"/step", server.StepRequest{Steps: 3}, nil); status != 200 {
+			t.Fatalf("step %d: status %d", i, status)
+		}
+	}
+
+	status, body := callRaw(t, "GET", gw.URL+"/metrics", nil)
+	if status != 200 {
+		t.Fatalf("metrics: status %d", status)
+	}
+	text := string(body)
+	validateExposition(t, text)
+
+	// Counters sum across nodes: the aggregated created count must cover
+	// at least the 8 sessions this test made (shared expvar registry
+	// means both backends report the same process-global totals here, so
+	// only a lower bound is assertable in-process; the multi-process
+	// smoke test pins exact sums).
+	created := sampleValue(t, text, "calibserved_sessions_created")
+	if created < 8 {
+		t.Fatalf("aggregated sessions_created = %v, want >= 8", created)
+	}
+	for _, want := range []string{
+		"# TYPE calibserved_sessions_created counter",
+		"# TYPE calibserved_sessions_active gauge",
+		"# TYPE calibserved_step_latency_seconds histogram",
+		"calibserved_step_latency_seconds_bucket{le=\"+Inf\"}",
+		"# TYPE calibgate_requests_proxied counter",
+		"# TYPE calibgate_node_up gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("aggregated metrics missing %q", want)
+		}
+	}
+	// Per-node gauges carry a node label for each backend.
+	for _, node := range []string{b1.URL, b2.URL} {
+		if !strings.Contains(text, "calibserved_sessions_active{node=\""+node+"\"}") {
+			t.Errorf("no per-node gauge sample for %s", node)
+		}
+	}
+	// Histogram merge: the +Inf bucket equals the _count line.
+	inf := sampleValue(t, text, `calibserved_step_latency_seconds_bucket{le="+Inf"}`)
+	cnt := sampleValue(t, text, "calibserved_step_latency_seconds_count")
+	if inf != cnt {
+		t.Errorf("+Inf bucket %v != count %v", inf, cnt)
+	}
+}
+
+// validateExposition is a strict Prometheus 0.0.4 line validator: every
+// line is a well-formed comment or a sample whose name was declared by
+// a preceding # TYPE, and no family is declared twice.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	declared := map[string]string{}
+	var cur string
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line inside exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			name, typ := fields[2], fields[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" && typ != "summary" && typ != "untyped" {
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			if _, dup := declared[name]; dup {
+				t.Fatalf("line %d: family %s declared twice", ln+1, name)
+			}
+			declared[name] = typ
+			cur = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, _, ok := parseSample(line)
+		if !ok {
+			t.Fatalf("line %d: unparseable sample %q", ln+1, line)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if name != cur && base != cur {
+			if _, ok := declared[name]; !ok && declared[base] == "" {
+				t.Fatalf("line %d: sample %q outside its family block (current %q)", ln+1, name, cur)
+			}
+		}
+	}
+}
+
+// sampleValue finds one sample line by its exact name{labels} head.
+func sampleValue(t *testing.T, text, head string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		name, labels, v, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		full := name
+		if labels != "" {
+			full += "{" + labels + "}"
+		}
+		if full == head {
+			return v
+		}
+	}
+	t.Fatalf("no sample %q in exposition", head)
+	return 0
+}

@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"calibsched/internal/server"
+)
+
+// callNoFatal is call for non-test goroutines (no *testing.T methods).
+func callNoFatal(method, url string) (int, string) {
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		return 0, err.Error()
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err.Error()
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(raw)
+}
+
+// feed applies one deterministic command batch to a session through
+// base (a gateway or a backend), so the differential test can drive two
+// copies of a session in lockstep.
+func feed(t *testing.T, base, id string, phase int) {
+	t.Helper()
+	// Each phase steps the clock 9 ticks, so releases sit at phase*9+1
+	// onward to stay ahead of the session's Now (past releases are 409s).
+	rel := int64(phase*9 + 1)
+	jobs := []server.JobSpec{
+		{Release: rel, Weight: 3},
+		{Release: rel + 2, Weight: 1},
+		{Release: rel + 3, Weight: 5},
+	}
+	var ar server.ArrivalsResponse
+	if status := call(t, "POST", base+"/v1/sessions/"+id+"/arrivals", server.ArrivalsRequest{Jobs: jobs}, &ar); status != 200 || ar.Accepted != 3 {
+		t.Fatalf("arrivals phase %d on %s: status %d resp %+v", phase, base, status, ar)
+	}
+	if status := call(t, "POST", base+"/v1/sessions/"+id+"/step", server.StepRequest{Steps: 9}, nil); status != 200 {
+		t.Fatalf("step phase %d on %s: status %d", phase, base, status)
+	}
+}
+
+// finish drains a session and returns the raw schedule bytes.
+func finish(t *testing.T, base, id string) []byte {
+	t.Helper()
+	var sr server.StepResponse
+	if status := call(t, "POST", base+"/v1/sessions/"+id+"/step", server.StepRequest{Steps: 80}, &sr); status != 200 || !sr.Done {
+		t.Fatalf("final step on %s: status %d done=%v", base, status, sr.Done)
+	}
+	status, raw := callRaw(t, "GET", base+"/v1/sessions/"+id+"/schedule", nil)
+	if status != 200 {
+		t.Fatalf("schedule on %s: status %d", base, status)
+	}
+	return raw
+}
+
+// TestMigrationDifferential is the subsystem's core correctness claim:
+// a session migrated mid-stream (drain → snapshot + WAL tail → replay →
+// resume) must produce a schedule byte-identical to the same command
+// stream served by one node that never moved. The control session gets
+// the same pinned ID on a standalone backend, so the two schedule
+// responses must match to the byte.
+func TestMigrationDifferential(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	control := bootBackend(t) // never a ring member
+	g, gw := bootGateway(t, b1.URL, b2.URL)
+
+	var info server.SessionInfo
+	if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 10, G: 4, Alg: "alg2"}, &info); status != 201 {
+		t.Fatalf("create via gateway: status %d", status)
+	}
+	id := info.ID
+	if status := call(t, "POST", control.URL+"/v1/sessions", server.CreateSessionRequest{T: 10, G: 4, Alg: "alg2", ID: id}, nil); status != 201 {
+		t.Fatalf("create control: status %d", status)
+	}
+
+	feed(t, gw.URL, id, 0)
+	feed(t, control.URL, id, 0)
+
+	from, _ := g.route(id)
+	var mig MigrateResponse
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{Session: id}, &mig); status != 200 {
+		t.Fatalf("migrate: status %d", status)
+	}
+	if mig.From != from || mig.To == from || mig.Session != id {
+		t.Fatalf("migrate response %+v, expected move away from %s", mig, from)
+	}
+	// The source really let go and the target really has it.
+	if status := call(t, "GET", mig.From+"/v1/sessions/"+id, nil, nil); status != 404 {
+		t.Fatalf("session still on source after migration: status %d", status)
+	}
+	if status := call(t, "GET", mig.To+"/v1/sessions/"+id, nil, nil); status != 200 {
+		t.Fatalf("session missing on target after migration: status %d", status)
+	}
+
+	// Keep streaming commands through the gateway post-migration.
+	feed(t, gw.URL, id, 1)
+	feed(t, control.URL, id, 1)
+	feed(t, gw.URL, id, 2)
+	feed(t, control.URL, id, 2)
+
+	migrated := finish(t, gw.URL, id)
+	unmigrated := finish(t, control.URL, id)
+	if !bytes.Equal(migrated, unmigrated) {
+		t.Fatalf("migrated schedule diverged from unmigrated control:\nmigrated:   %s\nunmigrated: %s", migrated, unmigrated)
+	}
+}
+
+// TestMigrationRoundTripBack moves a session away and back; both hops
+// must land and the session must stay fully functional.
+func TestMigrationRoundTripBack(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	g, gw := bootGateway(t, b1.URL, b2.URL)
+
+	var info server.SessionInfo
+	if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 8, G: 2, Alg: "alg2"}, &info); status != 201 {
+		t.Fatalf("create: status %d", status)
+	}
+	feed(t, gw.URL, info.ID, 0)
+	home, _ := g.route(info.ID)
+
+	var m1 MigrateResponse
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{Session: info.ID}, &m1); status != 200 {
+		t.Fatalf("first migrate: status %d", status)
+	}
+	// Off its ring owner: an override must be pinning it.
+	g.mu.RLock()
+	_, pinned := g.overrides[info.ID]
+	g.mu.RUnlock()
+	if !pinned {
+		t.Fatal("no override for a session migrated off its ring owner")
+	}
+	var m2 MigrateResponse
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{Session: info.ID, Target: home}, &m2); status != 200 {
+		t.Fatalf("migrate back: status %d", status)
+	}
+	if m2.To != home {
+		t.Fatalf("second migration went to %s, want %s", m2.To, home)
+	}
+	// Back on the ring owner: the override must have lifted.
+	g.mu.RLock()
+	_, pinned = g.overrides[info.ID]
+	g.mu.RUnlock()
+	if pinned {
+		t.Fatal("override survived migration back to the ring owner")
+	}
+	feed(t, gw.URL, info.ID, 1)
+	if raw := finish(t, gw.URL, info.ID); len(raw) == 0 {
+		t.Fatal("empty schedule after double migration")
+	}
+}
+
+// TestJoinRebalance grows the cluster under load: after a third node
+// joins, exactly the ring-moved sessions migrate, every session remains
+// reachable through the gateway, and no override is left standing.
+func TestJoinRebalance(t *testing.T) {
+	b1, b2, b3 := bootBackend(t), bootBackend(t), bootBackend(t)
+	g, gw := bootGateway(t, b1.URL, b2.URL)
+
+	const n = 12
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var info server.SessionInfo
+		if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 10, G: 3, Alg: "alg2"}, &info); status != 201 {
+			t.Fatalf("create %d: status %d", i, status)
+		}
+		feed(t, gw.URL, info.ID, 0)
+		ids = append(ids, info.ID)
+	}
+
+	var resp RebalanceResponse
+	if status := call(t, "POST", gw.URL+"/v1/cluster/join", JoinRequest{Node: b3.URL}, &resp); status != 200 {
+		t.Fatalf("join: status %d", status)
+	}
+	if len(resp.Failed) != 0 {
+		t.Fatalf("join rebalance failures: %v", resp.Failed)
+	}
+	if len(resp.Members) != 3 {
+		t.Fatalf("members after join: %v", resp.Members)
+	}
+	// Ring-owner placement: every session answers on exactly the node the
+	// ring names now, and the gateway routes it there (100% >= the 99%
+	// acceptance bar).
+	moved := 0
+	for _, id := range ids {
+		want, _ := g.ring.Owner(id)
+		if want == b3.URL {
+			moved++
+		}
+		if got, _ := g.route(id); got != want {
+			t.Fatalf("session %s routes to %s, ring says %s", id, got, want)
+		}
+		if status := call(t, "GET", gw.URL+"/v1/sessions/"+id, nil, nil); status != 200 {
+			t.Fatalf("session %s unreachable after join: status %d", id, status)
+		}
+		if status := call(t, "GET", want+"/v1/sessions/"+id, nil, nil); status != 200 {
+			t.Fatalf("session %s not on its ring owner %s: status %d", id, want, status)
+		}
+	}
+	if resp.Moved != moved {
+		t.Fatalf("join moved %d sessions, ring ownership changed for %d", resp.Moved, moved)
+	}
+	g.mu.RLock()
+	standing := len(g.overrides)
+	g.mu.RUnlock()
+	if standing != 0 {
+		t.Fatalf("%d overrides left standing after a clean rebalance", standing)
+	}
+	// The sessions still work where they landed.
+	for _, id := range ids {
+		feed(t, gw.URL, id, 1)
+	}
+}
+
+// TestLeaveRebalance drains a node out: its sessions migrate to the
+// survivors and remain reachable; the departed node holds nothing.
+func TestLeaveRebalance(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	_, gw := bootGateway(t, b1.URL, b2.URL)
+
+	const n = 8
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var info server.SessionInfo
+		if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 6, G: 2, Alg: "alg2"}, &info); status != 201 {
+			t.Fatalf("create %d: status %d", i, status)
+		}
+		ids = append(ids, info.ID)
+	}
+	var resp RebalanceResponse
+	if status := call(t, "POST", gw.URL+"/v1/cluster/leave", LeaveRequest{Node: b2.URL}, &resp); status != 200 {
+		t.Fatalf("leave: status %d", status)
+	}
+	if len(resp.Failed) != 0 {
+		t.Fatalf("leave rebalance failures: %v", resp.Failed)
+	}
+	if len(resp.Members) != 1 || resp.Members[0] != b1.URL {
+		t.Fatalf("members after leave: %v", resp.Members)
+	}
+	for _, id := range ids {
+		if status := call(t, "GET", gw.URL+"/v1/sessions/"+id, nil, nil); status != 200 {
+			t.Fatalf("session %s unreachable after leave: status %d", id, status)
+		}
+		if status := call(t, "GET", b2.URL+"/v1/sessions/"+id, nil, nil); status != 404 {
+			t.Fatalf("session %s still on the departed node: status %d", id, status)
+		}
+	}
+	var list server.SessionListResponse
+	if status := call(t, "GET", b2.URL+"/v1/sessions", nil, &list); status != 200 || len(list.Sessions) != 0 {
+		t.Fatalf("departed node still holds %d sessions", len(list.Sessions))
+	}
+}
+
+// TestMigrateValidation covers the admin plane's refusals.
+func TestMigrateValidation(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	g, gw := bootGateway(t, b1.URL, b2.URL)
+
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{}, nil); status != 400 {
+		t.Fatalf("empty session: status %d, want 400", status)
+	}
+	// Unknown session: the source's export 404 passes through.
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{Session: "g-nope-000001"}, nil); status != 404 {
+		t.Fatalf("unknown session: status %d, want 404", status)
+	}
+	var info server.SessionInfo
+	if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 5, G: 1, Alg: "alg2"}, &info); status != 201 {
+		t.Fatalf("create: status %d", status)
+	}
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{Session: info.ID, Target: "http://127.0.0.1:1"}, nil); status != 400 {
+		t.Fatalf("non-member target: status %d, want 400", status)
+	}
+	if status := call(t, "POST", gw.URL+"/v1/cluster/join", JoinRequest{Node: b2.URL}, nil); status != 409 {
+		t.Fatalf("duplicate join: status %d, want 409", status)
+	}
+	if status := call(t, "POST", gw.URL+"/v1/cluster/leave", LeaveRequest{Node: "http://127.0.0.1:2"}, nil); status != 404 {
+		t.Fatalf("leave non-member: status %d, want 404", status)
+	}
+	// A held admin semaphore answers 409 instead of queueing.
+	g.admin <- struct{}{}
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{Session: info.ID}, nil); status != 409 {
+		t.Fatalf("busy admin: status %d, want 409", status)
+	}
+	<-g.admin
+	// Migrating to the current owner is a no-op success.
+	owner, _ := g.route(info.ID)
+	var mig MigrateResponse
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{Session: info.ID, Target: owner}, &mig); status != 200 {
+		t.Fatalf("self-migrate: status %d", status)
+	}
+	if mig.From != owner || mig.To != owner {
+		t.Fatalf("self-migrate response %+v", mig)
+	}
+}
+
+// TestMigrationUnderTraffic migrates one session while another is being
+// driven concurrently through the gateway; the bystander must never see
+// an error (race coverage for route/override/handoff interleavings).
+func TestMigrationUnderTraffic(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	_, gw := bootGateway(t, b1.URL, b2.URL)
+
+	var mover, bystander server.SessionInfo
+	if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 10, G: 3, Alg: "alg2"}, &mover); status != 201 {
+		t.Fatalf("create mover: status %d", status)
+	}
+	if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 10, G: 3, Alg: "alg2"}, &bystander); status != 201 {
+		t.Fatalf("create bystander: status %d", status)
+	}
+	feed(t, gw.URL, mover.ID, 0)
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 40; i++ {
+			status, body := callNoFatal("GET", gw.URL+"/v1/sessions/"+bystander.ID)
+			if status != 200 {
+				done <- fmt.Errorf("bystander read %d: status %d body %s", i, status, body)
+				return
+			}
+		}
+		done <- nil
+	}()
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{Session: mover.ID}, nil); status != 200 {
+		t.Fatalf("migrate under traffic: status %d", status)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	feed(t, gw.URL, mover.ID, 1)
+}

@@ -149,6 +149,7 @@ func runMustCheck(pass *Pass, callees []MustCheckCallee) error {
 // durablePkgSuffixes scopes DurableSync to the write-ahead-log and
 // snapshot paths: the store itself and the serving layer that drives it.
 var durablePkgSuffixes = []string{
+	"internal/cluster",
 	"internal/store",
 	"internal/server",
 }

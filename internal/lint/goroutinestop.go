@@ -12,6 +12,7 @@ import (
 // path survives Shutdown, leaks under the race detector, and turns
 // graceful drain into a hang.
 var spawningPkgSuffixes = []string{
+	"internal/cluster",
 	"internal/server",
 	"internal/solve",
 	"internal/store",

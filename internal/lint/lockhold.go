@@ -13,6 +13,7 @@ import (
 // lock — the exact failure mode group-commit and multi-node migration
 // (ROADMAP items 1–2) will make catastrophic rather than slow.
 var concurrentPkgSuffixes = []string{
+	"internal/cluster",
 	"internal/server",
 	"internal/server/metrics",
 	"internal/solve",

@@ -1,6 +1,9 @@
 package server
 
-import "calibsched/internal/trace"
+import (
+	"calibsched/internal/store"
+	"calibsched/internal/trace"
+)
 
 // JSON request/response schema of the calibserved v1 API. All quantities
 // are int64 on the wire, matching the exact integer model of
@@ -14,6 +17,12 @@ type CreateSessionRequest struct {
 	G int64 `json:"g"`
 	// Alg selects the engine backend; see online.EngineNames.
 	Alg string `json:"alg"`
+	// ID optionally pins the session id instead of taking a
+	// server-numbered one. The cluster gateway (internal/cluster) relies
+	// on this: it must choose the id before it can consistent-hash the
+	// session onto a node. Letters, digits, '.', '_', and '-' only; an
+	// id already in use is a 409.
+	ID string `json:"id,omitempty"`
 }
 
 // SessionInfo describes a session's identity and live state.
@@ -185,10 +194,51 @@ type SolveStatusResponse struct {
 	Assignments  []AssignmentJSON  `json:"assignments,omitempty"`
 }
 
+// SessionListResponse is the GET /v1/sessions body: every live session,
+// sorted by ID. The cluster gateway uses it to enumerate what must move
+// during a rebalance.
+type SessionListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// ExportedSession is a session's complete durable state in transit
+// between nodes: the body of a successful POST /v1/sessions/{id}/export
+// and of the matching POST /v1/sessions/import. Either Snapshot carries
+// the engine state and Commands the WAL tail logged after it, or
+// Snapshot is nil and Commands is the full command stream from birth
+// (engines without snapshot support). Replaying Commands on top of
+// Snapshot on the importing node reproduces the session byte-exactly —
+// the same determinism crash recovery relies on.
+type ExportedSession struct {
+	ID       string              `json:"id"`
+	Create   store.CreateCommand `json:"create"`
+	Snapshot *store.Snapshot     `json:"snapshot,omitempty"`
+	Commands []ExportedCommand   `json:"commands,omitempty"`
+}
+
+// ExportedCommand is one logged command of an exported session's replay
+// tail. Kind is "arrivals" (Jobs set) or "steps" (K set); sequence
+// numbers are not shipped — only relative order matters, and the
+// importing store renumbers from scratch.
+type ExportedCommand struct {
+	Kind string         `json:"kind"`
+	Jobs []store.JobRec `json:"jobs,omitempty"`
+	K    int64          `json:"k,omitempty"`
+}
+
 // HealthResponse is the GET /healthz body.
 type HealthResponse struct {
 	Status   string `json:"status"`
 	Sessions int    `json:"sessions"`
+}
+
+// ReadyResponse is the GET /readyz body. Status is "ok" when the node
+// accepts new sessions and imports, "draining" once shutdown has begun,
+// and "booting" while the daemon is still replaying WALs (served by the
+// daemon's boot handler before the real server exists). Health checkers
+// route on the status code — 200 vs 503 — not the body.
+type ReadyResponse struct {
+	Status string `json:"status"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -147,6 +147,11 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 	if _, err := online.NewEngine(req.Alg, req.T, req.G); err != nil {
 		return SessionInfo{}, &apiError{status: 400, msg: err.Error()}
 	}
+	if req.ID != "" {
+		if err := validateSessionID(req.ID); err != nil {
+			return SessionInfo{}, err
+		}
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -157,8 +162,31 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 		return SessionInfo{}, &apiError{status: 429, retryAfter: true, msg: fmt.Sprintf(
 			"session limit reached (%d live); delete or let idle sessions expire and retry", len(m.sessions))}
 	}
-	m.nextID++
-	id := fmt.Sprintf("s-%06d", m.nextID)
+	var id string
+	if req.ID != "" {
+		// Client-pinned ID (the cluster gateway chooses IDs so it can hash
+		// them onto nodes before creating). A collision with anything — a
+		// live session, or an on-disk directory from a failed recovery or
+		// an in-flight migration — is a 409, never a silent reuse.
+		id = req.ID
+		if _, dup := m.sessions[id]; dup {
+			return SessionInfo{}, &apiError{status: 409, msg: fmt.Sprintf("session %q already exists", id)}
+		}
+		if m.cfg.Store != nil {
+			exists, err := m.cfg.Store.Exists(id)
+			if err != nil {
+				return SessionInfo{}, &apiError{status: 500, msg: fmt.Sprintf("probing session storage: %v", err)}
+			}
+			if exists {
+				return SessionInfo{}, &apiError{status: 409, msg: fmt.Sprintf(
+					"session %q has on-disk state on this node", id)}
+			}
+		}
+		bumpNextID(&m.nextID, id)
+	} else {
+		m.nextID++
+		id = fmt.Sprintf("s-%06d", m.nextID)
+	}
 	var per *persister
 	if m.cfg.Store != nil {
 		// The directory, the log, and the create record exist before the
@@ -202,19 +230,33 @@ func (m *Manager) Get(id string) (*session, error) {
 }
 
 // Delete stops a session and removes it from the table, waiting for its
-// worker to drain.
+// worker to drain. An ID that is not live but has a directory on disk —
+// the settled source copy of a migrated-away session, or an
+// unrecoverable directory kept for inspection — is purged from disk, so
+// DELETE doubles as the cluster's post-migration cleanup verb.
 func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
 	if ok {
 		delete(m.sessions, id)
+		m.mu.Unlock()
+		m.retire(s, diskDestroy)
+		return nil
 	}
-	m.mu.Unlock()
-	if !ok {
-		return &apiError{status: 404, msg: fmt.Sprintf("no session %q", id)}
+	// Purge under the same lock as the liveness check so a concurrent
+	// Create or Import of the same ID cannot land between the check and
+	// the removal and lose its fresh directory.
+	defer m.mu.Unlock()
+	if m.cfg.Store != nil {
+		exists, err := m.cfg.Store.Exists(id)
+		if err == nil && exists {
+			if err := m.cfg.Store.Remove(id); err != nil {
+				return &apiError{status: 500, msg: fmt.Sprintf("removing session directory: %v", err)}
+			}
+			return nil
+		}
 	}
-	m.retire(s, diskDestroy)
-	return nil
+	return &apiError{status: 404, msg: fmt.Sprintf("no session %q", id)}
 }
 
 // diskFate is what a retiring session leaves on disk.

@@ -31,6 +31,12 @@ var (
 	SessionsCreated = expvar.NewInt("calibserved.sessions.created")
 	// SessionsEvicted counts sessions removed by the idle-TTL janitor.
 	SessionsEvicted = expvar.NewInt("calibserved.sessions.evicted")
+	// SessionsExported counts sessions handed off to another node via
+	// POST /v1/sessions/{id}/export (migration source side).
+	SessionsExported = expvar.NewInt("calibserved.sessions.exported")
+	// SessionsImported counts sessions received via
+	// POST /v1/sessions/import (migration target side).
+	SessionsImported = expvar.NewInt("calibserved.sessions.imported")
 	// StepsServed counts simulated time steps across all sessions.
 	StepsServed = expvar.NewInt("calibserved.steps.served")
 	// ArrivalsAccepted counts jobs admitted into arrival buffers.

@@ -245,11 +245,31 @@ func (m *Manager) recoverSessions() error {
 	return nil
 }
 
-// rebuild reconstructs one session from its recovered log: snapshot
-// state first, then the command stream replayed in order against the
-// deterministic engine. The worker starts only after the state matches
-// the log, so no request can observe a half-replayed session.
+// rebuild reconstructs one session from its recovered log — snapshot
+// state, then the replayed command stream — and starts its worker. The
+// worker starts only after the state matches the log, so no request can
+// observe a half-replayed session.
 func (m *Manager) rebuild(rs *store.RecoveredSession, now time.Time) (*session, error) {
+	s, err := m.restoreSession(rs, now)
+	if err != nil {
+		return nil, err
+	}
+	// Replayed records mean the snapshot is that stale: carry the count
+	// into the cadence so a long log earns a fresh snapshot on the next
+	// append instead of replaying again after the next crash.
+	s.per = &persister{log: rs.Log, every: m.cfg.SnapshotEvery, since: len(rs.Commands), logger: m.cfg.Logger, id: rs.ID}
+	go s.work()
+	return s, nil
+}
+
+// restoreSession replays recovered (or migrated — the import path rides
+// the same replay) state into a workerless session: snapshot first, then
+// the command stream in order against the deterministic engine. The
+// returned session has no persister and no running worker; the caller
+// attaches both once it decides the session is worth serving. On error
+// the session's queue-depth contribution is released, so a failed replay
+// leaves no stale gauge behind.
+func (m *Manager) restoreSession(rs *store.RecoveredSession, now time.Time) (*session, error) {
 	spec, ok := online.LookupEngine(rs.Create.Alg)
 	if !ok {
 		return nil, fmt.Errorf("create record names unknown engine %q", rs.Create.Alg)
@@ -257,8 +277,7 @@ func (m *Manager) rebuild(rs *store.RecoveredSession, now time.Time) (*session, 
 	if _, err := online.NewEngine(rs.Create.Alg, rs.Create.T, rs.Create.G); err != nil {
 		return nil, err
 	}
-	per := &persister{log: rs.Log, every: m.cfg.SnapshotEvery, logger: m.cfg.Logger, id: rs.ID}
-	s := makeSession(rs.ID, spec, rs.Create.T, rs.Create.G, m.cfg.MaxBuffer, m.cfg.TraceRing, per, now)
+	s := makeSession(rs.ID, spec, rs.Create.T, rs.Create.G, m.cfg.MaxBuffer, m.cfg.TraceRing, nil, now)
 	s.replaying = true
 	if rs.Snap != nil {
 		if err := s.loadSnapshot(rs.Snap); err != nil {
@@ -275,13 +294,9 @@ func (m *Manager) rebuild(rs *store.RecoveredSession, now time.Time) (*session, 
 			// reproduced it. The session recovers in its broken state.
 			break
 		}
+		metrics.QueueDepth.Add(-s.depth.Swap(0))
 		return nil, fmt.Errorf("replaying record %d (seq %d): %w", i, cmd.Seq, err)
 	}
 	s.replaying = false
-	// Replayed records mean the snapshot is that stale: carry the count
-	// into the cadence so a long log earns a fresh snapshot on the next
-	// append instead of replaying again after the next crash.
-	per.since = len(rs.Commands)
-	go s.work()
 	return s, nil
 }

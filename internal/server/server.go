@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"calibsched/internal/server/metrics"
@@ -50,6 +51,12 @@ type Server struct {
 	pool *solve.Pool
 	mux  *http.ServeMux
 	log  *slog.Logger
+
+	// ready gates GET /readyz: true from the end of New (boot replay
+	// done) until Shutdown begins. The cluster gateway health-checks
+	// /readyz, so flipping this false pulls the node out of routing
+	// before the drain starts refusing work.
+	ready atomic.Bool
 }
 
 // New builds a server and its manager from the config. With a persistent
@@ -72,15 +79,20 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolveSubmit)
 	s.mux.HandleFunc("GET /v1/solve/{id}", s.handleSolveGet)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("POST /v1/sessions/import", s.handleImport)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/arrivals", s.handleArrivals)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/export", s.handleExport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -92,10 +104,12 @@ func (s *Server) Manager() *Manager { return s.mgr }
 func (s *Server) Pool() *solve.Pool { return s.pool }
 
 // Shutdown drains every session and stops the solve pool; see
-// Manager.Shutdown. The pool is closed first — running solves finish,
-// queued ones fail fast with 503s — so a slow DP cannot hold the drain
-// past the caller's deadline budget for sessions.
+// Manager.Shutdown. Readiness drops first — the gateway stops routing
+// here before requests start getting drained-away 503s — then the pool
+// is closed (running solves finish, queued ones fail fast) so a slow DP
+// cannot hold the drain past the caller's deadline budget for sessions.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
 	s.pool.Close()
 	return s.mgr.Shutdown(ctx)
 }
@@ -271,6 +285,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Sessions: s.mgr.Len()})
+}
+
+// handleReady is the routable-for-new-work probe: 200 while the node
+// accepts sessions, 503 once shutdown has begun. (Liveness stays
+// /healthz, which answers 200 even while draining — the process is
+// healthy, just leaving the pool.) The "booting" phase is covered by
+// cmd/calibserved, which serves its own 503 /readyz until WAL replay
+// finishes and this server exists.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok"})
+}
+
+// handleList enumerates live sessions; the gateway uses it to find what
+// must migrate during a rebalance.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+// handleExport drains a session and returns its portable state; the
+// session stops serving here the moment this succeeds. See
+// Manager.Export for the on-disk safety-net semantics.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	exp, err := s.mgr.Export(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	logAttrs(r, slog.String("session", exp.ID))
+	writeJSON(w, http.StatusOK, exp)
+}
+
+// handleImport accepts a migrated session's state and brings it live.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	var exp ExportedSession
+	if err := readJSON(w, r, &exp); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.mgr.Import(&exp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	logAttrs(r, slog.String("session", info.ID), slog.String("alg", info.Alg))
+	writeJSON(w, http.StatusCreated, info)
 }
 
 // readJSON decodes a request body strictly: unknown fields and trailing

@@ -66,30 +66,63 @@ func (s *Store) Recover() (*Recovery, error) {
 	return rec, nil
 }
 
+// RecoverOne rebuilds a single session directory — Recover scoped to one
+// id, for putting back a session that was pulled out of serving (a
+// failed migration export) without rescanning, or touching the open
+// logs of, every other session under the root.
+func (s *Store) RecoverOne(id string) (*RecoveredSession, error) {
+	return s.recoverSession(id)
+}
+
 // recoverSession rebuilds one session directory.
 func (s *Store) recoverSession(id string) (*RecoveredSession, error) {
-	dir, err := s.dir(id)
+	rs, lastSeq, validLen, err := s.scanSession(id)
 	if err != nil {
 		return nil, err
 	}
+	walPath := filepath.Join(filepath.Join(s.root, id), walName)
+	if rs.Truncated {
+		if err := os.Truncate(walPath, int64(validLen)); err != nil {
+			return nil, fmt.Errorf("store: truncating torn wal: %w", err)
+		}
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: reopening wal: %w", err)
+	}
+	rs.Log = &Log{dir: filepath.Dir(walPath), f: f, fsync: s.fsync, batchEvery: s.batchEvery, seq: lastSeq}
+	return rs, nil
+}
+
+// scanSession reads one session directory without modifying anything on
+// disk: the snapshot, the decodable command prefix of the WAL, and where
+// that prefix ends. It is the shared read path of crash recovery (which
+// then truncates and reopens the log for appending) and of migration
+// export (which ships the state elsewhere and must leave the directory
+// exactly as found). The returned RecoveredSession carries no Log.
+func (s *Store) scanSession(id string) (rs *RecoveredSession, lastSeq uint64, validLen int, err error) {
+	dir, err := s.dir(id)
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	snap, err := readSnapshot(filepath.Join(dir, snapName))
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 
 	walPath := filepath.Join(dir, walName)
 	data, err := os.ReadFile(walPath)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("store: reading wal: %w", err)
+		return nil, 0, 0, fmt.Errorf("store: reading wal: %w", err)
 	}
 	if snap == nil && len(data) == 0 {
 		// Nothing durable ever existed (crash between directory
 		// creation and the create record landing): session absent.
-		return nil, fmt.Errorf("store: empty log and no snapshot")
+		return nil, 0, 0, fmt.Errorf("store: empty log and no snapshot")
 	}
 
-	rs := &RecoveredSession{ID: id, Snap: snap}
-	var lastSeq uint64
+	rs = &RecoveredSession{ID: id, Snap: snap}
 	if snap != nil {
 		rs.Create = snap.Create
 		lastSeq = snap.Seq
@@ -98,7 +131,7 @@ func (s *Store) recoverSession(id string) (*RecoveredSession, error) {
 	// truncated at the first bad record — torn tail, checksum
 	// mismatch, or a CRC-valid record whose contents violate the
 	// stream's invariants (non-monotone seq, undecodable payload).
-	validLen, sawCreate := 0, false
+	sawCreate := false
 	for validLen < len(data) {
 		frame, n, err := readRecord(data[validLen:])
 		if err != nil {
@@ -140,20 +173,9 @@ func (s *Store) recoverSession(id string) (*RecoveredSession, error) {
 		validLen += n
 	}
 	if snap == nil && !sawCreate {
-		return nil, fmt.Errorf("store: no create record survives")
+		return nil, 0, 0, fmt.Errorf("store: no create record survives")
 	}
-	if rs.Truncated {
-		if err := os.Truncate(walPath, int64(validLen)); err != nil {
-			return nil, fmt.Errorf("store: truncating torn wal: %w", err)
-		}
-	}
-
-	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: reopening wal: %w", err)
-	}
-	rs.Log = &Log{dir: dir, f: f, fsync: s.fsync, batchEvery: s.batchEvery, seq: lastSeq}
-	return rs, nil
+	return rs, lastSeq, validLen, nil
 }
 
 // decodeCommand parses a frame's payload per its type.
