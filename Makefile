@@ -41,8 +41,9 @@ fuzz:
 
 # bench writes a dated machine-readable performance report (ns/op,
 # allocs/op, steps/sec for the steppers, the offline DP, the
-# decision-tracing overhead tiers, and the serving persistence tiers:
-# in-memory vs WAL at each fsync policy).
+# decision-tracing overhead tiers, the serving persistence tiers:
+# in-memory vs WAL at each fsync policy, and the request-span recorder
+# tiers: nil recorder vs bounded ring).
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 bench:
 	$(GO) run ./cmd/calibbench -perf -out $(BENCH_OUT)

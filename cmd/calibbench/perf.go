@@ -232,16 +232,23 @@ func runPerf(out io.Writer, d time.Duration, n int, filter string) error {
 		name   string
 		policy store.FsyncPolicy
 		wal    bool
+		spans  bool
 	}{
 		{name: "serve/step/in-memory"},
 		{name: "serve/step/wal-none", policy: store.FsyncNone, wal: true},
 		{name: "serve/step/wal-batch", policy: store.FsyncBatch, wal: true},
 		{name: "serve/step/wal-always", policy: store.FsyncAlways, wal: true},
+		// Span-recording overhead tiers: span-nil is the untraced request
+		// path (nil *trace.Active through the worker — must sit within
+		// noise of serve/step/in-memory), span-ring opens, stamps, and
+		// lands a full span tree per op against a live SpanStore.
+		{name: "serve/step/span-nil"},
+		{name: "serve/step/span-ring", spans: true},
 	} {
 		if !matchCase(filter, sc.name) {
 			continue
 		}
-		res, err := measureServe(sc.name, d, sc.wal, sc.policy)
+		res, err := measureServe(sc.name, d, sc.wal, sc.policy, sc.spans)
 		if err != nil {
 			return err
 		}
@@ -255,8 +262,10 @@ func runPerf(out io.Writer, d time.Duration, n int, filter string) error {
 
 // measureServe times the calibserved hot path — one accepted arrival and
 // one simulated step per op against a live session worker — with the
-// given persistence configuration.
-func measureServe(name string, d time.Duration, wal bool, policy store.FsyncPolicy) (perfResult, error) {
+// given persistence configuration. With spans set, each op additionally
+// opens an http root span, threads it through the worker (queue-wait and
+// engine-step phases), and lands the finished tree in a live SpanStore.
+func measureServe(name string, d time.Duration, wal bool, policy store.FsyncPolicy, spans bool) (perfResult, error) {
 	var st *store.Store
 	if wal {
 		dir, err := os.MkdirTemp("", "calibbench-wal-*")
@@ -285,16 +294,25 @@ func measureServe(name string, d time.Duration, wal bool, policy store.FsyncPoli
 	if err != nil {
 		return perfResult{}, err
 	}
+	var spanStore *trace.SpanStore
+	if spans {
+		spanStore = trace.NewSpanStore(512, 0, "bench")
+	}
 	var clock int64
 	job := []server.JobSpec{{Weight: 3}}
 	return measure(name, d, 1, func() {
+		var act *trace.Active
+		if spanStore != nil {
+			act = spanStore.StartSpan(trace.PhaseHTTP, trace.SpanContext{}, nil)
+		}
 		job[0].Release = clock
-		if _, err := sess.Arrivals(job); err != nil {
+		if _, err := sess.Arrivals(job, act); err != nil {
 			panic("calibbench: serve arrivals failed: " + err.Error())
 		}
-		if _, err := sess.Step(1, 1); err != nil {
+		if _, err := sess.Step(1, 1, act); err != nil {
 			panic("calibbench: serve step failed: " + err.Error())
 		}
+		act.Finish()
 		clock++
 	}), nil
 }

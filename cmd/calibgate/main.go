@@ -38,6 +38,10 @@ import (
 	"calibsched/internal/cluster"
 )
 
+// version identifies the build in calibgate_build_info; release tooling
+// overrides it with -ldflags "-X main.version=...".
+var version = "dev"
+
 func main() {
 	os.Exit(cliMain(os.Args[1:], os.Stderr, signalContext()))
 }
@@ -64,6 +68,8 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 		requestTimeout  = fs.Duration("request-timeout", 2*time.Minute, "end-to-end timeout for one backend request (covers large step batches)")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining connections on shutdown")
 		logLevel        = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		spanStore       = fs.Int("span-store", 512, "proxy-span trace store capacity in traces for GET /v1/traces (negative disables recording; traceparent headers still forward)")
+		slowThreshold   = fs.Duration("trace-slow-threshold", 250*time.Millisecond, "retain traces whose proxy span is at least this slow ahead of FIFO eviction (0 keeps pure FIFO)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +111,10 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 		Retries:        *retries,
 		RetryBackoff:   *retryBackoff,
 		Logger:         logger,
+
+		SpanStoreSize:      *spanStore,
+		SlowTraceThreshold: *slowThreshold,
+		Version:            version,
 	}
 	if err := serve(ctx, *addr, opts, *shutdownTimeout, logger, nil); err != nil {
 		fmt.Fprintln(stderr, "calibgate:", err)

@@ -54,6 +54,8 @@ type config struct {
 	verify       bool
 	timeout      time.Duration
 	migrateEvery int
+	slo          bool
+	sloP99       time.Duration
 }
 
 func cliMain(args []string, stdout, stderr io.Writer) int {
@@ -72,6 +74,8 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&cfg.verify, "verify", true, "verify each served cost against the local batch algorithm")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
 	fs.IntVar(&cfg.migrateEvery, "migrate-every", 0, "cluster mode: live-migrate every Nth session mid-stream via the gateway's POST /v1/cluster/migrate (0 disables; requires -addr to point at calibgate)")
+	fs.BoolVar(&cfg.slo, "slo", false, "after the run, read GET /v1/traces back from the target and report per-phase p50/p95/p99 with a pass/fail verdict")
+	fs.DurationVar(&cfg.sloP99, "slo-p99", 500*time.Millisecond, "with -slo: the p99 budget for the root phase (proxy at a gateway, http at a node)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,16 +95,31 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "calibload: unknown -alg %q (have %s)\n", cfg.alg, strings.Join(online.EngineNames(), ", "))
 		return 2
 	}
+	if cfg.sloP99 <= 0 {
+		fmt.Fprintln(stderr, "calibload: -slo-p99 must be > 0")
+		return 2
+	}
 	rep, err := runLoad(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "calibload:", err)
 		return 1
 	}
 	rep.write(stdout, cfg)
+	code := 0
 	if len(rep.errs) > 0 || rep.mismatches > 0 {
-		return 1
+		code = 1
 	}
-	return 0
+	if cfg.slo {
+		pass, err := runSLO(cfg, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "calibload:", err)
+			return 1
+		}
+		if !pass {
+			code = 1
+		}
+	}
+	return code
 }
 
 // report aggregates the run's outcome across all session workers.

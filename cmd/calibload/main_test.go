@@ -174,6 +174,43 @@ func TestCLIOutputAndExit(t *testing.T) {
 	}
 }
 
+// TestCLISLOMode drives a run with -slo: after the load, the generator
+// must read back GET /v1/traces, print per-phase percentiles (untraced
+// requests still mint server-side http root spans, so queue-wait and
+// engine-step show up without client traceparent headers), and pass
+// against a generous p99 budget.
+func TestCLISLOMode(t *testing.T) {
+	ts := loadServer(t, server.Config{})
+	var stdout, stderr bytes.Buffer
+	code := cliMain([]string{
+		"-addr", ts.URL, "-sessions", "2", "-steps", "40", "-jobs", "6",
+		"-slo", "-slo-p99", "30s",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q stdout %q", code, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"phase", "http", "queue-wait", "engine-step", "slo: PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slo report missing %q:\n%s", want, out)
+		}
+	}
+
+	// An impossible budget must flip the verdict and the exit code.
+	stdout.Reset()
+	stderr.Reset()
+	code = cliMain([]string{
+		"-addr", ts.URL, "-sessions", "1", "-steps", "20", "-jobs", "3",
+		"-slo", "-slo-p99", "1ns",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("impossible budget: exit %d, want 1 (stdout %q)", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "slo: FAIL") {
+		t.Errorf("slo report missing FAIL verdict:\n%s", stdout.String())
+	}
+}
+
 func TestCLIFlagErrors(t *testing.T) {
 	for _, tc := range []struct {
 		name string

@@ -1,0 +1,126 @@
+package main
+
+// SLO mode (-slo): after the load run, read back the per-phase latency
+// attribution the serving side recorded (GET /v1/traces on calibserved
+// or the stitched calibgate view) and report p50/p95/p99 per phase plus
+// a pass/fail verdict on the root phase's p99. The phases come from the
+// server's span stores, not from client-side timing, so the breakdown
+// shows where the latency went — queue wait vs engine vs WAL vs fsync —
+// rather than one opaque end-to-end number.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"calibsched/internal/server"
+	"calibsched/internal/stats"
+	"calibsched/internal/trace"
+)
+
+// phaseOrder is the catalog order phases are reported in; phases outside
+// the catalog sort after it, alphabetically.
+var phaseOrder = []string{
+	trace.PhaseProxy, trace.PhaseHTTP, trace.PhaseQueueWait,
+	trace.PhaseEngineStep, trace.PhaseWALAppend, trace.PhaseFsyncWait,
+	trace.PhaseSolveQueue, trace.PhaseSolveDP, trace.PhaseCacheHit,
+}
+
+func phaseRank(p string) int {
+	for i, q := range phaseOrder {
+		if p == q {
+			return i
+		}
+	}
+	return len(phaseOrder)
+}
+
+// getJSON fetches one JSON document.
+func getJSON(hc *http.Client, url string, out any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// runSLO pulls every retained trace from the target, aggregates span
+// durations per phase, prints the percentile table, and returns whether
+// the root phase's p99 met the -slo-p99 budget.
+func runSLO(cfg config, w io.Writer) (bool, error) {
+	hc := &http.Client{Timeout: cfg.timeout}
+	base := strings.TrimRight(cfg.addr, "/")
+	var list server.TraceListResponse
+	if err := getJSON(hc, base+"/v1/traces", &list); err != nil {
+		return false, fmt.Errorf("slo: listing traces (is span recording enabled?): %w", err)
+	}
+	byPhase := map[string][]float64{} // milliseconds
+	traces, spans := 0, 0
+	for _, sum := range list.Traces {
+		var tr server.TraceGetResponse
+		if err := getJSON(hc, base+"/v1/traces/"+sum.TraceID, &tr); err != nil {
+			continue // the store may evict between list and fetch; sample what remains
+		}
+		traces++
+		for _, sp := range tr.Spans {
+			byPhase[sp.Phase] = append(byPhase[sp.Phase], float64(sp.Duration)/float64(time.Millisecond))
+			spans++
+		}
+	}
+	if spans == 0 {
+		return false, fmt.Errorf("slo: the trace store at %s holds no spans", base)
+	}
+
+	// The root phase is the outermost recorder this target saw: proxy
+	// when the target is a gateway, http against a bare node.
+	rootPhase := trace.PhaseHTTP
+	if len(byPhase[trace.PhaseProxy]) > 0 {
+		rootPhase = trace.PhaseProxy
+	}
+
+	phases := make([]string, 0, len(byPhase))
+	for p := range byPhase {
+		phases = append(phases, p)
+	}
+	sort.Slice(phases, func(i, j int) bool {
+		ri, rj := phaseRank(phases[i]), phaseRank(phases[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return phases[i] < phases[j]
+	})
+
+	fmt.Fprintf(w, "slo: %d traces, %d spans from %s/v1/traces\n", traces, spans, base)
+	fmt.Fprintf(w, "%-12s %8s %10s %10s %10s %10s\n", "phase", "spans", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)")
+	for _, p := range phases {
+		ds := byPhase[p]
+		sort.Float64s(ds)
+		fmt.Fprintf(w, "%-12s %8d %10s %10s %10s %10s\n", p, len(ds),
+			stats.FormatFloat(stats.Quantile(ds, 0.50)),
+			stats.FormatFloat(stats.Quantile(ds, 0.95)),
+			stats.FormatFloat(stats.Quantile(ds, 0.99)),
+			stats.FormatFloat(ds[len(ds)-1]))
+	}
+
+	rootDs := byPhase[rootPhase]
+	sort.Float64s(rootDs)
+	p99 := stats.Quantile(rootDs, 0.99)
+	budget := float64(cfg.sloP99) / float64(time.Millisecond)
+	pass := p99 <= budget
+	verdict := "PASS"
+	if !pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "slo: %s — %s p99 %sms against a %sms budget\n",
+		verdict, rootPhase, stats.FormatFloat(p99), stats.FormatFloat(budget))
+	return pass, nil
+}

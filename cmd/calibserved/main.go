@@ -35,13 +35,20 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"calibsched/internal/online"
 	"calibsched/internal/server"
+	"calibsched/internal/server/metrics"
 	"calibsched/internal/store"
 )
+
+// version identifies the build in calibserved_build_info; release
+// tooling overrides it with -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	os.Exit(cliMain(os.Args[1:], os.Stderr, signalContext()))
@@ -77,6 +84,8 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 		solveWorkers    = fs.Int("solve-workers", 0, "concurrent exact-DP solves in the /v1/solve pool (0 = GOMAXPROCS)")
 		solveQueue      = fs.Int("solve-queue", 64, "queued /v1/solve requests before 429 backpressure")
 		solveCache      = fs.Int("solve-cache", 128, "solve result-cache capacity in entries (negative disables caching)")
+		spanStore       = fs.Int("span-store", 512, "request-trace store capacity in traces for GET /v1/traces (negative disables span recording)")
+		slowThreshold   = fs.Duration("trace-slow-threshold", 250*time.Millisecond, "retain traces whose root span is at least this slow ahead of FIFO eviction (0 keeps pure FIFO)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -128,18 +137,29 @@ func cliMain(args []string, stderr io.Writer, ctx context.Context) int {
 		Write: *writeTimeout,
 		Idle:  *idleTimeout,
 	}
+	fsyncLabel := "none"
+	if *dataDir != "" {
+		fsyncLabel = fsyncPolicy.String()
+	}
+	metrics.SetBuildInfo(metrics.BuildInfo{
+		Version: version,
+		Fsync:   fsyncLabel,
+		Engines: strings.Join(online.EngineNames(), ","),
+	})
 	if err := serve(ctx, *addr, *debugAddr, server.Config{
-		MaxSessions:     *maxSessions,
-		MaxBuffer:       *maxBuffer,
-		MaxStepBatch:    *maxStepBatch,
-		TraceRing:       *traceRing,
-		IdleTTL:         *idleTTL,
-		Logger:          logger,
-		Store:           st,
-		SnapshotEvery:   *snapshotEvery,
-		SolveWorkers:    *solveWorkers,
-		SolveQueueDepth: *solveQueue,
-		SolveCacheSize:  *solveCache,
+		MaxSessions:        *maxSessions,
+		MaxBuffer:          *maxBuffer,
+		MaxStepBatch:       *maxStepBatch,
+		TraceRing:          *traceRing,
+		IdleTTL:            *idleTTL,
+		Logger:             logger,
+		Store:              st,
+		SnapshotEvery:      *snapshotEvery,
+		SolveWorkers:       *solveWorkers,
+		SolveQueueDepth:    *solveQueue,
+		SolveCacheSize:     *solveCache,
+		SpanStoreSize:      *spanStore,
+		SlowTraceThreshold: *slowThreshold,
 	}, timeouts, *shutdownTimeout, logger, nil); err != nil {
 		fmt.Fprintln(stderr, "calibserved:", err)
 		return 1

@@ -3,7 +3,9 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,11 +33,47 @@ type promFamily struct {
 	// gauge: one sample per (node, original label-set).
 	gauges []gaugeSample
 
-	// histogram: cumulative counts per le, plus _sum and _count.
+	// histogram: one cumulative bucket curve per node, merged at render
+	// time over the union of every node's bounds. Nodes are kept apart
+	// until then because bucket sets can differ across versions or
+	// configurations — summing per exact `le` string would silently
+	// produce a non-monotone (invalid) histogram whenever they do.
+	histNodes map[string]*nodeHist
+	histOrder []string
+	histSum   float64
+	histCnt   float64
+}
+
+// nodeHist is one node's cumulative histogram curve: counts per bound,
+// in exposition order.
+type nodeHist struct {
 	buckets map[string]float64
 	leOrder []string
-	histSum float64
-	histCnt float64
+}
+
+// valueAt evaluates the node's cumulative step function at an arbitrary
+// bound: the count at the largest own bound <= le, 0 below the first.
+// This is exact at the node's own bounds and a safe (monotone)
+// underestimate between them, which is what makes the union-bucket merge
+// a valid histogram.
+func (nh *nodeHist) valueAt(le string) float64 {
+	target, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		// A non-numeric bound: only an exact match means anything.
+		return nh.buckets[le]
+	}
+	best := math.Inf(-1)
+	var val float64
+	for bound, v := range nh.buckets {
+		bv, err := strconv.ParseFloat(bound, 64)
+		if err != nil {
+			continue
+		}
+		if bv <= target && bv > best {
+			best, val = bv, v
+		}
+	}
+	return val
 }
 
 type gaugeSample struct {
@@ -57,7 +95,7 @@ func newAggregator() *aggregator {
 func (a *aggregator) family(name, typ string) *promFamily {
 	f, ok := a.families[name]
 	if !ok {
-		f = &promFamily{name: name, typ: typ, counterSums: make(map[string]float64), buckets: make(map[string]float64)}
+		f = &promFamily{name: name, typ: typ, counterSums: make(map[string]float64), histNodes: make(map[string]*nodeHist)}
 		a.families[name] = f
 		a.order = append(a.order, name)
 	}
@@ -110,10 +148,16 @@ func (a *aggregator) ingest(node, text string) {
 				if le == "" {
 					continue
 				}
-				if _, seen := cur.buckets[le]; !seen {
-					cur.leOrder = append(cur.leOrder, le)
+				nh, ok := cur.histNodes[node]
+				if !ok {
+					nh = &nodeHist{buckets: make(map[string]float64)}
+					cur.histNodes[node] = nh
+					cur.histOrder = append(cur.histOrder, node)
 				}
-				cur.buckets[le] += value
+				if _, seen := nh.buckets[le]; !seen {
+					nh.leOrder = append(nh.leOrder, le)
+				}
+				nh.buckets[le] += value
 			case cur.name + "_sum":
 				cur.histSum += value
 			case cur.name + "_count":
@@ -123,8 +167,14 @@ func (a *aggregator) ingest(node, text string) {
 	}
 }
 
-// parseSample splits `name{labels} value` or `name value`.
+// parseSample splits `name{labels} value` or `name value`. An
+// OpenMetrics exemplar suffix (` # {trace_id="..."} 0.0042`) is dropped
+// first — the aggregate reports fleet totals; per-node exemplars do not
+// survive the merge.
 func parseSample(line string) (name, labels string, value float64, ok bool) {
+	if i := strings.Index(line, " # "); i >= 0 {
+		line = strings.TrimSpace(line[:i])
+	}
 	sp := strings.LastIndexByte(line, ' ')
 	if sp < 0 {
 		return "", "", 0, false
@@ -217,10 +267,25 @@ func (a *aggregator) render(w io.Writer) {
 			}
 		case "histogram":
 			fmt.Fprintf(w, "# TYPE %s histogram\n", f.name)
-			les := append([]string(nil), f.leOrder...)
+			// Union of every node's bounds, each node's curve evaluated at
+			// each bound — exact where bucket sets agree, monotone always.
+			seen := make(map[string]bool)
+			var les []string
+			for _, node := range f.histOrder {
+				for _, le := range f.histNodes[node].leOrder {
+					if !seen[le] {
+						seen[le] = true
+						les = append(les, le)
+					}
+				}
+			}
 			sort.Slice(les, func(i, j int) bool { return leLess(les[i], les[j]) })
 			for _, le := range les {
-				fmt.Fprintf(w, "%s_bucket{le=%q} %s\n", f.name, le, fmtVal(f.buckets[le]))
+				var total float64
+				for _, node := range f.histOrder {
+					total += f.histNodes[node].valueAt(le)
+				}
+				fmt.Fprintf(w, "%s_bucket{le=%q} %s\n", f.name, le, fmtVal(total))
 			}
 			fmt.Fprintf(w, "%s_sum %s\n", f.name, fmtVal(f.histSum))
 			fmt.Fprintf(w, "%s_count %s\n", f.name, fmtVal(f.histCnt))
@@ -270,6 +335,12 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // writeOwnMetrics appends the gateway's calibgate_* families.
 func (g *Gateway) writeOwnMetrics(w io.Writer, nodes []string, up map[string]bool) {
+	version := g.opts.Version
+	if version == "" {
+		version = "dev"
+	}
+	fmt.Fprintf(w, "# TYPE calibgate_build_info gauge\ncalibgate_build_info{go_version=%q,version=%q} 1\n",
+		runtime.Version(), version)
 	counter := func(name string, v int64) {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
 	}

@@ -11,12 +11,14 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"calibsched/internal/server"
+	"calibsched/internal/trace"
 )
 
 // Options tunes a Gateway. The zero value of every field is usable.
@@ -46,6 +48,18 @@ type Options struct {
 	RetryBackoff time.Duration
 	// Logger receives request and migration records (default discard).
 	Logger *slog.Logger
+	// SpanStoreSize bounds the gateway's own request-trace store (default
+	// 512 traces; negative disables proxy-span recording). Even with
+	// recording disabled the gateway still forwards client traceparent
+	// headers to the backends.
+	SpanStoreSize int
+	// SlowTraceThreshold marks traces whose proxy root exceeds it as
+	// retained — they survive ring eviction ahead of fast traces. Zero
+	// keeps plain FIFO eviction.
+	SlowTraceThreshold time.Duration
+	// Version is reported by the calibgate_build_info metric (default
+	// "dev").
+	Version string
 }
 
 // Gateway is the cluster front door: an http.Handler that
@@ -79,6 +93,11 @@ type Gateway struct {
 	// keeps two gateways (or a restarted one) from colliding.
 	idPrefix string
 	idSeq    atomic.Int64
+
+	// spans records one proxy span per routed /v1 request (nil when
+	// Options disable recording; every call site is nil-safe). The
+	// trace handlers stitch these with the backends' fragments.
+	spans *trace.SpanStore
 
 	metrics gatewayMetrics
 }
@@ -127,6 +146,13 @@ func NewGateway(opts Options) (*Gateway, error) {
 		admin:     make(chan struct{}, 1),
 		idPrefix:  hex.EncodeToString(prefix[:]),
 	}
+	if opts.SpanStoreSize >= 0 {
+		size := opts.SpanStoreSize
+		if size == 0 {
+			size = 512
+		}
+		g.spans = trace.NewSpanStore(size, opts.SlowTraceThreshold, "gateway")
+	}
 	for _, b := range opts.Backends {
 		node, err := normalizeNode(b)
 		if err != nil {
@@ -153,6 +179,8 @@ func NewGateway(opts Options) (*Gateway, error) {
 	g.mux.HandleFunc("POST /v1/cluster/join", g.handleJoin)
 	g.mux.HandleFunc("POST /v1/cluster/leave", g.handleLeave)
 	g.mux.HandleFunc("GET /v1/cluster/nodes", g.handleNodes)
+	g.mux.HandleFunc("GET /v1/traces", g.handleTraceList)
+	g.mux.HandleFunc("GET /v1/traces/{traceID}", g.handleTraceGet)
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	return g, nil
@@ -173,15 +201,54 @@ func normalizeNode(b string) (string, error) {
 	return n, nil
 }
 
+// gatewayTraced reports whether a request path gets a proxy root span:
+// the routed /v1 API only. The trace API itself is excluded (reading
+// traces must not mint them) and so are the cluster admin endpoints,
+// which are operator actions rather than request traffic.
+func gatewayTraced(p string) bool {
+	return strings.HasPrefix(p, "/v1/") &&
+		!strings.HasPrefix(p, "/v1/traces") &&
+		!strings.HasPrefix(p, "/v1/cluster")
+}
+
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusCapture{ResponseWriter: w, status: http.StatusOK}
-	g.mux.ServeHTTP(sw, r)
+	ctx := r.Context()
+	var act *trace.Active
+	if g.spans != nil && gatewayTraced(r.URL.Path) {
+		parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		act = g.spans.StartSpan(trace.PhaseProxy, parent, map[string]string{
+			"method": r.Method,
+			"path":   r.URL.Path,
+		})
+		ctx = trace.WithActive(ctx, act)
+		// Tell the client which trace its request landed in, whether the
+		// trace was minted here or continued from the request header.
+		w.Header().Set("traceparent", trace.FormatTraceparent(act.Context()))
+	}
+	g.mux.ServeHTTP(sw, r.WithContext(ctx))
+	if act != nil {
+		act.SetAttr("status", strconv.Itoa(sw.status))
+		act.Finish()
+	}
 	g.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.Int("status", sw.status),
 		slog.Duration("latency", time.Since(start)))
+}
+
+// forwardTraceparent is the traceparent header value a backend send on
+// behalf of this request should carry: the gateway's own proxy span when
+// one is open (so the backend's http span nests under it), else the
+// client's header verbatim (recording off here must not break the
+// client-to-backend trace).
+func forwardTraceparent(r *http.Request) string {
+	if act := trace.ActiveFrom(r.Context()); act != nil {
+		return trace.FormatTraceparent(act.Context())
+	}
+	return r.Header.Get("traceparent")
 }
 
 type statusCapture struct {
@@ -231,13 +298,20 @@ type sendResult struct {
 	body   []byte
 }
 
-// send issues method path to node with up to 1+Retries attempts.
-// Transport failures retry with linear backoff; an HTTP status never
-// retries here (the caller decides what a 503 means). Non-idempotent
-// methods retry only on dial failures — the one failure class that
-// proves the request never reached the backend, so a retry cannot
-// double-apply a step or an arrivals batch.
+// send issues an untraced backend exchange (health probes, scrapes,
+// migration plumbing); see sendTraced.
 func (g *Gateway) send(method, node, path string, body []byte) (sendResult, error) {
+	return g.sendTraced(method, node, path, body, "")
+}
+
+// sendTraced issues method path to node with up to 1+Retries attempts,
+// carrying traceparent (when non-empty) so the backend joins the
+// request's trace. Transport failures retry with linear backoff; an HTTP
+// status never retries here (the caller decides what a 503 means).
+// Non-idempotent methods retry only on dial failures — the one failure
+// class that proves the request never reached the backend, so a retry
+// cannot double-apply a step or an arrivals batch.
+func (g *Gateway) sendTraced(method, node, path string, body []byte, traceparent string) (sendResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= g.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -254,6 +328,9 @@ func (g *Gateway) send(method, node, path string, body []byte) (sendResult, erro
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
 		}
 		resp, err := g.client.Do(req)
 		if err != nil {
@@ -321,13 +398,13 @@ func (g *Gateway) relay(w http.ResponseWriter, res sendResult) {
 // immediate 503 + Retry-After (the client backs off and retries once
 // the node recovers or the session migrates), and exhausted transport
 // retries are a 502.
-func (g *Gateway) proxyTo(w http.ResponseWriter, node, method, path string, body []byte) {
+func (g *Gateway) proxyTo(w http.ResponseWriter, node, method, path string, body []byte, traceparent string) {
 	if !g.health.Ready(node) {
 		g.metrics.unroutable.Add(1)
 		writeRetryError(w, http.StatusServiceUnavailable, fmt.Sprintf("node %s is not ready; retry shortly", node))
 		return
 	}
-	res, err := g.send(method, node, path, body)
+	res, err := g.sendTraced(method, node, path, body, traceparent)
 	if err != nil {
 		g.metrics.proxyErrors.Add(1)
 		writeRetryError(w, http.StatusBadGateway, fmt.Sprintf("node %s unreachable: %v", node, err))
@@ -396,7 +473,8 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeGatewayError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	g.proxyTo(w, node, http.MethodPost, "/v1/sessions", out)
+	trace.ActiveFrom(r.Context()).SetAttr("node", node)
+	g.proxyTo(w, node, http.MethodPost, "/v1/sessions", out, forwardTraceparent(r))
 }
 
 // handleSession routes a session-scoped request by its ID.
@@ -417,7 +495,8 @@ func (g *Gateway) handleSession(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		path += "?" + r.URL.RawQuery
 	}
-	g.proxyTo(w, node, r.Method, path, body)
+	trace.ActiveFrom(r.Context()).SetAttr("node", node)
+	g.proxyTo(w, node, r.Method, path, body, forwardTraceparent(r))
 }
 
 // handleBlocked rejects the node-internal migration endpoints: handoff
@@ -515,7 +594,8 @@ func (g *Gateway) handleSolveSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := g.send(http.MethodPost, node, "/v1/solve", body)
+	trace.ActiveFrom(r.Context()).SetAttr("node", node)
+	res, err := g.sendTraced(http.MethodPost, node, "/v1/solve", body, forwardTraceparent(r))
 	if err != nil {
 		g.metrics.proxyErrors.Add(1)
 		writeRetryError(w, http.StatusBadGateway, fmt.Sprintf("node %s unreachable: %v", node, err))
@@ -553,7 +633,8 @@ func (g *Gateway) handleSolveGet(w http.ResponseWriter, r *http.Request) {
 		writeRetryError(w, http.StatusServiceUnavailable, fmt.Sprintf("node %s is not ready; retry shortly", node))
 		return
 	}
-	res, err := g.send(http.MethodGet, node, "/v1/solve/"+handle, nil)
+	trace.ActiveFrom(r.Context()).SetAttr("node", node)
+	res, err := g.sendTraced(http.MethodGet, node, "/v1/solve/"+handle, nil, forwardTraceparent(r))
 	if err != nil {
 		g.metrics.proxyErrors.Add(1)
 		writeRetryError(w, http.StatusBadGateway, fmt.Sprintf("node %s unreachable: %v", node, err))

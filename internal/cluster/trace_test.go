@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"calibsched/internal/server"
+	"calibsched/internal/store"
+	"calibsched/internal/trace"
+)
+
+// TestAggregateHistogramUnionBuckets is the regression for the merge of
+// histograms whose bucket sets disagree across nodes. Summing per exact
+// `le` string produced a non-monotone histogram whenever one node had a
+// bound the other lacked; the merge must instead evaluate each node's
+// cumulative curve over the union of bounds. The second node's first
+// bucket also carries an OpenMetrics exemplar, which the parser must
+// strip rather than mistake for the sample value.
+func TestAggregateHistogramUnionBuckets(t *testing.T) {
+	a := newAggregator()
+	a.ingest("n1", strings.Join([]string{
+		"# TYPE step_latency histogram",
+		`step_latency_bucket{le="0.1"} 5`,
+		`step_latency_bucket{le="+Inf"} 10`,
+		"step_latency_sum 1.5",
+		"step_latency_count 10",
+	}, "\n"))
+	a.ingest("n2", strings.Join([]string{
+		"# TYPE step_latency histogram",
+		`step_latency_bucket{le="0.05"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.003`,
+		`step_latency_bucket{le="0.1"} 4`,
+		`step_latency_bucket{le="0.5"} 6`,
+		`step_latency_bucket{le="+Inf"} 7`,
+		"step_latency_sum 0.9",
+		"step_latency_count 7",
+	}, "\n"))
+	var buf bytes.Buffer
+	a.render(&buf)
+
+	want := map[string]float64{
+		// n1's curve evaluated below its first bound is 0; above 0.1 it
+		// holds at 5 until +Inf.
+		"0.05": 2,  // 0 + 2
+		"0.1":  9,  // 5 + 4
+		"0.5":  11, // 5 + 6
+		"+Inf": 17, // 10 + 7
+	}
+	got := map[string]float64{}
+	var les []string
+	var prev float64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "step_latency_bucket{") {
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok || name != "step_latency_bucket" {
+			t.Fatalf("unparseable rendered bucket line %q", line)
+		}
+		le := labelValue(labels, "le")
+		got[le] = value
+		les = append(les, le)
+		if value < prev {
+			t.Fatalf("merged histogram is non-monotone: le=%s dropped to %v (line %q)", le, value, line)
+		}
+		prev = value
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged bounds %v, want the union %v", les, want)
+	}
+	for le, v := range want {
+		if got[le] != v {
+			t.Errorf("bucket le=%s = %v, want %v", le, got[le], v)
+		}
+	}
+	if !strings.Contains(buf.String(), "step_latency_count 17") {
+		t.Errorf("merged count missing or wrong:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "step_latency_sum 2.4") {
+		t.Errorf("merged sum missing or wrong:\n%s", buf.String())
+	}
+}
+
+// bootDurableBackend starts a calibserved serving layer over a WAL store
+// with per-append fsync, so traced requests exercise the wal-append and
+// fsync-wait phases.
+func bootDurableBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	srv, err := server.New(server.Config{Store: st})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("backend shutdown: %v", err)
+		}
+	})
+	return ts
+}
+
+// callTraced issues a JSON request carrying traceparent and returns the
+// status plus the response's traceparent header.
+func callTraced(t *testing.T, method, url, traceparent string, body, out any) (int, string) {
+	t.Helper()
+	var b []byte
+	if body != nil {
+		var err error
+		if b, err = json.Marshal(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("traceparent")
+}
+
+// fetchStitched polls the gateway's stitched trace until it contains
+// every wanted phase (span landing is asynchronous with the response by
+// one goroutine hop) or the deadline passes.
+func fetchStitched(t *testing.T, gw, traceID string, wantPhases []string) server.TraceGetResponse {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var got server.TraceGetResponse
+	for {
+		status, raw := callRaw(t, "GET", gw+"/v1/traces/"+traceID, nil)
+		if status == http.StatusOK {
+			got = server.TraceGetResponse{}
+			if err := json.Unmarshal(raw, &got); err != nil {
+				t.Fatalf("decoding stitched trace: %v", err)
+			}
+			have := map[string]bool{}
+			for _, sp := range got.Spans {
+				have[sp.Phase] = true
+			}
+			missing := false
+			for _, p := range wantPhases {
+				if !have[p] {
+					missing = true
+				}
+			}
+			if !missing {
+				return got
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stitched trace %s never reached phases %v; last status %d, spans %+v",
+				traceID, wantPhases, status, got.Spans)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStitchedTraceAcceptance is the tentpole's end-to-end claim: one
+// client-traced arrival-and-step through the gateway yields a single
+// stitched trace covering proxy → http → queue-wait → engine-step →
+// wal-append → fsync-wait, with every child's duration bounded by its
+// parent's and the proxy roots bounded by the client-observed latency.
+func TestStitchedTraceAcceptance(t *testing.T) {
+	b1, b2 := bootDurableBackend(t), bootDurableBackend(t)
+	_, gw := bootGateway(t, b1.URL, b2.URL)
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	parent := "00-" + traceID + "-00f067aa0ba902b7-01"
+
+	var info server.SessionInfo
+	status, respTP := callTraced(t, "POST", gw.URL+"/v1/sessions", parent,
+		server.CreateSessionRequest{T: 8, G: 16, Alg: "alg2"}, &info)
+	if status != 201 {
+		t.Fatalf("create: status %d", status)
+	}
+	if sc, ok := trace.ParseTraceparent(respTP); !ok || sc.TraceID != traceID {
+		t.Fatalf("gateway response traceparent %q does not continue trace %s", respTP, traceID)
+	}
+	var ar server.ArrivalsResponse
+	if status, _ = callTraced(t, "POST", gw.URL+"/v1/sessions/"+info.ID+"/arrivals", parent,
+		server.ArrivalsRequest{Jobs: []server.JobSpec{{Release: 0, Weight: 3}}}, &ar); status != 200 {
+		t.Fatalf("arrivals: status %d", status)
+	}
+	stepStart := time.Now()
+	var sr server.StepResponse
+	if status, _ = callTraced(t, "POST", gw.URL+"/v1/sessions/"+info.ID+"/step", parent,
+		server.StepRequest{Steps: 4}, &sr); status != 200 {
+		t.Fatalf("step: status %d", status)
+	}
+	clientLatency := time.Since(stepStart)
+
+	wantPhases := []string{
+		trace.PhaseProxy, trace.PhaseHTTP, trace.PhaseQueueWait,
+		trace.PhaseEngineStep, trace.PhaseWALAppend, trace.PhaseFsyncWait,
+	}
+	got := fetchStitched(t, gw.URL, traceID, wantPhases)
+	if got.TraceID != traceID {
+		t.Fatalf("stitched trace ID %q, want %q", got.TraceID, traceID)
+	}
+
+	byID := map[string]trace.Span{}
+	childSums := map[string]time.Duration{}
+	for _, sp := range got.Spans {
+		if sp.TraceID != traceID {
+			t.Fatalf("span %+v carries trace %q, want %q", sp, sp.TraceID, traceID)
+		}
+		if sp.Node == "" {
+			t.Fatalf("stitched span %+v has no node", sp)
+		}
+		byID[sp.SpanID] = sp
+		if sp.Parent != "" {
+			childSums[sp.Parent] += time.Duration(sp.Duration)
+		}
+	}
+	for _, sp := range got.Spans {
+		switch sp.Phase {
+		case trace.PhaseProxy:
+			if sp.Node != "gateway" {
+				t.Errorf("proxy span recorded on %q, want gateway", sp.Node)
+			}
+			if d := time.Duration(sp.Duration); d > clientLatency+time.Second {
+				t.Errorf("proxy span duration %v exceeds client latency %v", d, clientLatency)
+			}
+		case trace.PhaseHTTP:
+			if sp.Node != b1.URL && sp.Node != b2.URL {
+				t.Errorf("http span recorded on %q, want a backend URL", sp.Node)
+			}
+			// The backend's http span must nest under a gateway proxy span
+			// (the traceparent forwarded by the proxy is its parent).
+			parentSpan, ok := byID[sp.Parent]
+			if !ok || parentSpan.Phase != trace.PhaseProxy {
+				t.Errorf("http span parent %q is not a stitched proxy span", sp.Parent)
+			} else if time.Duration(sp.Duration) > time.Duration(parentSpan.Duration) {
+				t.Errorf("http span %v is longer than its enclosing proxy span %v",
+					time.Duration(sp.Duration), time.Duration(parentSpan.Duration))
+			}
+		}
+		// Worker phases sum to at most their root (they partition disjoint
+		// stretches of it).
+		if sum, root := childSums[sp.SpanID], time.Duration(sp.Duration); sum > root {
+			t.Errorf("children of %s span %s sum to %v > the span's own %v", sp.Phase, sp.SpanID, sum, root)
+		}
+	}
+
+	// The gateway's merged index must describe the trace by its outermost
+	// (proxy) root.
+	var list server.TraceListResponse
+	if status := call(t, "GET", gw.URL+"/v1/traces", nil, &list); status != 200 {
+		t.Fatalf("stitched list: status %d", status)
+	}
+	var found bool
+	for _, sum := range list.Traces {
+		if sum.TraceID == traceID {
+			found = true
+			if sum.RootPhase != trace.PhaseProxy {
+				t.Errorf("merged summary root phase %q, want proxy", sum.RootPhase)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s missing from merged list %+v", traceID, list.Traces)
+	}
+}
+
+// TestTraceAcrossMigration pins the propagation contract through a live
+// migration: a request arriving after the session moved — with no client
+// traceparent at all — still produces one stitched trace, rooted in the
+// gateway's minted proxy span, whose backend spans were recorded on the
+// *target* node.
+func TestTraceAcrossMigration(t *testing.T) {
+	b1, b2 := bootBackend(t), bootBackend(t)
+	_, gw := bootGateway(t, b1.URL, b2.URL)
+
+	var info server.SessionInfo
+	if status := call(t, "POST", gw.URL+"/v1/sessions", server.CreateSessionRequest{T: 8, G: 2, Alg: "alg2"}, &info); status != 201 {
+		t.Fatalf("create: status %d", status)
+	}
+	feed(t, gw.URL, info.ID, 0)
+
+	var m MigrateResponse
+	if status := call(t, "POST", gw.URL+"/v1/cluster/migrate", MigrateRequest{Session: info.ID}, &m); status != 200 {
+		t.Fatalf("migrate: status %d", status)
+	}
+
+	// Post-migration arrival, untraced by the client: the gateway mints
+	// the trace and tells us its ID in the response header.
+	var ar server.ArrivalsResponse
+	status, respTP := callTraced(t, "POST", gw.URL+"/v1/sessions/"+info.ID+"/arrivals", "",
+		server.ArrivalsRequest{Jobs: []server.JobSpec{{Release: 10, Weight: 2}}}, &ar)
+	if status != 200 || ar.Accepted != 1 {
+		t.Fatalf("post-migration arrivals: status %d resp %+v", status, ar)
+	}
+	sc, ok := trace.ParseTraceparent(respTP)
+	if !ok {
+		t.Fatalf("gateway answered no traceparent for the minted trace (header %q)", respTP)
+	}
+
+	got := fetchStitched(t, gw.URL, sc.TraceID,
+		[]string{trace.PhaseProxy, trace.PhaseHTTP, trace.PhaseQueueWait})
+	for _, sp := range got.Spans {
+		switch sp.Phase {
+		case trace.PhaseProxy:
+			if sp.Node != "gateway" {
+				t.Errorf("proxy span on %q, want gateway", sp.Node)
+			}
+			if sp.Attrs["node"] != m.To {
+				t.Errorf("proxy span routed to %q, want the migration target %s", sp.Attrs["node"], m.To)
+			}
+		default:
+			if sp.Node != m.To {
+				t.Errorf("%s span recorded on %q, want the migration target %s", sp.Phase, sp.Node, m.To)
+			}
+			if sp.Node == m.From {
+				t.Errorf("%s span recorded on the migration source %s", sp.Phase, m.From)
+			}
+		}
+	}
+}
+
+// TestGatewayTraceRecordingDisabled checks the pass-through contract: a
+// gateway with recording off still forwards the client's traceparent so
+// the backend fragment exists, and its trace endpoints still answer by
+// fanning out to the fleet.
+func TestGatewayTraceRecordingDisabled(t *testing.T) {
+	b := bootBackend(t)
+	g, err := NewGateway(Options{Backends: []string{b.URL}, VNodes: 16, SpanStoreSize: -1})
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	gw := httptest.NewServer(g)
+	t.Cleanup(func() {
+		gw.Close()
+		g.Close()
+	})
+
+	const traceID = "af7651916cd43dd8448eb211c80319c7"
+	parent := "00-" + traceID + "-b7ad6b7169203331-01"
+	var info server.SessionInfo
+	status, respTP := callTraced(t, "POST", gw.URL+"/v1/sessions", parent,
+		server.CreateSessionRequest{T: 8, G: 2, Alg: "alg2"}, &info)
+	if status != 201 {
+		t.Fatalf("create: status %d", status)
+	}
+	// No proxy span here — the header comes back from the backend relay,
+	// continuing the client's trace.
+	if sc, ok := trace.ParseTraceparent(respTP); ok && sc.TraceID != traceID {
+		t.Fatalf("relayed traceparent %q does not continue trace %s", respTP, traceID)
+	}
+	if status, _ := callTraced(t, "POST", gw.URL+"/v1/sessions/"+info.ID+"/step", parent,
+		server.StepRequest{Steps: 2}, nil); status != 200 {
+		t.Fatalf("step: status %d", status)
+	}
+	got := fetchStitched(t, gw.URL, traceID, []string{trace.PhaseHTTP, trace.PhaseQueueWait})
+	for _, sp := range got.Spans {
+		if sp.Phase == trace.PhaseProxy {
+			t.Fatalf("disabled gateway recorded a proxy span: %+v", sp)
+		}
+		if sp.Node != b.URL {
+			t.Errorf("span %+v not attributed to the backend", sp)
+		}
+	}
+}
+
+// TestStitchedTraceUnknown404s checks the stitched lookup's miss path.
+func TestStitchedTraceUnknown404s(t *testing.T) {
+	b := bootBackend(t)
+	_, gw := bootGateway(t, b.URL)
+	status, raw := callRaw(t, "GET", gw.URL+"/v1/traces/"+strings.Repeat("f", 32), nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown stitched trace: status %d body %s, want 404", status, raw)
+	}
+}
+
+// TestAggregatedMetricsBuildInfo checks that one gateway scrape carries
+// both build-info families: the backend's, re-labeled per node, and the
+// gateway's own.
+func TestAggregatedMetricsBuildInfo(t *testing.T) {
+	b := bootBackend(t)
+	_, gw := bootGateway(t, b.URL)
+	status, raw := callRaw(t, "GET", gw.URL+"/metrics", nil)
+	if status != 200 {
+		t.Fatalf("metrics: status %d", status)
+	}
+	text := string(raw)
+	if !strings.Contains(text, "calibgate_build_info{") {
+		t.Errorf("scrape missing calibgate_build_info:\n%s", clipMetrics(text))
+	}
+	if !strings.Contains(text, "calibserved_build_info{") {
+		t.Errorf("scrape missing re-labeled calibserved_build_info:\n%s", clipMetrics(text))
+	}
+	if !strings.Contains(text, fmt.Sprintf("node=%s", strconv.Quote(b.URL))) {
+		t.Errorf("backend gauge lines missing node label:\n%s", clipMetrics(text))
+	}
+}
+
+func clipMetrics(text string) string {
+	if len(text) > 2000 {
+		return text[:2000] + "\n..."
+	}
+	return text
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"calibsched/internal/server"
+	"calibsched/internal/trace"
+)
+
+// Fleet-wide trace stitching: the gateway serves the same two trace
+// routes as a single node, but answers with the whole cluster's view —
+// its own proxy spans joined with every ready backend's fragment of the
+// trace. Unready or unreachable nodes are skipped (their fragments are
+// unreachable anyway), so stitching is best-effort by design, like the
+// merged session listing.
+
+// handleTraceList merges the gateway's trace index with every ready
+// backend's. One trace seen from several places collapses into a single
+// summary: the longest root wins (the gateway's proxy span encloses the
+// backend's http span, so the outermost observer naturally describes the
+// whole request), retention is sticky, and span counts sum.
+func (g *Gateway) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	byID := make(map[string]*trace.TraceSummary)
+	var order []string
+	var stats trace.StoreStats
+	merge := func(sums []trace.TraceSummary) {
+		for _, sum := range sums {
+			cur, ok := byID[sum.TraceID]
+			if !ok {
+				s := sum
+				byID[sum.TraceID] = &s
+				order = append(order, sum.TraceID)
+				continue
+			}
+			cur.Spans += sum.Spans
+			cur.Retained = cur.Retained || sum.Retained
+			if sum.RootDurationNS > cur.RootDurationNS {
+				cur.RootDurationNS = sum.RootDurationNS
+				cur.RootPhase = sum.RootPhase
+				cur.StartUnixNS = sum.StartUnixNS
+			}
+		}
+	}
+	addStats := func(st trace.StoreStats) {
+		stats.Traces += st.Traces
+		stats.Capacity += st.Capacity
+		stats.SpansAdded += st.SpansAdded
+		stats.SpansTruncated += st.SpansTruncated
+		stats.TracesEvicted += st.TracesEvicted
+	}
+	if g.spans != nil {
+		merge(g.spans.Summaries())
+		addStats(g.spans.Stats())
+		stats.SlowThresholdNS = g.spans.Stats().SlowThresholdNS
+	}
+	for _, node := range g.ring.Nodes() {
+		if !g.health.Ready(node) {
+			continue
+		}
+		res, err := g.send(http.MethodGet, node, "/v1/traces", nil)
+		if err != nil || res.status != http.StatusOK {
+			g.log.Warn("listing node traces", "node", node, "err", err)
+			continue
+		}
+		var list server.TraceListResponse
+		if err := json.Unmarshal(res.body, &list); err != nil {
+			g.log.Warn("decoding node traces", "node", node, "err", err)
+			continue
+		}
+		merge(list.Traces)
+		addStats(list.Stats)
+	}
+	merged := make([]trace.TraceSummary, 0, len(order))
+	for _, id := range order {
+		merged = append(merged, *byID[id])
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].StartUnixNS < merged[j].StartUnixNS })
+	g.metrics.proxied.Add(1)
+	writeGatewayJSON(w, http.StatusOK, server.TraceListResponse{Traces: merged, Stats: stats})
+}
+
+// handleTraceGet stitches one trace: the gateway's own spans plus every
+// ready backend's fragment, joined on the shared trace ID and sorted by
+// start time (the proxy root starts first, so the tree reads outermost
+// to innermost). Backend spans that did not name their node get the
+// backend's base URL stamped in, which is what tells two fragments of a
+// migrated session's trace apart.
+func (g *Gateway) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("traceID")
+	var spans []trace.Span
+	if g.spans != nil {
+		spans = append(spans, g.spans.Trace(id)...)
+	}
+	for _, node := range g.ring.Nodes() {
+		if !g.health.Ready(node) {
+			continue
+		}
+		res, err := g.send(http.MethodGet, node, "/v1/traces/"+id, nil)
+		if err != nil {
+			g.log.Warn("fetching node trace", "node", node, "trace", id, "err", err)
+			continue
+		}
+		if res.status != http.StatusOK {
+			continue // 404: this node holds no fragment of the trace
+		}
+		var frag server.TraceGetResponse
+		if err := json.Unmarshal(res.body, &frag); err != nil {
+			g.log.Warn("decoding node trace", "node", node, "trace", id, "err", err)
+			continue
+		}
+		for i := range frag.Spans {
+			if frag.Spans[i].Node == "" {
+				frag.Spans[i].Node = node
+			}
+		}
+		spans = append(spans, frag.Spans...)
+	}
+	if len(spans) == 0 {
+		writeGatewayError(w, http.StatusNotFound, fmt.Sprintf("unknown trace %q", id))
+		return
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	g.metrics.proxied.Add(1)
+	writeGatewayJSON(w, http.StatusOK, server.TraceGetResponse{TraceID: id, Spans: spans})
+}

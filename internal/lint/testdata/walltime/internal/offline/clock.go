@@ -1,0 +1,20 @@
+// Package offline is a walltime fixture: the offline DP is inside the
+// deterministic set — memoized-vs-parallel equivalence proofs need
+// byte-identical reruns, so any clock read must be flagged.
+package offline
+
+import "time"
+
+// Horizon is allowed: pure duration arithmetic never observes time.
+func Horizon(steps int64, per time.Duration) time.Duration {
+	return time.Duration(steps) * per
+}
+
+func BadSolveTimer() time.Duration {
+	start := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func BadTimeout() <-chan time.Time {
+	return time.After(time.Second) // want `time.After reads the wall clock`
+}

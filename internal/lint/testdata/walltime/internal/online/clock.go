@@ -1,0 +1,19 @@
+// Package online is a walltime fixture: the online engines are inside
+// the deterministic set, so clock reads here must be rejected even
+// though the sibling internal/trace package allows them.
+package online
+
+import "time"
+
+// StepAt is allowed: virtual step arithmetic, no clock.
+func StepAt(now, horizon int64) bool {
+	return now < horizon
+}
+
+func BadDecisionStamp() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func BadThrottle() {
+	time.Sleep(time.Microsecond) // want `time.Sleep reads the wall clock`
+}

@@ -1,0 +1,25 @@
+// Package trace is a walltime fixture for the analyzer's scope
+// boundary: internal/trace measures wall-clock latency by design
+// (request spans are timings of real I/O), so it sits outside the
+// deterministic set and every clock read here must stay diagnostic-free.
+package trace
+
+import "time"
+
+// Span mirrors the real package's shape: wall-clock start + duration.
+type Span struct {
+	Start    int64
+	Duration int64
+}
+
+// Record reads the clock twice — the analyzer must not fire.
+func Record(fn func()) Span {
+	start := time.Now()
+	fn()
+	return Span{Start: start.UnixNano(), Duration: time.Since(start).Nanoseconds()}
+}
+
+// Deadline waits on a timer — also allowed here.
+func Deadline(d time.Duration) <-chan time.Time {
+	return time.After(d)
+}

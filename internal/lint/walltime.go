@@ -11,6 +11,13 @@ import (
 // repository — served-vs-batch schedules, crash-recovery replay,
 // parallel-vs-memoized DP — relies on reruns being byte-identical, which
 // a single wall-clock read silently breaks.
+//
+// internal/trace is deliberately NOT in this set: request spans exist to
+// measure wall-clock latency (time.Now, time.Since are their whole
+// point), and nothing deterministic consumes them — spans flow outward
+// to /v1/traces and the metrics plane only. The serving layers
+// (internal/server, internal/cluster, internal/store) are likewise
+// outside the set for the same reason: they time real I/O.
 var deterministicPkgSuffixes = []string{
 	"internal/core",
 	"internal/online",

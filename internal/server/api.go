@@ -145,6 +145,21 @@ type TraceResponse struct {
 	Events   []trace.DecisionEvent `json:"events"`
 }
 
+// TraceListResponse is the body of GET /v1/traces: the span store's
+// index (oldest trace first) plus its retention counters.
+type TraceListResponse struct {
+	Traces []trace.TraceSummary `json:"traces"`
+	Stats  trace.StoreStats     `json:"stats"`
+}
+
+// TraceGetResponse is the body of GET /v1/traces/{traceID}: every span
+// this node recorded for the trace, in recording order. The gateway
+// serves the same shape with the fleet's spans stitched together.
+type TraceGetResponse struct {
+	TraceID string       `json:"trace_id"`
+	Spans   []trace.Span `json:"spans"`
+}
+
 // SolveRequest submits an exact offline solve: POST /v1/solve. The job
 // set is canonicalized to the paper's normal form (sorted, distinct
 // release times) before solving, so equivalent submissions share one

@@ -95,11 +95,11 @@ func applyOp(t *testing.T, m *Manager, ids []string, o scriptOp) {
 		t.Fatalf("get %s: %v", ids[o.sess], err)
 	}
 	if o.jobs != nil {
-		if _, err := s.Arrivals(o.jobs); err != nil {
+		if _, err := s.Arrivals(o.jobs, nil); err != nil {
 			t.Fatalf("arrivals on %s: %v", ids[o.sess], err)
 		}
 	} else {
-		if _, err := s.Step(o.steps, 100_000); err != nil {
+		if _, err := s.Step(o.steps, 100_000, nil); err != nil {
 			t.Fatalf("step on %s: %v", ids[o.sess], err)
 		}
 	}
@@ -233,10 +233,10 @@ func TestGracefulShutdownPersistsSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Arrivals([]JobSpec{{Release: 0, Weight: 5}, {Release: 4, Weight: 2}}); err != nil {
+	if _, err := s.Arrivals([]JobSpec{{Release: 0, Weight: 5}, {Release: 4, Weight: 2}}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Step(9, 100); err != nil {
+	if _, err := s.Step(9, 100, nil); err != nil {
 		t.Fatal(err)
 	}
 	want := scheduleJSON(t, m, info.ID)
@@ -263,7 +263,7 @@ func TestGracefulShutdownPersistsSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s2.Step(5, 100); err != nil {
+	if _, err := s2.Step(5, 100, nil); err != nil {
 		t.Fatalf("step after restore: %v", err)
 	}
 	if err := m2.Shutdown(ctx); err != nil {
@@ -292,7 +292,7 @@ func TestDeleteRemovesSessionDirectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Arrivals([]JobSpec{{Release: 2, Weight: 1}}); err != nil {
+	if _, err := s.Arrivals([]JobSpec{{Release: 2, Weight: 1}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, info.ID)); err != nil {

@@ -36,6 +36,15 @@ type Config struct {
 	// at GET /v1/sessions/{id}/trace (default 1024); when full, the
 	// oldest events are dropped and the drop count is reported.
 	TraceRing int
+	// SpanStoreSize bounds the node's request-trace store (in traces)
+	// served at GET /v1/traces (default 512). Negative disables span
+	// recording entirely: every /v1 request then runs the nil-recorder
+	// fast path.
+	SpanStoreSize int
+	// SlowTraceThreshold tail-retains traces containing a span at least
+	// this slow — they survive FIFO eviction from the span store until
+	// only retained traces remain. Zero disables retention (pure FIFO).
+	SlowTraceThreshold time.Duration
 	// Logger receives one structured record per request (method, path,
 	// status, latency, plus handler-attached attrs such as the session
 	// id). Default: discard.
@@ -78,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceRing == 0 {
 		c.TraceRing = 1024
+	}
+	if c.SpanStoreSize == 0 {
+		c.SpanStoreSize = 512
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 256
@@ -209,7 +221,7 @@ func (m *Manager) Create(req CreateSessionRequest) (SessionInfo, error) {
 		}
 		metrics.WALAppends.Add(1)
 		metrics.WALBytes.Add(int64(n))
-		per = &persister{log: log, every: m.cfg.SnapshotEvery, logger: m.cfg.Logger, id: id}
+		per = newPersister(log, m.cfg.SnapshotEvery, 0, m.cfg.Logger, id)
 	}
 	s := newSession(id, spec, req.T, req.G, m.cfg.MaxBuffer, m.cfg.TraceRing, per, time.Now())
 	m.sessions[id] = s

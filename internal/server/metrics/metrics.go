@@ -17,6 +17,7 @@ package metrics
 import (
 	"expvar"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,23 @@ var (
 	QueueDepth = expvar.NewInt("calibserved.queue.depth")
 	// StepLatency is a histogram of POST .../step handling latency.
 	StepLatency = newHistogram("calibserved.step.latency")
+	// Per-phase latency histograms, fed from the span plane's store
+	// observer (internal/trace): each accepted span of the named phase
+	// lands one sample here with its trace ID as the Prometheus
+	// exemplar, so a slow bucket links straight to an example trace.
+	// Names use underscores (not the phase constants' dashes) because
+	// dashes are illegal in Prometheus metric names.
+
+	// PhaseHTTPLatency times whole calibserved /v1 handlers ("http").
+	PhaseHTTPLatency = newHistogram("calibserved.phase.http.latency")
+	// PhaseQueueWaitLatency times session-worker queue wait ("queue-wait").
+	PhaseQueueWaitLatency = newHistogram("calibserved.phase.queue_wait.latency")
+	// PhaseEngineStepLatency times the engine step loop ("engine-step").
+	PhaseEngineStepLatency = newHistogram("calibserved.phase.engine_step.latency")
+	// PhaseWALAppendLatency times WAL appends minus fsync ("wal-append").
+	PhaseWALAppendLatency = newHistogram("calibserved.phase.wal_append.latency")
+	// PhaseFsyncWaitLatency times fsync waits ("fsync-wait").
+	PhaseFsyncWaitLatency = newHistogram("calibserved.phase.fsync_wait.latency")
 	// WALAppends counts records appended across all session WALs.
 	WALAppends = expvar.NewInt("calibserved.wal.appends")
 	// WALBytes counts bytes appended across all session WALs.
@@ -123,6 +141,18 @@ type Histogram struct {
 	counts  [numBuckets]atomic.Int64
 	count   atomic.Int64
 	totalNS atomic.Int64
+	// exemplars holds, per bucket, the most recent traced sample that
+	// landed there (last-write-wins; nil until a traced sample lands).
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to a concrete trace: the trace ID
+// of the most recent traced sample that landed in the bucket and that
+// sample's value in seconds. Rendered as an OpenMetrics-style exemplar
+// suffix on the bucket line.
+type Exemplar struct {
+	TraceID string
+	Seconds float64
 }
 
 func newHistogram(name string) *Histogram {
@@ -133,13 +163,42 @@ func newHistogram(name string) *Histogram {
 
 // Observe records one latency sample.
 func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.totalNS.Add(int64(d))
+}
+
+// ObserveTraced records one latency sample and, when traceID is
+// non-empty, pins it as the bucket's exemplar. With an empty traceID it
+// is exactly Observe.
+func (h *Histogram) ObserveTraced(d time.Duration, traceID string) {
+	i := bucketIndex(d)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.totalNS.Add(int64(d))
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Seconds: d.Seconds()})
+	}
+}
+
+func bucketIndex(d time.Duration) int {
 	i := 0
 	for i < len(bucketBounds) && d > bucketBounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.totalNS.Add(int64(d))
+	return i
+}
+
+// Exemplars returns the per-bucket exemplars, aligned with Snapshot's
+// counts; entries are zero where no traced sample has landed.
+func (h *Histogram) Exemplars() []Exemplar {
+	out := make([]Exemplar, numBuckets)
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out[i] = *e
+		}
+	}
+	return out
 }
 
 // Count returns the number of samples observed.
@@ -163,6 +222,35 @@ func (h *Histogram) Snapshot() (counts []int64, count, totalNS int64) {
 	}
 	return counts, h.count.Load(), h.totalNS.Load()
 }
+
+// BuildInfo labels the calibserved_build_info gauge so fleet rollouts
+// (mixed versions, fsync modes, engine sets) are visible in calibgate's
+// aggregated exposition, which stamps each node's gauge with its node
+// label.
+type BuildInfo struct {
+	Version   string
+	GoVersion string
+	Fsync     string
+	Engines   string
+}
+
+var buildInfo atomic.Pointer[BuildInfo]
+
+func init() {
+	buildInfo.Store(&BuildInfo{Version: "dev", GoVersion: runtime.Version()})
+}
+
+// SetBuildInfo publishes the daemon's build identity; the daemon calls
+// it once at boot. An empty GoVersion is filled from the runtime.
+func SetBuildInfo(bi BuildInfo) {
+	if bi.GoVersion == "" {
+		bi.GoVersion = runtime.Version()
+	}
+	buildInfo.Store(&bi)
+}
+
+// CurrentBuildInfo returns the published build identity.
+func CurrentBuildInfo() BuildInfo { return *buildInfo.Load() }
 
 // String renders the histogram as a JSON object, satisfying expvar.Var.
 func (h *Histogram) String() string {

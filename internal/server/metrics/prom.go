@@ -34,6 +34,7 @@ func promName(key string) string { return strings.ReplaceAll(key, ".", "_") }
 // native histograms (cumulative le buckets in seconds, _sum, _count) plus
 // a gauge family of estimated quantiles.
 func WritePrometheus(w io.Writer) {
+	writeBuildInfo(w)
 	expvar.Do(func(kv expvar.KeyValue) {
 		if !strings.HasPrefix(kv.Key, "calibserved.") {
 			return
@@ -52,8 +53,19 @@ func WritePrometheus(w io.Writer) {
 	})
 }
 
+// writeBuildInfo emits the constant-1 calibserved_build_info gauge whose
+// labels carry the daemon's build identity (satellite of the rollout
+// visibility story: the aggregator re-emits it per node).
+func writeBuildInfo(w io.Writer) {
+	bi := CurrentBuildInfo()
+	fmt.Fprintf(w, "# TYPE calibserved_build_info gauge\n")
+	fmt.Fprintf(w, "calibserved_build_info{engines=%q,fsync=%q,go_version=%q,version=%q} 1\n",
+		bi.Engines, bi.Fsync, bi.GoVersion, bi.Version)
+}
+
 func writePromHistogram(w io.Writer, base string, h *Histogram) {
 	counts, count, totalNS := h.Snapshot()
+	exemplars := h.Exemplars()
 	bounds := BucketBounds()
 	name := base + "_seconds"
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
@@ -64,7 +76,13 @@ func writePromHistogram(w io.Writer, base string, h *Histogram) {
 		if i < len(bounds) {
 			le = formatFloat(bounds[i].Seconds())
 		}
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		// A bucket with a traced sample carries an OpenMetrics-style
+		// exemplar suffix linking it to a concrete trace ID.
+		if ex := exemplars[i]; ex.TraceID != "" {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d # {trace_id=%q} %s\n", name, le, cum, ex.TraceID, formatFloat(ex.Seconds))
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
 	}
 	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(totalNS)/1e9))
 	fmt.Fprintf(w, "%s_count %d\n", name, count)

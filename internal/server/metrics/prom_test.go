@@ -10,9 +10,10 @@ import (
 )
 
 // expositionLine matches one Prometheus text-format sample:
-// name{labels} value — the same shape the CI gate enforces on a live
-// scrape.
-var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+// name{labels} value, optionally followed by an OpenMetrics-style
+// exemplar (` # {labels} value`) — the same shape the CI gate enforces
+// on a live scrape.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?( # \{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\} -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)?$`)
 
 func TestWritePrometheusWellFormed(t *testing.T) {
 	// Touch the shared registry so every family has data; tests share the
@@ -29,6 +30,9 @@ func TestWritePrometheusWellFormed(t *testing.T) {
 	out := b.String()
 
 	for _, want := range []string{
+		"# TYPE calibserved_build_info gauge",
+		`calibserved_build_info{engines=`,
+		"# TYPE calibserved_phase_queue_wait_latency_seconds histogram",
 		"# TYPE calibserved_steps_served counter",
 		"# TYPE calibserved_queue_depth gauge",
 		"# TYPE calibserved_sessions_active gauge",
@@ -80,6 +84,53 @@ func TestHistogramBucketsCumulative(t *testing.T) {
 	}
 	if !strings.Contains(out, "x_seconds_count 3") {
 		t.Errorf("count wrong:\n%s", out)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveTraced(10*time.Microsecond, "0123456789abcdef0123456789abcdef")
+	h.ObserveTraced(60*time.Microsecond, "") // empty trace ID: no exemplar
+	var b strings.Builder
+	writePromHistogram(&b, "x", h)
+	out := b.String()
+	want := `x_seconds_bucket{le="5e-05"} 1 # {trace_id="0123456789abcdef0123456789abcdef"} 1e-05`
+	if !strings.Contains(out, want) {
+		t.Errorf("exemplar line missing, want %q in:\n%s", want, out)
+	}
+	if strings.Contains(out, `le="0.0001"} 2 #`) {
+		t.Errorf("untraced bucket grew an exemplar:\n%s", out)
+	}
+	// Every line (exemplars included) must satisfy the CI shape.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed line %q", line)
+		}
+	}
+	// Last traced sample in a bucket wins.
+	h.ObserveTraced(12*time.Microsecond, "ffffffffffffffffffffffffffffffff")
+	if ex := h.Exemplars()[0]; ex.TraceID != "ffffffffffffffffffffffffffffffff" {
+		t.Errorf("exemplar not last-write-wins: %+v", ex)
+	}
+}
+
+func TestBuildInfoGauge(t *testing.T) {
+	prev := CurrentBuildInfo()
+	defer SetBuildInfo(prev)
+	SetBuildInfo(BuildInfo{Version: "v9.9", Fsync: "always", Engines: "alg1,alg2"})
+	var b strings.Builder
+	writeBuildInfo(&b)
+	out := b.String()
+	if !strings.Contains(out, `calibserved_build_info{engines="alg1,alg2",fsync="always",go_version="go`) ||
+		!strings.Contains(out, `version="v9.9"} 1`) {
+		t.Errorf("build info gauge wrong:\n%s", out)
+	}
+	line := strings.Split(strings.TrimSpace(out), "\n")[1]
+	if !expositionLine.MatchString(line) {
+		t.Errorf("malformed build info line %q", line)
 	}
 }
 

@@ -243,7 +243,7 @@ func (m *Manager) Import(exp *ExportedSession) (SessionInfo, error) {
 		// The on-disk state already reflects every shipped command, so the
 		// replay tail counts toward the snapshot cadence exactly as in
 		// boot recovery.
-		s.per = &persister{log: log, every: m.cfg.SnapshotEvery, since: len(cmds), logger: m.cfg.Logger, id: exp.ID}
+		s.per = newPersister(log, m.cfg.SnapshotEvery, len(cmds), m.cfg.Logger, exp.ID)
 	}
 	bumpNextID(&m.nextID, exp.ID)
 	m.sessions[exp.ID] = s

@@ -11,6 +11,7 @@ import (
 	"calibsched/internal/online"
 	"calibsched/internal/server/metrics"
 	"calibsched/internal/store"
+	"calibsched/internal/trace"
 )
 
 // persister is a session's write-ahead persistence hook. It is owned by
@@ -25,17 +26,70 @@ type persister struct {
 	since  int
 	logger *slog.Logger
 	id     string
+
+	// Fsync attribution for traced appends. timing is armed only between
+	// begin and end on the owning goroutine; the log's sync observer adds
+	// into syncWait while armed and is a no-op otherwise (snapshot-path
+	// syncs outside an append stay unattributed).
+	timing   bool
+	syncWait time.Duration
+}
+
+// newPersister attaches a persister to its log and installs the fsync
+// observer that lets traced appends split wal-append from fsync-wait.
+func newPersister(log *store.Log, every, since int, logger *slog.Logger, id string) *persister {
+	p := &persister{log: log, every: every, since: since, logger: logger, id: id}
+	log.SetSyncObserver(p.noteSync)
+	return p
+}
+
+func (p *persister) noteSync(d time.Duration) {
+	if p.timing {
+		p.syncWait += d
+	}
+}
+
+// begin arms fsync attribution for one traced append; untraced appends
+// (act == nil) never read the clock.
+func (p *persister) begin(act *trace.Active) time.Time {
+	if act == nil {
+		return time.Time{}
+	}
+	p.timing = true
+	p.syncWait = 0
+	return time.Now()
+}
+
+// end records the append as a wal-append phase (fsync time excluded) and
+// the fsync portion, when any ran, as a fsync-wait phase laid end-to-end
+// after it.
+func (p *persister) end(act *trace.Active, start time.Time) {
+	if act == nil {
+		return
+	}
+	p.timing = false
+	total := time.Since(start)
+	wal := total - p.syncWait
+	if wal < 0 {
+		wal = 0
+	}
+	act.Phase(trace.PhaseWALAppend, start, wal)
+	if p.syncWait > 0 {
+		act.Phase(trace.PhaseFsyncWait, start.Add(wal), p.syncWait)
+	}
 }
 
 // appendArrivals logs one accepted arrivals batch before it is applied.
 // baseID is the ID the first job of the batch will be assigned; recovery
 // asserts replay reassigns the same IDs.
-func (p *persister) appendArrivals(specs []JobSpec, baseID int) error {
+func (p *persister) appendArrivals(specs []JobSpec, baseID int, act *trace.Active) error {
 	cmd := store.ArrivalsCommand{Jobs: make([]store.JobRec, len(specs))}
 	for i, js := range specs {
 		cmd.Jobs[i] = store.JobRec{ID: baseID + i, Release: js.Release, Weight: js.Weight}
 	}
+	start := p.begin(act)
 	n, err := p.log.AppendArrivals(cmd)
+	p.end(act, start)
 	if err != nil {
 		return err
 	}
@@ -44,8 +98,10 @@ func (p *persister) appendArrivals(specs []JobSpec, baseID int) error {
 }
 
 // appendSteps logs one step command before the engine advances.
-func (p *persister) appendSteps(k int64) error {
+func (p *persister) appendSteps(k int64, act *trace.Active) error {
+	start := p.begin(act)
 	n, err := p.log.AppendSteps(store.StepsCommand{K: k})
+	p.end(act, start)
 	if err != nil {
 		return err
 	}
@@ -181,14 +237,14 @@ func (s *session) apply(cmd store.Command) error {
 			specs[i] = JobSpec{Release: j.Release, Weight: j.Weight}
 		}
 		return s.guard("replayed arrivals", func() error {
-			_, err := s.admit(specs)
+			_, err := s.admit(specs, nil)
 			return err
 		})
 	case store.RecordSteps:
 		// The logged k was within the batch limit when accepted; pass it
 		// as the limit so a later config change cannot fail replay.
 		return s.guard("replayed steps", func() error {
-			_, err := s.advance(cmd.Steps.K, cmd.Steps.K)
+			_, err := s.advance(cmd.Steps.K, cmd.Steps.K, nil)
 			return err
 		})
 	default:
@@ -257,7 +313,7 @@ func (m *Manager) rebuild(rs *store.RecoveredSession, now time.Time) (*session, 
 	// Replayed records mean the snapshot is that stale: carry the count
 	// into the cadence so a long log earns a fresh snapshot on the next
 	// append instead of replaying again after the next crash.
-	s.per = &persister{log: rs.Log, every: m.cfg.SnapshotEvery, since: len(rs.Commands), logger: m.cfg.Logger, id: rs.ID}
+	s.per = newPersister(rs.Log, m.cfg.SnapshotEvery, len(rs.Commands), m.cfg.Logger, rs.ID)
 	go s.work()
 	return s, nil
 }

@@ -39,10 +39,10 @@ func benchServe(b *testing.B, st *store.Store) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		job[0].Release = int64(i)
-		if _, err := s.Arrivals(job); err != nil {
+		if _, err := s.Arrivals(job, nil); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.Step(1, 1); err != nil {
+		if _, err := s.Step(1, 1, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,11 +23,13 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"calibsched/internal/server/metrics"
 	"calibsched/internal/solve"
+	"calibsched/internal/trace"
 )
 
 // apiError is an error with an HTTP mapping. retryAfter marks
@@ -52,6 +54,10 @@ type Server struct {
 	mux  *http.ServeMux
 	log  *slog.Logger
 
+	// spans is the node's request-trace store (nil when Config
+	// disables recording; every span call site is nil-safe).
+	spans *trace.SpanStore
+
 	// ready gates GET /readyz: true from the end of New (boot replay
 	// done) until Shutdown begins. The cluster gateway health-checks
 	// /readyz, so flipping this false pulls the node out of routing
@@ -67,15 +73,21 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var spans *trace.SpanStore
+	if mgr.cfg.SpanStoreSize > 0 {
+		spans = trace.NewSpanStore(mgr.cfg.SpanStoreSize, mgr.cfg.SlowTraceThreshold, "")
+		spans.Observer = observePhase
+	}
 	pool := solve.New(solve.Options{
 		Workers:           mgr.cfg.SolveWorkers,
 		QueueDepth:        mgr.cfg.SolveQueueDepth,
 		CacheSize:         mgr.cfg.SolveCacheSize,
 		MaxJobs:           mgr.cfg.SolveMaxJobs,
 		OnEvent:           solveEvent,
+		Spans:             spans,
 		TestHookBeforeRun: mgr.cfg.solveTestHook,
 	})
-	s := &Server{mgr: mgr, pool: pool, mux: http.NewServeMux(), log: mgr.cfg.Logger}
+	s := &Server{mgr: mgr, pool: pool, mux: http.NewServeMux(), log: mgr.cfg.Logger, spans: spans}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolveSubmit)
 	s.mux.HandleFunc("GET /v1/solve/{id}", s.handleSolveGet)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -88,6 +100,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSchedule)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/export", s.handleExport)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /v1/traces/{traceID}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -146,7 +160,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	ra := &reqAttrs{}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqAttrsKey{}, ra)))
+	ctx := context.WithValue(r.Context(), reqAttrsKey{}, ra)
+	var act *trace.Active
+	if s.spans != nil && traceablePath(r.URL.Path) {
+		parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		act = s.spans.StartSpan(trace.PhaseHTTP, parent, map[string]string{
+			"method": r.Method,
+			"path":   r.URL.Path,
+		})
+		ctx = trace.WithActive(ctx, act)
+		// The response header tells the client (and the stitching
+		// gateway) which trace this request landed in, whether the
+		// trace was minted here or continued from the request header.
+		w.Header().Set("traceparent", trace.FormatTraceparent(act.Context()))
+	}
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	if act != nil {
+		act.SetAttr("status", strconv.Itoa(sw.status))
+		act.Finish()
+	}
 	attrs := append([]slog.Attr{
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
@@ -204,7 +236,7 @@ func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := sess.Arrivals(req.Jobs)
+	resp, err := sess.Arrivals(req.Jobs, trace.ActiveFrom(r.Context()))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -228,8 +260,9 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 			req.Steps = 1
 		}
 	}
-	stop := observeStep()
-	resp, err := sess.Step(req.Steps, s.mgr.cfg.MaxStepBatch)
+	act := trace.ActiveFrom(r.Context())
+	stop := observeStep(act)
+	resp, err := sess.Step(req.Steps, s.mgr.cfg.MaxStepBatch, act)
 	stop()
 	if err != nil {
 		logAttrs(r, slog.String("session", sess.id))
@@ -373,8 +406,9 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 // observeStep starts a step-latency observation; call the returned func
-// when the step completes.
-func observeStep() func() {
+// when the step completes. A traced request pins its trace ID as the
+// bucket's exemplar (act nil-safely yields "" for untraced requests).
+func observeStep(act *trace.Active) func() {
 	start := time.Now()
-	return func() { metrics.StepLatency.Observe(time.Since(start)) }
+	return func() { metrics.StepLatency.ObserveTraced(time.Since(start), act.TraceID()) }
 }

@@ -130,10 +130,24 @@ func (s *session) halt() {
 
 // do runs fn on the worker and waits for it to finish. It fails with a
 // 503 once the session has shut down.
-func (s *session) do(fn func()) error {
+func (s *session) do(fn func()) error { return s.doTraced(nil, fn) }
+
+// doTraced is do with latency attribution: when act is recording, the
+// gap between handler submit and worker pickup lands as a queue-wait
+// phase, stamped on the worker goroutine. The worker writes into act
+// directly — safe without locks because the handler blocks on ran until
+// the closure finishes, so ownership is handed off, never shared.
+func (s *session) doTraced(act *trace.Active, fn func()) error {
 	ran := make(chan struct{})
+	var submitted time.Time
+	if act != nil {
+		submitted = time.Now()
+	}
 	wrapped := func() {
 		defer close(ran)
+		if act != nil {
+			act.Phase(trace.PhaseQueueWait, submitted, time.Since(submitted))
+		}
 		fn()
 	}
 	select {
@@ -164,11 +178,12 @@ func (s *session) guard(op string, fn func() error) (err error) {
 
 // Arrivals buffers a batch of jobs atomically: every job is validated
 // against the session clock, the weight contract, and the buffer bound
-// before any is admitted.
-func (s *session) Arrivals(specs []JobSpec) (resp ArrivalsResponse, err error) {
-	doErr := s.do(func() {
+// before any is admitted. act, when recording, receives the queue-wait
+// and persistence phases (nil for untraced calls).
+func (s *session) Arrivals(specs []JobSpec, act *trace.Active) (resp ArrivalsResponse, err error) {
+	doErr := s.doTraced(act, func() {
 		err = s.guard("arrivals", func() error {
-			resp, err = s.admit(specs)
+			resp, err = s.admit(specs, act)
 			return err
 		})
 	})
@@ -178,7 +193,7 @@ func (s *session) Arrivals(specs []JobSpec) (resp ArrivalsResponse, err error) {
 	return resp, err
 }
 
-func (s *session) admit(specs []JobSpec) (ArrivalsResponse, error) {
+func (s *session) admit(specs []JobSpec, act *trace.Active) (ArrivalsResponse, error) {
 	if len(specs) == 0 {
 		return ArrivalsResponse{}, &apiError{status: 400, msg: "arrivals request carries no jobs"}
 	}
@@ -212,7 +227,7 @@ func (s *session) admit(specs []JobSpec) (ArrivalsResponse, error) {
 	// every accepted command is durable per the fsync policy. On append
 	// failure nothing was applied — the client sees a 500 and may retry.
 	if s.per != nil && !s.replaying {
-		if err := s.per.appendArrivals(specs, len(s.jobs)); err != nil {
+		if err := s.per.appendArrivals(specs, len(s.jobs), act); err != nil {
 			return ArrivalsResponse{}, &apiError{status: 500, msg: fmt.Sprintf("persisting arrivals: %v", err)}
 		}
 	}
@@ -241,10 +256,12 @@ func (s *session) admit(specs []JobSpec) (ArrivalsResponse, error) {
 
 // Step advances the session k time steps, feeding buffered arrivals to
 // the engine as they mature. Quiet steps are elided from the event list.
-func (s *session) Step(k, maxBatch int64) (resp StepResponse, err error) {
-	doErr := s.do(func() {
+// act, when recording, receives the queue-wait, engine-step, and
+// persistence phases (nil for untraced calls).
+func (s *session) Step(k, maxBatch int64, act *trace.Active) (resp StepResponse, err error) {
+	doErr := s.doTraced(act, func() {
 		err = s.guard("step", func() error {
-			resp, err = s.advance(k, maxBatch)
+			resp, err = s.advance(k, maxBatch, act)
 			return err
 		})
 	})
@@ -254,7 +271,7 @@ func (s *session) Step(k, maxBatch int64) (resp StepResponse, err error) {
 	return resp, err
 }
 
-func (s *session) advance(k, maxBatch int64) (StepResponse, error) {
+func (s *session) advance(k, maxBatch int64, act *trace.Active) (StepResponse, error) {
 	if k < 1 {
 		return StepResponse{}, &apiError{status: 400, msg: fmt.Sprintf("steps = %d, want >= 1", k)}
 	}
@@ -266,11 +283,15 @@ func (s *session) advance(k, maxBatch int64) (StepResponse, error) {
 	// panics at the same sub-step — the recovered session is broken in
 	// exactly the way the live one was.
 	if s.per != nil && !s.replaying {
-		if err := s.per.appendSteps(k); err != nil {
+		if err := s.per.appendSteps(k, act); err != nil {
 			return StepResponse{}, &apiError{status: 500, msg: fmt.Sprintf("persisting step: %v", err)}
 		}
 	}
 	resp := StepResponse{Events: []StepEventJSON{}, Stepped: k}
+	var stepStart time.Time
+	if act != nil {
+		stepStart = time.Now()
+	}
 	var arrivals []core.Job
 	for i := int64(0); i < k; i++ {
 		now := s.eng.Now()
@@ -293,6 +314,11 @@ func (s *session) advance(k, maxBatch int64) (StepResponse, error) {
 			}
 			resp.Events = append(resp.Events, e)
 		}
+	}
+	if act != nil {
+		// One engine-step phase covers the whole k-step batch, maturation
+		// feeding included — that is the unit a client requested.
+		act.Phase(trace.PhaseEngineStep, stepStart, time.Since(stepStart))
 	}
 	if !s.replaying {
 		metrics.StepsServed.Add(k)

@@ -9,6 +9,7 @@ import (
 	"calibsched/internal/core"
 	"calibsched/internal/server/metrics"
 	"calibsched/internal/solve"
+	"calibsched/internal/trace"
 )
 
 // Offline-solve endpoints: POST /v1/solve submits an exact DP request to
@@ -73,6 +74,7 @@ func (s *Server) handleSolveSubmit(w http.ResponseWriter, r *http.Request) {
 		Kind:     solve.Kind(req.Kind),
 		K:        req.K,
 		G:        req.G,
+		Span:     trace.ActiveFrom(r.Context()).Context(),
 	})
 	if err != nil {
 		writeError(w, solveErr(err))

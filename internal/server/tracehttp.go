@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"calibsched/internal/server/metrics"
+	"calibsched/internal/trace"
+)
+
+// The node-local trace API: GET /v1/traces lists the span store's
+// retained traces, GET /v1/traces/{traceID} returns one trace's spans.
+// calibgate exposes the same two routes fleet-wide by fanning the
+// per-node fragments out and stitching them (internal/cluster).
+
+// traceablePath reports whether a request path gets an http root span.
+// Only the /v1 API is traced; the trace API itself is excluded so
+// reading traces does not pollute the store it reads, and the probe and
+// metrics endpoints stay off the span path entirely.
+func traceablePath(p string) bool {
+	return strings.HasPrefix(p, "/v1/") && !strings.HasPrefix(p, "/v1/traces")
+}
+
+// observePhase fans accepted worker-phase spans into the per-phase
+// Prometheus histograms, carrying the trace ID through as the bucket
+// exemplar. Installed as the span store's Observer.
+func observePhase(sp trace.Span) {
+	var h *metrics.Histogram
+	switch sp.Phase {
+	case trace.PhaseHTTP:
+		h = metrics.PhaseHTTPLatency
+	case trace.PhaseQueueWait:
+		h = metrics.PhaseQueueWaitLatency
+	case trace.PhaseEngineStep:
+		h = metrics.PhaseEngineStepLatency
+	case trace.PhaseWALAppend:
+		h = metrics.PhaseWALAppendLatency
+	case trace.PhaseFsyncWait:
+		h = metrics.PhaseFsyncWaitLatency
+	default:
+		return
+	}
+	h.ObserveTraced(time.Duration(sp.Duration), sp.TraceID)
+}
+
+// handleTraceList serves the span store's index.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if s.spans == nil {
+		writeError(w, &apiError{status: 404, msg: "span recording is disabled on this node"})
+		return
+	}
+	sums := s.spans.Summaries()
+	if sums == nil {
+		sums = []trace.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, TraceListResponse{Traces: sums, Stats: s.spans.Stats()})
+}
+
+// handleTraceGet serves one trace's recorded spans.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.spans == nil {
+		writeError(w, &apiError{status: 404, msg: "span recording is disabled on this node"})
+		return
+	}
+	id := r.PathValue("traceID")
+	spans := s.spans.Trace(id)
+	if spans == nil {
+		writeError(w, &apiError{status: 404, msg: fmt.Sprintf("unknown trace %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceGetResponse{TraceID: id, Spans: spans})
+}

@@ -10,6 +10,7 @@ import (
 
 	"calibsched/internal/core"
 	"calibsched/internal/offline"
+	"calibsched/internal/trace"
 )
 
 // Event identifies a pool occurrence reported through Options.OnEvent.
@@ -58,6 +59,13 @@ type Request struct {
 	K int
 	// G is the per-calibration cost for KindTotalCost.
 	G int64
+	// Span, when valid, attributes the solve's pool phases
+	// (solve-queue/solve-dp/cache-hit) to the submitting request's
+	// trace. It is deliberately excluded from the request cache key:
+	// identical solves from different traces share one result. When
+	// deduplicated submits attach to an in-flight run, only the first
+	// submitter's span context is attributed.
+	Span trace.SpanContext
 }
 
 // Result is the outcome of a successful solve. Which fields are set
@@ -123,6 +131,9 @@ type Options struct {
 	MaxHandles int
 	// OnEvent, when non-nil, observes pool events (see Event).
 	OnEvent func(Event)
+	// Spans, when non-nil, receives solve-queue/solve-dp/cache-hit
+	// phase spans for submits that carry a valid Request.Span.
+	Spans *trace.SpanStore
 
 	// TestHookBeforeRun, when non-nil, runs in the worker goroutine right
 	// before a DP executes. Tests use it to hold solves open.
@@ -174,10 +185,11 @@ type outcome struct {
 // flight is one pending or running DP execution plus every handle
 // attached to it.
 type flight struct {
-	key     string
-	req     Request
-	ids     []string
-	running bool
+	key      string
+	req      Request
+	ids      []string
+	running  bool
+	enqueued time.Time
 }
 
 type handle struct {
@@ -280,6 +292,9 @@ func (p *Pool) Submit(req Request) (string, error) {
 		h := p.newHandleLocked()
 		h.cacheHit = true
 		p.finishHandleLocked(h, out)
+		// A cache hit answered synchronously: a zero-length phase marks
+		// the moment (SpanStore.Add is pure memory, safe under p.mu).
+		p.opts.Spans.RecordPhase(req.Span, trace.PhaseCacheHit, p.clock(), 0, nil)
 		return h.id, nil
 	}
 	p.event(EvCacheMiss)
@@ -295,7 +310,7 @@ func (p *Pool) Submit(req Request) (string, error) {
 		return h.id, nil
 	}
 
-	fl := &flight{key: key, req: req}
+	fl := &flight{key: key, req: req, enqueued: p.clock()}
 	select {
 	case p.queue <- fl:
 	default:
@@ -457,7 +472,10 @@ func (p *Pool) run(fl *flight) {
 	if p.opts.TestHookBeforeRun != nil {
 		p.opts.TestHookBeforeRun(fl.key)
 	}
+	start := p.clock()
+	p.opts.Spans.RecordPhase(fl.req.Span, trace.PhaseSolveQueue, fl.enqueued, start.Sub(fl.enqueued), nil)
 	out := execute(fl.req, p.opts.SolveWorkers)
+	p.opts.Spans.RecordPhase(fl.req.Span, trace.PhaseSolveDP, start, p.clock().Sub(start), nil)
 
 	p.mu.Lock()
 	defer p.mu.Unlock()

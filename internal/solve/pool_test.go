@@ -11,6 +11,7 @@ import (
 
 	"calibsched/internal/core"
 	"calibsched/internal/offline"
+	"calibsched/internal/trace"
 )
 
 // recorder counts pool events behind its own lock so tests can read
@@ -482,5 +483,63 @@ func TestHandleRetentionBound(t *testing.T) {
 	}
 	if _, err := p.Get("solve-999"); !errors.Is(err, ErrUnknownHandle) {
 		t.Error("bogus handle id resolved")
+	}
+}
+
+// TestPoolSpans verifies the solve plane's phase attribution: a traced
+// submit lands solve-queue and solve-dp spans under the submitting
+// request's trace, and a repeat submit lands a cache-hit span instead.
+func TestPoolSpans(t *testing.T) {
+	spans := trace.NewSpanStore(16, 0, "")
+	p := New(Options{Workers: 1, SolveWorkers: 1, Spans: spans})
+	defer p.Close()
+	rng := rand.New(rand.NewPCG(7, 7))
+	in := testInstance(rng, 6, 10, 3, 4)
+
+	sc := trace.SpanContext{TraceID: trace.NewTraceID(), SpanID: trace.NewSpanID()}
+	id, err := p.Submit(Request{Instance: in, Kind: KindFlow, K: in.N(), Span: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, p, id)
+
+	phases := func() map[string]int {
+		got := make(map[string]int)
+		for _, sp := range spans.Trace(sc.TraceID) {
+			got[sp.Phase]++
+			if sp.Parent != sc.SpanID {
+				t.Errorf("span %s not parented to submitter: %+v", sp.Phase, sp)
+			}
+		}
+		return got
+	}
+	got := phases()
+	if got["solve-queue"] != 1 || got["solve-dp"] != 1 {
+		t.Fatalf("phases after miss: %v", got)
+	}
+
+	// Identical request: cache hit, no new pool phases.
+	id2, err := p.Submit(Request{Instance: in, Kind: KindFlow, K: in.N(), Span: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, p, id2)
+	if !st.CacheHit {
+		t.Fatalf("second submit not a cache hit: %+v", st)
+	}
+	got = phases()
+	if got["cache-hit"] != 1 || got["solve-dp"] != 1 {
+		t.Fatalf("phases after hit: %v", got)
+	}
+
+	// Untraced submits must not reach the store.
+	before := spans.Stats().SpansAdded
+	id3, err := p.Submit(Request{Instance: in, Kind: KindFlow, K: in.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, p, id3)
+	if after := spans.Stats().SpansAdded; after != before {
+		t.Fatalf("untraced submit added spans: %d -> %d", before, after)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func openTestStore(t *testing.T, opts Options) *Store {
@@ -424,4 +425,46 @@ func fileSize(t *testing.T, path string) int64 {
 		t.Fatal(err)
 	}
 	return fi.Size()
+}
+
+func TestSyncObserverTimesAppendFsyncs(t *testing.T) {
+	s := openTestStore(t, Options{Fsync: FsyncAlways})
+	l, err := s.Create("s-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	l.SetSyncObserver(func(d time.Duration) {
+		calls++
+		if d < 0 {
+			t.Errorf("negative fsync duration %v", d)
+		}
+	})
+	if _, err := l.AppendCreate(CreateCommand{Alg: "alg2", T: 5, G: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendSteps(StepsCommand{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("observer saw %d fsyncs, want 2 (one per FsyncAlways append)", calls)
+	}
+	// Explicit Sync is observed too.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("observer saw %d fsyncs after Sync, want 3", calls)
+	}
+	// Uninstalling the observer restores the untimed path.
+	l.SetSyncObserver(nil)
+	if _, err := l.AppendSteps(StepsCommand{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("observer called after uninstall: %d", calls)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 }

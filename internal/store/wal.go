@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 const (
@@ -24,6 +25,25 @@ type Log struct {
 	unsynced   int
 	seq        uint64
 	closed     bool
+	onSync     func(time.Duration)
+}
+
+// SetSyncObserver installs a callback timing every fsync the log issues
+// on the append path (FsyncAlways per-record syncs and FsyncBatch
+// flushes). nil (the default) removes the timing entirely — the
+// observer-less path does not read the clock. The server uses this to
+// attribute `fsync-wait` spans separately from `wal-append`.
+func (l *Log) SetSyncObserver(fn func(time.Duration)) { l.onSync = fn }
+
+// sync runs one fsync, timing it when an observer is installed.
+func (l *Log) sync() error {
+	if l.onSync == nil {
+		return l.f.Sync()
+	}
+	start := time.Now()
+	err := l.f.Sync()
+	l.onSync(time.Since(start))
+	return err
 }
 
 // Seq returns the sequence number of the last record appended (or
@@ -47,7 +67,7 @@ func (l *Log) append(typ RecordType, payload []byte) (int, error) {
 	}
 	switch l.fsync {
 	case FsyncAlways:
-		if err := l.f.Sync(); err != nil {
+		if err := l.sync(); err != nil {
 			return 0, fmt.Errorf("store: syncing record %d: %w", l.seq, err)
 		}
 	case FsyncBatch:
@@ -93,7 +113,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.sync(); err != nil {
 		return fmt.Errorf("store: syncing wal: %w", err)
 	}
 	l.unsynced = 0

@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped latency spans: where DecisionEvent explains what the
+// algorithm decided, a Span explains where a request's wall-clock went.
+// Every hop of a proxied request — calibgate's proxy relay, calibserved's
+// HTTP handler, the session worker's queue wait, the engine step, the WAL
+// append, and the fsync — records one span under a shared trace ID that
+// propagates between processes as a W3C `traceparent` header. Spans land
+// in a bounded per-node SpanStore served at GET /v1/traces; the gateway
+// stitches the per-node fragments back into one tree.
+//
+// Like the DecisionEvent Sink, recording is designed around a nil fast
+// path: a nil *SpanStore yields a nil *Active, every *Active method is a
+// no-op on nil, and emitters guard span construction behind that one nil
+// check — the untraced hot path pays nothing (benchmarked in
+// cmd/calibbench's serve/step/span-* tiers).
+//
+// DESIGN.md §14 documents the span model, the phase catalog, and the
+// tail-based retention contract.
+
+// Phase names stamped by the serving planes. The set is part of the API:
+// calibload's -slo mode and the cluster smoke test key on them.
+const (
+	// PhaseProxy covers calibgate's relay of one /v1 request.
+	PhaseProxy = "proxy"
+	// PhaseHTTP covers one calibserved handler, entry to response.
+	PhaseHTTP = "http"
+	// PhaseQueueWait is the time a command waited for the session worker.
+	PhaseQueueWait = "queue-wait"
+	// PhaseEngineStep is the time inside the online engine's step loop.
+	PhaseEngineStep = "engine-step"
+	// PhaseWALAppend is the write-ahead append, excluding the fsync.
+	PhaseWALAppend = "wal-append"
+	// PhaseFsyncWait is the fsync portion of a durable append.
+	PhaseFsyncWait = "fsync-wait"
+	// PhaseSolveQueue is a solve flight's wait in the pool queue.
+	PhaseSolveQueue = "solve-queue"
+	// PhaseSolveDP is the DP execution of a solve flight.
+	PhaseSolveDP = "solve-dp"
+	// PhaseCacheHit marks a solve answered from the result cache.
+	PhaseCacheHit = "cache-hit"
+)
+
+// Span is one timed phase of one request. The JSON shape is the wire
+// format of GET /v1/traces/{id} on both calibserved and calibgate, so
+// field tags are part of the API.
+type Span struct {
+	// TraceID groups every span of one request tree (32 hex chars).
+	TraceID string `json:"trace_id"`
+	// SpanID identifies this span (16 hex chars).
+	SpanID string `json:"span_id"`
+	// Parent is the SpanID this span nests under; empty for a root. A
+	// parent recorded on another node is legal — stitching re-joins them.
+	Parent string `json:"parent,omitempty"`
+	// Phase names what the span timed; see the Phase* constants.
+	Phase string `json:"phase"`
+	// Node names the process that recorded the span. Nodes may leave it
+	// empty; the gateway fills it in while stitching.
+	Node string `json:"node,omitempty"`
+	// Start is the span's wall-clock start, unix nanoseconds.
+	Start int64 `json:"start_unix_ns"`
+	// Duration is the span's length in nanoseconds.
+	Duration int64 `json:"duration_ns"`
+	// Attrs carries free-form context (method, path, session, status).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanContext is a position in a trace: the trace ID plus the span new
+// children should parent under. The zero value means "no trace".
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether the context names a well-formed W3C position.
+func (c SpanContext) Valid() bool {
+	return len(c.TraceID) == 32 && len(c.SpanID) == 16
+}
+
+// ID generation: a crypto-seeded process prefix plus an atomic counter
+// pushed through a splitmix64 finalizer. No syscall per ID, unique within
+// (and overwhelmingly likely across) processes, and never all-zero —
+// which the W3C header format forbids.
+var (
+	idSeed  uint64
+	idTrace uint64
+	idCtr   atomic.Uint64
+)
+
+func init() {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy failure: fall back to a fixed seed; IDs stay unique
+		// per process via the counter.
+		b[0] = 1
+	}
+	idSeed = binary.BigEndian.Uint64(b[:8]) | 1
+	idTrace = binary.BigEndian.Uint64(b[8:]) | 1
+}
+
+// splitmix64 is the standard 64-bit finalizer: a bijection, so distinct
+// inputs always yield distinct outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTraceID mints a 32-hex-char trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], idTrace)
+	binary.BigEndian.PutUint64(b[8:], splitmix64(idSeed+idCtr.Add(1)))
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID mints a 16-hex-char span ID.
+func NewSpanID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], splitmix64(idSeed^idCtr.Add(1)))
+	return hex.EncodeToString(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// ("00-<trace-id>-<parent-id>-<flags>"). It accepts only version 00 and
+// rejects the all-zero IDs the spec forbids.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	h = strings.ToLower(strings.TrimSpace(h))
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 || parts[0] != "00" ||
+		len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	if !isHex(parts[1]) || !isHex(parts[2]) || !isHex(parts[3]) {
+		return SpanContext{}, false
+	}
+	if allZero(parts[1]) || allZero(parts[2]) {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: parts[1], SpanID: parts[2]}, true
+}
+
+// FormatTraceparent renders a context as a version-00 traceparent header
+// with the sampled flag set.
+func FormatTraceparent(c SpanContext) string {
+	return "00-" + c.TraceID + "-" + c.SpanID + "-01"
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// Active is one in-flight request's recording state: a root span opened
+// at the server edge plus the child phases stamped along the way. It is
+// single-owner at any moment — the HTTP handler hands it to the session
+// worker and blocks until the worker replies, so the two never touch it
+// concurrently (the reply channel provides the happens-before edge).
+//
+// Every method is a no-op on a nil receiver; a nil *SpanStore starts nil
+// Actives, so the tracing-off path is one pointer check at each call
+// site, mirroring the DecisionEvent nil-Sink contract.
+type Active struct {
+	store    *SpanStore
+	began    time.Time
+	root     Span
+	children []Span
+}
+
+// StartSpan opens a root span for one request. A zero parent mints a
+// fresh trace ID; a parsed traceparent continues the remote trace with
+// this span as the remote span's child. Returns nil (recording off) when
+// the store is nil.
+func (s *SpanStore) StartSpan(phase string, parent SpanContext, attrs map[string]string) *Active {
+	if s == nil {
+		return nil
+	}
+	tid := parent.TraceID
+	if tid == "" {
+		tid = NewTraceID()
+	}
+	now := time.Now()
+	return &Active{
+		store: s,
+		began: now,
+		root: Span{
+			TraceID: tid,
+			SpanID:  NewSpanID(),
+			Parent:  parent.SpanID,
+			Phase:   phase,
+			Start:   now.UnixNano(),
+			Attrs:   attrs,
+		},
+	}
+}
+
+// Context returns the position children of the root span parent under;
+// zero when recording is off.
+func (a *Active) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: a.root.TraceID, SpanID: a.root.SpanID}
+}
+
+// TraceID returns the trace ID, or "" when recording is off.
+func (a *Active) TraceID() string {
+	if a == nil {
+		return ""
+	}
+	return a.root.TraceID
+}
+
+// SetAttr attaches one attribute to the root span.
+func (a *Active) SetAttr(k, v string) {
+	if a == nil {
+		return
+	}
+	if a.root.Attrs == nil {
+		a.root.Attrs = make(map[string]string, 4)
+	}
+	a.root.Attrs[k] = v
+}
+
+// Phase records one finished child phase under the root span.
+func (a *Active) Phase(phase string, start time.Time, d time.Duration) {
+	if a == nil {
+		return
+	}
+	a.children = append(a.children, Span{
+		TraceID:  a.root.TraceID,
+		SpanID:   NewSpanID(),
+		Parent:   a.root.SpanID,
+		Phase:    phase,
+		Start:    start.UnixNano(),
+		Duration: d.Nanoseconds(),
+	})
+}
+
+// Finish closes the root span and lands the whole request — root first,
+// phases in recording order — in the store.
+func (a *Active) Finish() {
+	if a == nil {
+		return
+	}
+	a.root.Duration = time.Since(a.began).Nanoseconds()
+	spans := make([]Span, 0, 1+len(a.children))
+	spans = append(spans, a.root)
+	spans = append(spans, a.children...)
+	a.store.Add(spans...)
+}
+
+// activeKey carries an *Active through a request context.
+type activeKey struct{}
+
+// WithActive attaches a request's recording state to its context.
+func WithActive(ctx context.Context, a *Active) context.Context {
+	return context.WithValue(ctx, activeKey{}, a)
+}
+
+// ActiveFrom extracts the request's recording state; nil when the
+// request is untraced (every *Active method tolerates that).
+func ActiveFrom(ctx context.Context) *Active {
+	a, _ := ctx.Value(activeKey{}).(*Active)
+	return a
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	if !sc.Valid() {
+		t.Fatalf("minted context invalid: %+v", sc)
+	}
+	h := FormatTraceparent(sc)
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: %q -> %+v ok=%v, want %+v", h, got, ok, sc)
+	}
+	// Case-insensitive and whitespace-tolerant on parse.
+	up, ok := ParseTraceparent("  " + strings.ToUpper(h) + " ")
+	if !ok || up != sc {
+		t.Fatalf("uppercase parse: got %+v ok=%v", up, ok)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // version != 00
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",    // missing flags
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01", // non-hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333-011", // wrong widths
+	}
+	for _, h := range bad {
+		if sc, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted: %+v", h, sc)
+		}
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		tid, sid := NewTraceID(), NewSpanID()
+		if len(tid) != 32 || len(sid) != 16 {
+			t.Fatalf("bad widths: %q %q", tid, sid)
+		}
+		if allZero(tid) || allZero(sid) {
+			t.Fatalf("all-zero id minted: %q %q", tid, sid)
+		}
+		if seen[tid] || seen[sid] {
+			t.Fatalf("duplicate id at iteration %d", i)
+		}
+		seen[tid], seen[sid] = true, true
+	}
+}
+
+func TestNilActiveAndNilStore(t *testing.T) {
+	var s *SpanStore
+	act := s.StartSpan(PhaseHTTP, SpanContext{}, nil)
+	if act != nil {
+		t.Fatalf("nil store minted an Active")
+	}
+	// Every method must tolerate nil.
+	act.SetAttr("k", "v")
+	act.Phase(PhaseQueueWait, time.Now(), time.Millisecond)
+	act.Finish()
+	if got := act.TraceID(); got != "" {
+		t.Fatalf("nil Active TraceID = %q", got)
+	}
+	if got := act.Context(); got != (SpanContext{}) {
+		t.Fatalf("nil Active Context = %+v", got)
+	}
+	s.Add(Span{TraceID: "x", SpanID: "y"})
+	s.RecordPhase(SpanContext{TraceID: strings.Repeat("a", 32), SpanID: strings.Repeat("b", 16)}, PhaseSolveDP, time.Now(), 0, nil)
+	if s.Trace("x") != nil || s.Summaries() != nil {
+		t.Fatalf("nil store returned data")
+	}
+	if st := s.Stats(); st != (StoreStats{}) {
+		t.Fatalf("nil store stats = %+v", st)
+	}
+}
+
+func TestActiveRecordsTree(t *testing.T) {
+	store := NewSpanStore(8, 0, "node-a")
+	act := store.StartSpan(PhaseHTTP, SpanContext{}, map[string]string{"path": "/v1/x"})
+	if act == nil {
+		t.Fatal("StartSpan returned nil with live store")
+	}
+	start := time.Now()
+	act.Phase(PhaseQueueWait, start, 5*time.Millisecond)
+	act.Phase(PhaseEngineStep, start, 7*time.Millisecond)
+	act.SetAttr("status", "200")
+	act.Finish()
+
+	spans := store.Trace(act.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	root := spans[0]
+	if root.Phase != PhaseHTTP || root.Parent != "" || root.SpanID != act.Context().SpanID {
+		t.Fatalf("bad root span: %+v", root)
+	}
+	if root.Attrs["path"] != "/v1/x" || root.Attrs["status"] != "200" {
+		t.Fatalf("root attrs: %+v", root.Attrs)
+	}
+	if root.Node != "node-a" {
+		t.Fatalf("node not stamped: %+v", root)
+	}
+	for _, sp := range spans[1:] {
+		if sp.Parent != root.SpanID || sp.TraceID != root.TraceID {
+			t.Fatalf("child not parented to root: %+v", sp)
+		}
+	}
+	if spans[1].Duration != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("child duration: %+v", spans[1])
+	}
+}
+
+func TestStartSpanContinuesRemoteTrace(t *testing.T) {
+	store := NewSpanStore(8, 0, "")
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	act := store.StartSpan(PhaseHTTP, parent, nil)
+	if act.TraceID() != parent.TraceID {
+		t.Fatalf("trace id not continued: %q vs %q", act.TraceID(), parent.TraceID)
+	}
+	act.Finish()
+	spans := store.Trace(parent.TraceID)
+	if len(spans) != 1 || spans[0].Parent != parent.SpanID {
+		t.Fatalf("root not parented to remote span: %+v", spans)
+	}
+}
+
+func TestTailRetention(t *testing.T) {
+	store := NewSpanStore(2, 100*time.Millisecond, "")
+	slowID := NewTraceID()
+	store.Add(Span{TraceID: slowID, SpanID: NewSpanID(), Phase: PhaseHTTP, Duration: (150 * time.Millisecond).Nanoseconds()})
+	var fastIDs []string
+	for i := 0; i < 4; i++ {
+		id := NewTraceID()
+		fastIDs = append(fastIDs, id)
+		store.Add(Span{TraceID: id, SpanID: NewSpanID(), Phase: PhaseHTTP, Duration: 1000})
+	}
+	// The slow trace must have survived FIFO pressure.
+	if store.Trace(slowID) == nil {
+		t.Fatal("slow trace evicted despite retention")
+	}
+	// Only the newest fast trace fits alongside it.
+	if store.Trace(fastIDs[3]) == nil {
+		t.Fatal("newest fast trace missing")
+	}
+	for _, id := range fastIDs[:3] {
+		if store.Trace(id) != nil {
+			t.Fatalf("old fast trace %s not evicted", id)
+		}
+	}
+	st := store.Stats()
+	if st.Traces != 2 || st.TracesEvicted != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// All-retained overflow falls back to FIFO.
+	store2 := NewSpanStore(1, time.Nanosecond, "")
+	a, b := NewTraceID(), NewTraceID()
+	store2.Add(Span{TraceID: a, SpanID: NewSpanID(), Duration: 10})
+	store2.Add(Span{TraceID: b, SpanID: NewSpanID(), Duration: 10})
+	if store2.Trace(a) != nil || store2.Trace(b) == nil {
+		t.Fatal("all-retained eviction should drop the oldest")
+	}
+}
+
+func TestMaxSpansPerTrace(t *testing.T) {
+	store := NewSpanStore(4, 0, "")
+	id := NewTraceID()
+	for i := 0; i < MaxSpansPerTrace+10; i++ {
+		store.Add(Span{TraceID: id, SpanID: NewSpanID()})
+	}
+	if n := len(store.Trace(id)); n != MaxSpansPerTrace {
+		t.Fatalf("stored %d spans, want %d", n, MaxSpansPerTrace)
+	}
+	if st := store.Stats(); st.SpansTruncated != 10 {
+		t.Fatalf("truncated = %d, want 10", st.SpansTruncated)
+	}
+}
+
+func TestSummariesPickLocalRoot(t *testing.T) {
+	store := NewSpanStore(4, 0, "")
+	id := NewTraceID()
+	// The "http" span's parent is remote (not stored here): it is the
+	// local root even though it has a Parent set.
+	httpID := NewSpanID()
+	store.Add(
+		Span{TraceID: id, SpanID: httpID, Parent: NewSpanID(), Phase: PhaseHTTP, Start: 100, Duration: 5000},
+		Span{TraceID: id, SpanID: NewSpanID(), Parent: httpID, Phase: PhaseQueueWait, Start: 150, Duration: 800},
+	)
+	sums := store.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	got := sums[0]
+	if got.RootPhase != PhaseHTTP || got.RootDurationNS != 5000 || got.Spans != 2 || got.StartUnixNS != 100 {
+		t.Fatalf("summary: %+v", got)
+	}
+}
+
+func TestObserverSeesAcceptedSpans(t *testing.T) {
+	store := NewSpanStore(4, 0, "n")
+	var seen []Span
+	store.Observer = func(sp Span) { seen = append(seen, sp) }
+	act := store.StartSpan(PhaseHTTP, SpanContext{}, nil)
+	act.Phase(PhaseQueueWait, time.Now(), time.Millisecond)
+	act.Finish()
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d spans, want 2", len(seen))
+	}
+	if seen[0].Phase != PhaseHTTP || seen[1].Phase != PhaseQueueWait {
+		t.Fatalf("observer order: %+v", seen)
+	}
+	if seen[0].Node != "n" {
+		t.Fatalf("observer span missing node stamp: %+v", seen[0])
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if ActiveFrom(ctx) != nil {
+		t.Fatal("empty context yielded an Active")
+	}
+	store := NewSpanStore(1, 0, "")
+	act := store.StartSpan(PhaseHTTP, SpanContext{}, nil)
+	if got := ActiveFrom(WithActive(ctx, act)); got != act {
+		t.Fatalf("context round trip: %p vs %p", got, act)
+	}
+	// Carrying a nil Active is legal and reads back as nil.
+	if got := ActiveFrom(WithActive(ctx, nil)); got != nil {
+		t.Fatal("nil Active round trip")
+	}
+}

@@ -97,6 +97,28 @@ echo "clustersmoke: migrated: $MIG"
 echo "$MIG" | grep -q '"from"' || { echo "clustersmoke: migrate response malformed"; exit 1; }
 curl -fsS -X POST "$GW/v1/sessions/$FIRST/step" -d '{"steps":4}' > /dev/null
 
+# Cross-node tracing: drive one step with an injected W3C traceparent
+# and require the gateway's stitched trace to carry the same trace ID
+# with at least three distinct attributed phases (proxy at the gateway
+# plus http/queue-wait/engine-step from the owning backend). Spans land
+# asynchronously after the response, so poll briefly.
+TRACE_ID=4bf92f3577b34da6a3ce929d0e0e4736
+curl -fsS -X POST "$GW/v1/sessions/$FIRST/step" \
+    -H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" -d '{"steps":2}' > /dev/null
+PHASES=0
+i=0
+while [ $i -lt 50 ]; do
+    TRACE=$(curl -s "$GW/v1/traces/$TRACE_ID" || true)
+    PHASES=$(echo "$TRACE" | grep -o '"phase":"[^"]*"' | sort -u | wc -l)
+    [ "$PHASES" -ge 3 ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ "$PHASES" -ge 3 ] || { echo "clustersmoke: stitched trace has $PHASES phases, want >= 3: $TRACE"; exit 1; }
+echo "$TRACE" | grep -q "\"trace_id\":\"$TRACE_ID\"" || { echo "clustersmoke: stitched trace lost the injected trace ID"; exit 1; }
+echo "$TRACE" | grep -q '"phase":"proxy"' || { echo "clustersmoke: stitched trace has no gateway proxy span"; exit 1; }
+echo "clustersmoke: stitched trace $TRACE_ID spans $PHASES phases through the gateway"
+
 # Grow the ring: boot a third backend and join it; only ring-moved
 # sessions migrate, and every session must remain reachable.
 boot "$WORKDIR/c.log" "$WORKDIR/calibserved" -addr 127.0.0.1:0 -data-dir "$WORKDIR/data-c" -fsync none
@@ -145,15 +167,18 @@ curl -fsS -X POST "$GW/v1/sessions/$SESS_A/step" -d '{"steps":2}' > /dev/null
 echo "clustersmoke: surviving shard still serving; dead shard fails open with 503"
 
 # Aggregated metrics: scrape, save as the artifact, and validate the
-# exposition — every line a comment or a well-formed sample, counters
-# present from both planes, and the dead node reported down.
+# exposition — every line a comment or a well-formed sample (optionally
+# carrying an OpenMetrics exemplar suffix on histogram buckets),
+# counters present from both planes, and the dead node reported down.
 curl -fsS "$GW/metrics" > "$METRICS_OUT"
 grep -q '^# TYPE calibserved_sessions_created counter$' "$METRICS_OUT"
 grep -q '^calibgate_sessions_migrated ' "$METRICS_OUT"
 grep -q '^calibgate_rebalances ' "$METRICS_OUT"
+grep -q '^calibgate_build_info{' "$METRICS_OUT"
+grep -q 'calibserved_build_info{' "$METRICS_OUT"
 grep -q "calibgate_node_up{node=\"$B\"} 0" "$METRICS_OUT"
 grep -q "calibgate_node_up{node=\"$A\"} 1" "$METRICS_OUT"
-BAD=$(grep -Ev '^$|^#|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$' "$METRICS_OUT" || true)
+BAD=$(grep -Ev '^$|^#|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?( # \{[a-zA-Z_]+="[^"]*"\} -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)?$' "$METRICS_OUT" || true)
 [ -z "$BAD" ] || { echo "clustersmoke: malformed exposition lines:"; echo "$BAD"; exit 1; }
 echo "clustersmoke: aggregated metrics valid ($(wc -l < "$METRICS_OUT") lines) at $METRICS_OUT"
 
