@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json test race fuzz bench solvebench serve loadtest crashtest clustersmoke ci
+.PHONY: all build vet lint lint-json test race fuzz bench solvebench arena serve loadtest crashtest clustersmoke ci
 
 all: ci
 
@@ -45,14 +45,28 @@ fuzz:
 # in-memory vs WAL at each fsync policy, and the request-span recorder
 # tiers: nil recorder vs bounded ring).
 BENCH_OUT ?= BENCH_$(shell date +%F).json
+GIT_COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 bench:
-	$(GO) run ./cmd/calibbench -perf -out $(BENCH_OUT)
+	$(GO) run -ldflags "-X main.commit=$(GIT_COMMIT)" ./cmd/calibbench -perf -out $(BENCH_OUT)
 
 # solvebench runs just the batch-solve tiers: sequential vs parallel DP
 # and budget sweep, plus the warm-cache repeat-solve path (prints to
 # stdout; use BENCH_OUT-style -out to persist).
 solvebench:
 	$(GO) run ./cmd/calibbench -perf -perf-filter offline,solve
+
+# arena regenerates the competitive-ratio leaderboard from the pinned
+# sweep twice, requires both regenerations byte-identical to the
+# committed LEADERBOARD.json / LEADERBOARD.md, and fails on any
+# invariant violation (ratio < 1, LP > DP, proven bound exceeded) via
+# calibarena's -check default.
+arena:
+	$(GO) run ./cmd/calibarena -json /tmp/calibarena-lb.json -md /tmp/calibarena-lb.md
+	cmp LEADERBOARD.json /tmp/calibarena-lb.json
+	cmp LEADERBOARD.md /tmp/calibarena-lb.md
+	$(GO) run ./cmd/calibarena -json /tmp/calibarena-lb2.json -md /tmp/calibarena-lb2.md
+	cmp /tmp/calibarena-lb.json /tmp/calibarena-lb2.json
+	cmp /tmp/calibarena-lb.md /tmp/calibarena-lb2.md
 
 # serve boots the streaming scheduling daemon on SERVE_ADDR (see
 # DESIGN.md §7 for the API).
@@ -78,4 +92,4 @@ crashtest:
 clustersmoke:
 	./scripts/clustersmoke.sh
 
-ci: build vet lint test race fuzz crashtest clustersmoke
+ci: build vet lint test race fuzz arena crashtest clustersmoke

@@ -79,5 +79,14 @@ func Flow(in *Instance, s *Schedule) int64 { return core.Flow(in, s) }
 // TotalCost returns the online objective G*(#calibrations) + Flow.
 func TotalCost(in *Instance, s *Schedule, g int64) int64 { return core.TotalCost(in, s, g) }
 
+// CostMode selects the flow-time aggregate of the arena's p-norm cost
+// modes ("p1", "p2", "pinf"); see core.CostModes.
+type CostMode = core.CostMode
+
+// ModeCost returns G*(#calibrations) plus the mode's flow aggregate.
+func ModeCost(in *Instance, s *Schedule, g int64, m CostMode) int64 {
+	return core.ModeCost(in, s, g, m)
+}
+
 // NewSchedule allocates an empty schedule for n jobs.
 func NewSchedule(n int) *Schedule { return core.NewSchedule(n) }

@@ -336,8 +336,8 @@ func TestAlgorithmRegistry(t *testing.T) {
 		if cost < opt {
 			t.Errorf("%s cost %d below OPT %d", a.Name, cost, opt)
 		}
-		if a.Ratio > 0 && float64(cost) > a.Ratio*float64(opt) {
-			t.Errorf("%s cost %d exceeds %.0fx OPT %d", a.Name, cost, a.Ratio, opt)
+		if !a.WithinProvenRatio(cost, opt) {
+			t.Errorf("%s cost %d exceeds %sx OPT %d", a.Name, cost, a.ProvenRatio(), opt)
 		}
 	}
 	// Applicability filters: a weighted multi-machine instance admits only

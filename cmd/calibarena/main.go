@@ -1,0 +1,121 @@
+// Command calibarena runs the competitive-ratio arena: every registered
+// engine plus the exact DP over a sweep of workload families, sizes,
+// seeds, and calibration costs, producing the byte-deterministic
+// leaderboard committed as LEADERBOARD.json and LEADERBOARD.md.
+//
+// Example:
+//
+//	calibarena -json LEADERBOARD.json -md LEADERBOARD.md
+//	calibarena -sweep mysweep.json -md -
+//
+// Exit codes: 0 ok, 1 runtime failure or invariant violation (with
+// -check), 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"calibsched"
+	"calibsched/internal/arena"
+	"calibsched/internal/solve"
+)
+
+func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("calibarena", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		sweepFlag = fs.String("sweep", "pinned", `sweep spec: "pinned" or a JSON file path`)
+		jsonOut   = fs.String("json", "", `write leaderboard JSON to this file ("-" for stdout)`)
+		mdOut     = fs.String("md", "", `write leaderboard markdown to this file ("-" for stdout)`)
+		check     = fs.Bool("check", true, "exit 1 if any invariant violation is observed")
+		workers   = fs.Int("workers", 0, "DP solve parallelism (default GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "calibarena: unexpected argument %q; calibarena takes flags only\n", fs.Arg(0))
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintln(stderr, "calibarena: -workers must be >= 0")
+		return 2
+	}
+
+	sweep, err := loadSweep(*sweepFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "calibarena:", err)
+		return 2
+	}
+	w := *workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	pool := solve.New(solve.Options{Workers: w, QueueDepth: 4096})
+	defer pool.Close()
+	rep, err := arena.Run(sweep, calibsched.ArenaEngines(), arena.Options{Pool: pool})
+	if err != nil {
+		fmt.Fprintln(stderr, "calibarena:", err)
+		return 1
+	}
+
+	// No explicit output target: the markdown goes to stdout.
+	if *jsonOut == "" && *mdOut == "" {
+		*mdOut = "-"
+	}
+	if err := emit(*jsonOut, stdout, rep.WriteJSON); err != nil {
+		fmt.Fprintln(stderr, "calibarena:", err)
+		return 1
+	}
+	if err := emit(*mdOut, stdout, rep.WriteMarkdown); err != nil {
+		fmt.Fprintln(stderr, "calibarena:", err)
+		return 1
+	}
+	if *check && len(rep.Violations) > 0 {
+		fmt.Fprintf(stderr, "calibarena: %d invariant violation(s):\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Fprintln(stderr, "  -", v)
+		}
+		return 1
+	}
+	return 0
+}
+
+func loadSweep(spec string) (*arena.Sweep, error) {
+	if spec == "pinned" {
+		return arena.PinnedSweep(), nil
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return arena.ReadSweep(f)
+}
+
+// emit writes through fn to the named file, stdout ("-"), or nowhere ("").
+func emit(target string, stdout io.Writer, fn func(io.Writer) error) error {
+	switch target {
+	case "":
+		return nil
+	case "-":
+		return fn(stdout)
+	}
+	f, err := os.Create(target)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calibsched/internal/arena"
+)
+
+// testSweep is a fast two-family sweep written to a temp file.
+func testSweep(t *testing.T) string {
+	t.Helper()
+	spec := `{
+  "schema": "calibarena/v1", "name": "cli-test", "p": 1, "T": 6,
+  "families": ["poisson-unit", "calibration-starvation"],
+  "sizes": [6], "seeds": [1], "gs": [8],
+  "modes": ["p1"], "lp_max_jobs": 6, "lp_max_g": 8
+}`
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIWritesBothArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "lb.json")
+	mdPath := filepath.Join(dir, "lb.md")
+	var stdout, stderr bytes.Buffer
+	code := cliMain([]string{"-sweep", testSweep(t), "-json", jsonPath, "-md", mdPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep arena.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != arena.LeaderboardSchema || len(rep.Rows) == 0 || len(rep.Violations) != 0 {
+		t.Errorf("report schema=%q rows=%d violations=%v", rep.Schema, len(rep.Rows), rep.Violations)
+	}
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "Competitive-ratio leaderboard") {
+		t.Errorf("markdown missing title:\n%s", md)
+	}
+}
+
+func TestCLIDefaultsToMarkdownOnStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := cliMain([]string{"-sweep", testSweep(t)}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "| Engine | Family |") {
+		t.Errorf("stdout is not the markdown leaderboard:\n%s", stdout.String())
+	}
+}
+
+func TestCLIDeterministicBytes(t *testing.T) {
+	sweep := testSweep(t)
+	render := func() string {
+		var stdout, stderr bytes.Buffer
+		if code := cliMain([]string{"-sweep", sweep, "-json", "-"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, stderr %q", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("two runs differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"positional arg", []string{"x"}},
+		{"missing sweep file", []string{"-sweep", "/nonexistent/sweep.json"}},
+		{"negative workers", []string{"-workers", "-1"}},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := cliMain(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr %q)", tc.name, code, stderr.String())
+		}
+	}
+}

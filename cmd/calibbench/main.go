@@ -21,6 +21,12 @@ import (
 	"calibsched/internal/experiments"
 )
 
+// commit identifies the build in the perf report's provenance stamp;
+// release tooling overrides it with -ldflags "-X main.commit=..." (the
+// same mechanism as calibserved's build_info version). "unknown" marks
+// ad-hoc `go run` invocations.
+var commit = "unknown"
+
 func main() {
 	var (
 		which    = flag.String("e", "all", "comma-separated experiment IDs (e1..e17) or 'all'")

@@ -51,6 +51,8 @@ func TestRunPerfReportShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	var report struct {
+		Schema    string `json:"schema"`
+		Commit    string `json:"commit"`
 		Date      string `json:"date"`
 		GoVersion string `json:"go_version"`
 		Results   []struct {
@@ -65,6 +67,12 @@ func TestRunPerfReportShape(t *testing.T) {
 	}
 	if report.Date == "" || report.GoVersion == "" {
 		t.Errorf("report missing provenance: %+v", report)
+	}
+	if report.Schema != perfSchema {
+		t.Errorf("report schema %q, want %q", report.Schema, perfSchema)
+	}
+	if report.Commit == "" {
+		t.Error("report missing the commit stamp (ldflags default is \"unknown\", never empty)")
 	}
 	byName := map[string]bool{}
 	for _, r := range report.Results {

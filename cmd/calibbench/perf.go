@@ -38,8 +38,14 @@ type perfResult struct {
 	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
 }
 
+// perfSchema versions the BENCH_<date>.json format. v2 added the
+// schema and commit fields.
+const perfSchema = "calibbench/v2"
+
 // perfReport is the BENCH_<date>.json schema.
 type perfReport struct {
+	Schema    string       `json:"schema"`
+	Commit    string       `json:"commit"`
 	Date      string       `json:"date"`
 	GoVersion string       `json:"go_version"`
 	GOOS      string       `json:"goos"`
@@ -213,6 +219,8 @@ func runPerf(out io.Writer, d time.Duration, n int, filter string) error {
 	}
 
 	report := perfReport{
+		Schema:    perfSchema,
+		Commit:    commit,
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,

@@ -5,6 +5,7 @@
 // Example:
 //
 //	calibgen -n 100 -p 1 -T 16 -arrival poisson -lambda 0.3 -weights zipf -seed 7 > inst.txt
+//	calibgen -n 60 -T 8 -family weight-spike -seed 3 > spike.txt
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"calibsched/internal/workload"
 )
@@ -45,6 +47,7 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		light   = fs.Int64("light", 1, "bimodal: light weight")
 		heavy   = fs.Int64("heavy", 100, "bimodal: heavy weight")
 		pheavy  = fs.Float64("pheavy", 0.05, "bimodal: probability of heavy")
+		family  = fs.String("family", "", "named workload family preset (overrides -arrival/-weights): "+strings.Join(workload.FamilyNames(), "|"))
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,12 +56,34 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "calibgen: unexpected argument %q; calibgen takes flags only and writes to stdout\n", fs.Arg(0))
 		return 2
 	}
-	if err := checkKinds(*arrival, *weights); err != nil {
-		fmt.Fprintln(stderr, "calibgen:", err)
-		return 2
-	}
 	if *n < 0 || *p < 1 || *t < 1 {
 		fmt.Fprintf(stderr, "calibgen: -n must be >= 0 and -p, -T >= 1 (got -n %d -p %d -T %d)\n", *n, *p, *t)
+		return 2
+	}
+	if *family != "" {
+		// A family is a complete preset: combining it with the shape
+		// flags would silently ignore one of them.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, conflict := range []string{"arrival", "weights", "lambda", "burst", "gap", "jitter", "horizon", "period", "batches", "spacing", "wmax", "zipf-s", "light", "heavy", "pheavy"} {
+			if set[conflict] {
+				fmt.Fprintf(stderr, "calibgen: -family is a complete preset and conflicts with -%s; drop -%s\n", conflict, conflict)
+				return 2
+			}
+		}
+		fam, ok := workload.FamilyByName(*family)
+		if !ok {
+			fmt.Fprintf(stderr, "calibgen: unknown -family %q; use %s\n", *family, strings.Join(workload.FamilyNames(), "|"))
+			return 2
+		}
+		if err := emitFamily(stdout, fam, *n, *p, *t, *seed); err != nil {
+			fmt.Fprintln(stderr, "calibgen:", err)
+			return 1
+		}
+		return 0
+	}
+	if err := checkKinds(*arrival, *weights); err != nil {
+		fmt.Fprintln(stderr, "calibgen:", err)
 		return 2
 	}
 
@@ -92,6 +117,17 @@ func checkKinds(arrival, weights string) error {
 		return fmt.Errorf("unknown -weights %q; use unit|uniform|zipf|bimodal", weights)
 	}
 	return nil
+}
+
+// emitFamily builds a named family's instance and writes it with a
+// provenance header.
+func emitFamily(w io.Writer, fam workload.Family, n, p int, t int64, seed uint64) error {
+	in, err := fam.Build(n, p, t, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# calibgen n=%d p=%d T=%d family=%s seed=%d\n", n, p, t, fam.Name, seed)
+	return workload.WriteInstance(w, in)
 }
 
 // emit builds the spec's instance and writes it with a provenance header.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -72,6 +73,57 @@ func TestCLIErrorPaths(t *testing.T) {
 		}
 		if stdout.Len() != 0 {
 			t.Errorf("%s: wrote to stdout on a usage error: %q", tc.name, stdout.String())
+		}
+	}
+}
+
+// TestFamilyGolden pins the three adversarial families byte-for-byte:
+// the same seed must regenerate exactly the committed instance file, so
+// any drift in the generators (or the PRNG) is a visible diff here.
+func TestFamilyGolden(t *testing.T) {
+	for _, fam := range []string{"release-burst", "weight-spike", "calibration-starvation"} {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			args := []string{"-n", "24", "-T", "6", "-family", fam, "-seed", "7"}
+			var out1, out2, stderr bytes.Buffer
+			if code := cliMain(args, &out1, &stderr); code != 0 {
+				t.Fatalf("exit %d, stderr %q", code, stderr.String())
+			}
+			if code := cliMain(args, &out2, &stderr); code != 0 {
+				t.Fatalf("second run exit %d, stderr %q", code, stderr.String())
+			}
+			if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+				t.Fatal("same seed produced different bytes across runs")
+			}
+			golden, err := os.ReadFile("testdata/" + fam + ".golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out1.Bytes(), golden) {
+				t.Errorf("output differs from committed golden testdata/%s.golden:\n%s", fam, out1.String())
+			}
+		})
+	}
+}
+
+// TestFamilyCLIErrors covers the -family flag's own error paths.
+func TestFamilyCLIErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		msg  string
+	}{
+		{"unknown family", []string{"-family", "gaussian-storm"}, "unknown -family"},
+		{"family vs arrival", []string{"-family", "weight-spike", "-arrival", "poisson"}, "conflicts with -arrival"},
+		{"family vs weights", []string{"-family", "weight-spike", "-weights", "zipf"}, "conflicts with -weights"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := cliMain(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr %q)", tc.name, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.msg) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, stderr.String(), tc.msg)
 		}
 	}
 }

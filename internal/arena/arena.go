@@ -1,0 +1,532 @@
+// Package arena runs the competitive-ratio bake-off: every registered
+// engine against the exact DP optimum over a declarative sweep of
+// workload families, sizes, seeds, and calibration costs G.
+//
+// For each generated instance and each G the arena solves the exact
+// offline DP (through an internal/solve pool, so repeated runs share
+// the result cache and DP executions run in parallel), runs every
+// applicable engine, and — when the instance is small enough — the
+// time-indexed LP relaxation as an independent lower-bound cross-check.
+// Per-instance ratios are exact rationals (engine cost over the best
+// known cost for that instance and cost mode); per-(engine, family,
+// mode) aggregates are computed in math/big.Rat so the committed
+// leaderboard never depends on float accumulation order.
+//
+// Invariants checked on every run (violations are collected in the
+// report, not silently dropped):
+//
+//   - LP lower bound <= DP optimum on every cross-checked instance;
+//   - the DP's total cost is minimal among all computed schedules under
+//     the p1 objective (so every p1 ratio is >= 1 by construction);
+//   - engines with a proven competitive ratio stay within it on every
+//     instance (p1 only — the paper's proofs are for total weighted
+//     flow time).
+package arena
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"calibsched/internal/core"
+	"calibsched/internal/lp"
+	"calibsched/internal/solve"
+	"calibsched/internal/workload"
+)
+
+// SweepSchema versions the sweep-spec JSON format read by ReadSweep.
+const SweepSchema = "calibarena/v1"
+
+// LeaderboardSchema versions the leaderboard JSON written by WriteJSON.
+const LeaderboardSchema = "calibarena-leaderboard/v1"
+
+// OptEngine is the reserved leaderboard name for the exact DP's own
+// schedule. The arena supplies it; entered engines may not use it.
+const OptEngine = "opt"
+
+// Engine is one scheduling policy entered in the bake-off. RatioNum and
+// RatioDen carry the proven competitive ratio as an exact rational
+// (0/0 when none is proved), mirroring calibsched.NamedAlgorithm.
+type Engine struct {
+	Name               string
+	RatioNum, RatioDen int64
+	Run                func(in *core.Instance, g int64) (*core.Schedule, error)
+	Applicable         func(in *core.Instance) bool
+}
+
+func (e Engine) hasProvenRatio() bool { return e.RatioDen != 0 }
+
+// provenRatio renders the proven bound ("3", "12", "num/den", or "").
+func (e Engine) provenRatio() string {
+	if !e.hasProvenRatio() {
+		return ""
+	}
+	if e.RatioNum%e.RatioDen == 0 {
+		return fmt.Sprintf("%d", e.RatioNum/e.RatioDen)
+	}
+	return fmt.Sprintf("%d/%d", e.RatioNum, e.RatioDen)
+}
+
+// Sweep is the declarative bake-off spec: the cross product of
+// Families x Sizes x Seeds defines the instances; each is solved and
+// raced at every G and scored under every cost mode.
+type Sweep struct {
+	Schema   string          `json:"schema"`
+	Name     string          `json:"name"`
+	P        int             `json:"p"`
+	T        int64           `json:"T"`
+	Families []string        `json:"families"`
+	Sizes    []int           `json:"sizes"`
+	Seeds    []uint64        `json:"seeds"`
+	Gs       []int64         `json:"gs"`
+	Modes    []core.CostMode `json:"modes"`
+	// LPMaxJobs and LPMaxG bound which (instance, G) pairs get the LP
+	// lower-bound cross-check — the simplex is by far the slowest part
+	// of a run. LPMaxJobs 0 disables the check entirely.
+	LPMaxJobs int   `json:"lp_max_jobs"`
+	LPMaxG    int64 `json:"lp_max_g"`
+}
+
+// PinnedSweep is the committed sweep behind LEADERBOARD.json: small
+// enough that `make arena` regenerates it in seconds, wide enough to
+// cover every family and both ends of the calibration-cost range.
+func PinnedSweep() *Sweep {
+	return &Sweep{
+		Schema:    SweepSchema,
+		Name:      "pinned-v1",
+		P:         1,
+		T:         6,
+		Families:  workload.FamilyNames(),
+		Sizes:     []int{8, 12},
+		Seeds:     []uint64{1, 2},
+		Gs:        []int64{8, 32},
+		Modes:     core.CostModes(),
+		LPMaxJobs: 12,
+		LPMaxG:    8,
+	}
+}
+
+// ReadSweep decodes and validates a sweep spec.
+func ReadSweep(r io.Reader) (*Sweep, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Sweep
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("arena: decode sweep: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate rejects malformed sweeps with a message naming the field.
+func (s *Sweep) Validate() error {
+	if s.Schema != SweepSchema {
+		return fmt.Errorf("arena: sweep schema %q, want %q", s.Schema, SweepSchema)
+	}
+	if s.Name == "" {
+		return errors.New("arena: sweep needs a name")
+	}
+	if s.P != 1 {
+		// Ratios are measured against the exact DP, which is defined for
+		// one machine only.
+		return fmt.Errorf("arena: sweep p=%d; ratios need the single-machine DP (p=1)", s.P)
+	}
+	if s.T < 1 {
+		return fmt.Errorf("arena: sweep T=%d, want >= 1", s.T)
+	}
+	if len(s.Families) == 0 {
+		return errors.New("arena: sweep lists no families")
+	}
+	seen := map[string]bool{}
+	for _, f := range s.Families {
+		if _, ok := workload.FamilyByName(f); !ok {
+			return fmt.Errorf("arena: unknown family %q", f)
+		}
+		if seen[f] {
+			return fmt.Errorf("arena: family %q listed twice", f)
+		}
+		seen[f] = true
+	}
+	if len(s.Sizes) == 0 {
+		return errors.New("arena: sweep lists no sizes")
+	}
+	for _, n := range s.Sizes {
+		if n < 1 {
+			return fmt.Errorf("arena: size %d, want >= 1", n)
+		}
+	}
+	if len(s.Seeds) == 0 {
+		return errors.New("arena: sweep lists no seeds")
+	}
+	if len(s.Gs) == 0 {
+		return errors.New("arena: sweep lists no G values")
+	}
+	for _, g := range s.Gs {
+		if g < 1 {
+			return fmt.Errorf("arena: G=%d, want >= 1", g)
+		}
+	}
+	if len(s.Modes) == 0 {
+		return errors.New("arena: sweep lists no cost modes")
+	}
+	for _, m := range s.Modes {
+		if !m.Valid() {
+			return fmt.Errorf("arena: unknown cost mode %q", m)
+		}
+	}
+	if s.LPMaxJobs < 0 || s.LPMaxG < 0 {
+		return errors.New("arena: lp_max_jobs and lp_max_g must be >= 0")
+	}
+	return nil
+}
+
+// solveCount is the number of exact DP solves the sweep needs.
+func (s *Sweep) solveCount() int {
+	return len(s.Families) * len(s.Sizes) * len(s.Seeds) * len(s.Gs)
+}
+
+// Row is one leaderboard entry: an engine's ratio aggregates over every
+// instance of one family under one cost mode. Ratio fields are decimal
+// strings with exactly four fractional digits (big.Rat.FloatString, so
+// the committed leaderboard is byte-deterministic); MaxRatioExact keeps
+// the worst ratio as an exact reduced rational. ProvenRatio is set only
+// on p1 rows of engines with a proved bound, and WithinProven reports
+// whether every observed p1 cost stayed within it.
+type Row struct {
+	Engine        string `json:"engine"`
+	Family        string `json:"family"`
+	Mode          string `json:"mode"`
+	Instances     int    `json:"instances"`
+	MaxRatioExact string `json:"max_ratio_exact"`
+	MaxRatio      string `json:"max_ratio"`
+	MeanRatio     string `json:"mean_ratio"`
+	P95Ratio      string `json:"p95_ratio"`
+	ProvenRatio   string `json:"proven_ratio,omitempty"`
+	WithinProven  bool   `json:"within_proven"`
+}
+
+// LPSummary reports the LP cross-check coverage and the largest
+// observed DP/LP gap (a measure of the relaxation's tightness).
+type LPSummary struct {
+	Instances int    `json:"instances"`
+	MaxGap    string `json:"max_gap,omitempty"`
+}
+
+// Report is a finished bake-off: the sweep it ran, the LP cross-check
+// summary, every invariant violation (empty on a healthy run), and the
+// leaderboard rows in (family, mode, engine) sweep order.
+type Report struct {
+	Schema     string    `json:"schema"`
+	Sweep      Sweep     `json:"sweep"`
+	LP         LPSummary `json:"lp"`
+	Violations []string  `json:"violations"`
+	Rows       []Row     `json:"rows"`
+}
+
+// Options configures Run.
+type Options struct {
+	// Pool runs the exact DP solves. When nil, Run creates a private
+	// pool sized to the sweep and closes it on return. A shared pool
+	// lets repeated runs reuse cached DP results; its queue may be
+	// smaller than the sweep — Run drains completed solves on
+	// ErrQueueFull instead of failing.
+	Pool *solve.Pool
+}
+
+// oneRun is one (instance, G) cell of the sweep with everything
+// computed for it.
+type oneRun struct {
+	family string
+	n      int
+	seed   uint64
+	g      int64
+	in     *core.Instance
+	opt    int64          // DP optimum under p1
+	dp     *core.Schedule // schedule realizing opt
+	// scheds[i] is engines[i]'s schedule, nil when inapplicable.
+	scheds []*core.Schedule
+	// ref[mode] is the best known cost: min over the DP schedule and
+	// every applicable engine schedule.
+	ref map[core.CostMode]int64
+}
+
+func (r *oneRun) label() string {
+	return fmt.Sprintf("%s n=%d seed=%d G=%d", r.family, r.n, r.seed, r.g)
+}
+
+// Run executes the sweep: generates every instance, solves the exact DP
+// through the pool, races every applicable engine, LP-cross-checks the
+// small instances, and aggregates exact ratios into leaderboard rows.
+// Engine names must be unique and must not claim the reserved "opt"
+// name. Run is deterministic: the same sweep and engines produce an
+// identical Report regardless of pool parallelism.
+func Run(sweep *Sweep, engines []Engine, opts Options) (*Report, error) {
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	names := map[string]bool{OptEngine: true}
+	for _, e := range engines {
+		if e.Name == "" || e.Run == nil || e.Applicable == nil {
+			return nil, fmt.Errorf("arena: engine %q incomplete", e.Name)
+		}
+		if names[e.Name] {
+			return nil, fmt.Errorf("arena: engine name %q duplicated or reserved", e.Name)
+		}
+		names[e.Name] = true
+	}
+	pool := opts.Pool
+	if pool == nil {
+		pool = solve.New(solve.Options{QueueDepth: sweep.solveCount() + 1})
+		defer pool.Close()
+	}
+
+	runs, err := buildRuns(sweep)
+	if err != nil {
+		return nil, err
+	}
+	if err := solveAll(pool, runs); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Schema:     LeaderboardSchema,
+		Sweep:      *sweep,
+		Violations: []string{},
+	}
+	for _, r := range runs {
+		r.scheds = make([]*core.Schedule, len(engines))
+		for i, e := range engines {
+			if !e.Applicable(r.in) {
+				continue
+			}
+			s, err := e.Run(r.in, r.g)
+			if err != nil {
+				return nil, fmt.Errorf("arena: engine %s on %s: %w", e.Name, r.label(), err)
+			}
+			r.scheds[i] = s
+		}
+		score(r, sweep.Modes, rep)
+	}
+	if err := lpCrossCheck(sweep, runs, rep); err != nil {
+		return nil, err
+	}
+	rep.Rows = aggregate(sweep, engines, runs, rep)
+	return rep, nil
+}
+
+// buildRuns generates every (instance, G) cell in deterministic sweep
+// order: family, then size, then seed, then G.
+func buildRuns(sweep *Sweep) ([]*oneRun, error) {
+	var runs []*oneRun
+	for _, famName := range sweep.Families {
+		fam, _ := workload.FamilyByName(famName)
+		for _, n := range sweep.Sizes {
+			for _, seed := range sweep.Seeds {
+				in, err := fam.Build(n, sweep.P, sweep.T, seed)
+				if err != nil {
+					return nil, fmt.Errorf("arena: build %s n=%d seed=%d: %w", famName, n, seed, err)
+				}
+				for _, g := range sweep.Gs {
+					runs = append(runs, &oneRun{family: famName, n: n, seed: seed, g: g, in: in})
+				}
+			}
+		}
+	}
+	return runs, nil
+}
+
+// solveAll submits every run's exact DP to the pool and collects the
+// optima. A full queue is drained by waiting on the oldest outstanding
+// handle, so any pool size makes progress.
+func solveAll(pool *solve.Pool, runs []*oneRun) error {
+	ctx := context.Background()
+	ids := make([]string, len(runs))
+	waited := 0
+	for i, r := range runs {
+		req := solve.Request{Instance: r.in, Kind: solve.KindTotalCost, G: r.g}
+		for {
+			id, err := pool.Submit(req)
+			if err == nil {
+				ids[i] = id
+				break
+			}
+			if errors.Is(err, solve.ErrQueueFull) && waited < i {
+				if _, werr := pool.Wait(ctx, ids[waited]); werr != nil {
+					return fmt.Errorf("arena: wait %s: %w", runs[waited].label(), werr)
+				}
+				waited++
+				continue
+			}
+			return fmt.Errorf("arena: submit %s: %w", r.label(), err)
+		}
+	}
+	for i, r := range runs {
+		st, err := pool.Wait(ctx, ids[i])
+		if err != nil {
+			return fmt.Errorf("arena: wait %s: %w", r.label(), err)
+		}
+		if st.State != solve.StateDone {
+			return fmt.Errorf("arena: solve %s failed: %s", r.label(), st.Err)
+		}
+		r.opt = st.Result.Total
+		r.dp = st.Result.Schedule
+	}
+	return nil
+}
+
+// score fills the run's per-mode reference costs (minimum over every
+// computed schedule) and records the two per-instance invariants: the
+// DP must be minimal under p1, and proven-ratio engines must stay
+// within their bound (checked later in aggregate, which knows the
+// engine metadata).
+func score(r *oneRun, modes []core.CostMode, rep *Report) {
+	r.ref = make(map[core.CostMode]int64, len(modes))
+	for _, m := range modes {
+		best := core.ModeCost(r.in, r.dp, r.g, m)
+		for _, s := range r.scheds {
+			if s == nil {
+				continue
+			}
+			if c := core.ModeCost(r.in, s, r.g, m); c < best {
+				best = c
+			}
+		}
+		r.ref[m] = best
+		if m == core.ModeP1 {
+			dpCost := core.ModeCost(r.in, r.dp, r.g, m)
+			if dpCost != r.opt {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"%s: DP schedule p1 cost %d != reported optimum %d", r.label(), dpCost, r.opt))
+			}
+			if best < r.opt {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"%s: engine p1 cost %d beats DP optimum %d", r.label(), best, r.opt))
+			}
+		}
+	}
+}
+
+// lpCrossCheck solves the LP relaxation on the small (instance, G)
+// cells and verifies it never exceeds the DP optimum. The float
+// tolerance absorbs simplex round-off only — a genuine crossing is a
+// violation.
+func lpCrossCheck(sweep *Sweep, runs []*oneRun, rep *Report) error {
+	if sweep.LPMaxJobs == 0 {
+		return nil
+	}
+	var maxGap float64
+	for _, r := range runs {
+		if r.in.N() > sweep.LPMaxJobs || r.g > sweep.LPMaxG {
+			continue
+		}
+		rel, err := lp.NewCalibrationLP(r.in, r.g, lp.DefaultHorizon(r.in, r.g))
+		if err != nil {
+			return fmt.Errorf("arena: lp %s: %w", r.label(), err)
+		}
+		lb, err := rel.LowerBound()
+		if err != nil {
+			return fmt.Errorf("arena: lp %s: %w", r.label(), err)
+		}
+		rep.LP.Instances++
+		opt := float64(r.opt)
+		if lb > opt*(1+1e-9)+1e-6 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"%s: LP lower bound %.6f exceeds DP optimum %d", r.label(), lb, r.opt))
+			continue
+		}
+		if lb > 0 {
+			if gap := opt / lb; gap > maxGap {
+				maxGap = gap
+			}
+		}
+	}
+	if rep.LP.Instances > 0 {
+		rep.LP.MaxGap = fmt.Sprintf("%.4f", maxGap)
+	}
+	return nil
+}
+
+// aggregate folds per-instance exact ratios into one row per
+// (family, mode, engine) in deterministic sweep order, and checks the
+// proven-ratio bound on every p1 cost.
+func aggregate(sweep *Sweep, engines []Engine, runs []*oneRun, rep *Report) []Row {
+	// The DP itself races as the reserved "opt" engine: ratio 1 under
+	// p1 by definition, and an interesting >= 1 under p2/pinf (the p1
+	// optimum need not minimize the other norms).
+	all := append(append([]Engine{}, engines...), Engine{Name: OptEngine, RatioNum: 1, RatioDen: 1})
+	var rows []Row
+	for _, fam := range sweep.Families {
+		for _, m := range sweep.Modes {
+			for ei, e := range all {
+				var ratios []*big.Rat
+				within := true
+				for _, r := range runs {
+					if r.family != fam {
+						continue
+					}
+					var s *core.Schedule
+					if ei == len(engines) {
+						s = r.dp
+					} else {
+						s = r.scheds[ei]
+					}
+					if s == nil {
+						continue
+					}
+					c := core.ModeCost(r.in, s, r.g, m)
+					ratios = append(ratios, big.NewRat(c, r.ref[m]))
+					if m == core.ModeP1 && e.hasProvenRatio() {
+						if big.NewRat(c, r.opt).Cmp(big.NewRat(e.RatioNum, e.RatioDen)) > 0 {
+							within = false
+							rep.Violations = append(rep.Violations, fmt.Sprintf(
+								"%s: %s p1 cost %d exceeds proven %sx of optimum %d",
+								r.label(), e.Name, c, e.provenRatio(), r.opt))
+						}
+					}
+				}
+				if len(ratios) == 0 {
+					continue
+				}
+				row := Row{
+					Engine:       e.Name,
+					Family:       fam,
+					Mode:         string(m),
+					Instances:    len(ratios),
+					WithinProven: within,
+				}
+				if m == core.ModeP1 {
+					row.ProvenRatio = e.provenRatio()
+				}
+				fillAggregates(&row, ratios)
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// fillAggregates computes max, mean, and p95 of the exact ratios and
+// renders them as fixed four-decimal strings (plus the max as an exact
+// reduced rational).
+func fillAggregates(row *Row, ratios []*big.Rat) {
+	sorted := make([]*big.Rat, len(ratios))
+	copy(sorted, ratios)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Cmp(sorted[j]) < 0 })
+	max := sorted[len(sorted)-1]
+	sum := new(big.Rat)
+	for _, r := range ratios {
+		sum.Add(sum, r)
+	}
+	mean := new(big.Rat).Quo(sum, big.NewRat(int64(len(ratios)), 1))
+	p95 := sorted[(95*len(sorted)+99)/100-1]
+	row.MaxRatioExact = max.RatString()
+	row.MaxRatio = max.FloatString(4)
+	row.MeanRatio = mean.FloatString(4)
+	row.P95Ratio = p95.FloatString(4)
+}

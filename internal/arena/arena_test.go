@@ -1,0 +1,172 @@
+package arena_test
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"calibsched"
+	"calibsched/internal/arena"
+)
+
+// smallSweep is a fast sweep exercising every mode, one statistical and
+// one adversarial family, and the LP cross-check.
+func smallSweep() *arena.Sweep {
+	s := arena.PinnedSweep()
+	s.Name = "test-small"
+	s.Families = []string{"poisson-unit", "weight-spike"}
+	s.Sizes = []int{6}
+	s.Seeds = []uint64{1}
+	s.Gs = []int64{8}
+	s.LPMaxJobs = 6
+	s.LPMaxG = 8
+	return s
+}
+
+func TestPinnedSweepValid(t *testing.T) {
+	if err := arena.PinnedSweep().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepValidateRejects(t *testing.T) {
+	mutate := func(f func(*arena.Sweep)) *arena.Sweep {
+		s := arena.PinnedSweep()
+		f(s)
+		return s
+	}
+	for _, tc := range []struct {
+		name  string
+		sweep *arena.Sweep
+	}{
+		{"bad schema", mutate(func(s *arena.Sweep) { s.Schema = "v0" })},
+		{"no name", mutate(func(s *arena.Sweep) { s.Name = "" })},
+		{"multi machine", mutate(func(s *arena.Sweep) { s.P = 2 })},
+		{"unknown family", mutate(func(s *arena.Sweep) { s.Families = []string{"nope"} })},
+		{"duplicate family", mutate(func(s *arena.Sweep) { s.Families = []string{"poisson-unit", "poisson-unit"} })},
+		{"zero size", mutate(func(s *arena.Sweep) { s.Sizes = []int{0} })},
+		{"no seeds", mutate(func(s *arena.Sweep) { s.Seeds = nil })},
+		{"zero G", mutate(func(s *arena.Sweep) { s.Gs = []int64{0} })},
+		{"bad mode", mutate(func(s *arena.Sweep) { s.Modes = []calibsched.CostMode{"p3"} })},
+	} {
+		if err := tc.sweep.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestReadSweep(t *testing.T) {
+	good := `{
+  "schema": "calibarena/v1", "name": "test-small", "p": 1, "T": 6,
+  "families": ["poisson-unit", "weight-spike"],
+  "sizes": [6], "seeds": [1], "gs": [8],
+  "modes": ["p1", "p2", "pinf"], "lp_max_jobs": 6, "lp_max_g": 8
+}`
+	s, err := arena.ReadSweep(bytes.NewReader([]byte(good)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "test-small" || len(s.Families) != 2 || s.LPMaxG != 8 {
+		t.Errorf("decoded sweep %+v", s)
+	}
+	if _, err := arena.ReadSweep(bytes.NewReader([]byte(`{"schema":"calibarena/v1","bogus":1}`))); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := arena.ReadSweep(bytes.NewReader([]byte(`{"schema":"calibarena/v1"}`))); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func mustRun(t *testing.T, s *arena.Sweep) *arena.Report {
+	t.Helper()
+	rep, err := arena.Run(s, calibsched.ArenaEngines(), arena.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunDeterministic: two independent runs (fresh pools, so parallel
+// DP execution order differs) must render byte-identical JSON and
+// markdown — the property the committed LEADERBOARD files depend on.
+func TestRunDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		rep := mustRun(t, smallSweep())
+		var j, m bytes.Buffer
+		if err := rep.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteMarkdown(&m); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), m.String()
+	}
+	j1, m1 := render()
+	j2, m2 := render()
+	if j1 != j2 {
+		t.Errorf("JSON differs across runs:\n%s\nvs\n%s", j1, j2)
+	}
+	if m1 != m2 {
+		t.Errorf("markdown differs across runs:\n%s\nvs\n%s", m1, m2)
+	}
+}
+
+// TestRunInvariants checks the arena's core guarantees on a real run:
+// no violations, every ratio >= 1, the DP's own p1 row is exactly 1,
+// and the LP cross-check actually covered instances.
+func TestRunInvariants(t *testing.T) {
+	rep := mustRun(t, smallSweep())
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations on a healthy run: %v", rep.Violations)
+	}
+	if rep.LP.Instances == 0 {
+		t.Error("LP cross-check covered no instances despite lp_max_jobs=6")
+	}
+	one := big.NewRat(1, 1)
+	optP1Rows := 0
+	for _, row := range rep.Rows {
+		r, ok := new(big.Rat).SetString(row.MaxRatioExact)
+		if !ok {
+			t.Fatalf("row %+v: unparseable exact ratio", row)
+		}
+		if r.Cmp(one) < 0 {
+			t.Errorf("row %s/%s/%s: max ratio %s < 1", row.Engine, row.Family, row.Mode, row.MaxRatioExact)
+		}
+		if !row.WithinProven {
+			t.Errorf("row %s/%s/%s: proven bound violated", row.Engine, row.Family, row.Mode)
+		}
+		if row.Engine == arena.OptEngine && row.Mode == "p1" {
+			optP1Rows++
+			if row.MaxRatioExact != "1" || row.MaxRatio != "1.0000" {
+				t.Errorf("opt p1 row has ratio %s (%s), want exactly 1", row.MaxRatio, row.MaxRatioExact)
+			}
+			if row.ProvenRatio != "1" {
+				t.Errorf("opt p1 row proven ratio %q, want 1", row.ProvenRatio)
+			}
+		}
+	}
+	if optP1Rows != len(rep.Sweep.Families) {
+		t.Errorf("%d opt p1 rows, want one per family (%d)", optP1Rows, len(rep.Sweep.Families))
+	}
+	// alg1/alg3 are unweighted-only: no rows for the weighted family.
+	for _, row := range rep.Rows {
+		if (row.Engine == "alg1" || row.Engine == "alg3") && row.Family == "weight-spike" {
+			t.Errorf("unweighted-only engine %s scored on weighted family", row.Engine)
+		}
+	}
+}
+
+func TestRunRejectsBadEngines(t *testing.T) {
+	s := smallSweep()
+	eng := calibsched.ArenaEngines()
+	dup := append(append([]arena.Engine{}, eng...), eng[0])
+	if _, err := arena.Run(s, dup, arena.Options{}); err == nil {
+		t.Error("duplicate engine name accepted")
+	}
+	reserved := append(append([]arena.Engine{}, eng...), arena.Engine{
+		Name: arena.OptEngine, Run: eng[0].Run, Applicable: eng[0].Applicable,
+	})
+	if _, err := arena.Run(s, reserved, arena.Options{}); err == nil {
+		t.Error("reserved engine name accepted")
+	}
+}

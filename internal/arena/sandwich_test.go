@@ -1,0 +1,79 @@
+package arena_test
+
+import (
+	"fmt"
+	"testing"
+
+	"calibsched"
+	"calibsched/internal/core"
+	"calibsched/internal/lp"
+	"calibsched/internal/workload"
+)
+
+// TestSandwich is the differential property test behind the arena's
+// invariants, run directly (no pool, no report): on seeded random
+// instances, the LP relaxation's lower bound never exceeds the exact DP
+// optimum, and the DP optimum never exceeds any applicable engine's
+// cost. Either crossing would mean a solver bug — the LP claiming too
+// much, the DP missing a schedule, or an engine returning an invalid
+// schedule that Validate missed. Runs under -race in CI (make race).
+func TestSandwich(t *testing.T) {
+	engines := calibsched.Algorithms()
+	for seed := uint64(1); seed <= 5; seed++ {
+		for _, weights := range []workload.WeightKind{workload.WeightUnit, workload.WeightZipf} {
+			spec := workload.Spec{
+				N: 8, P: 1, T: 5, Seed: seed,
+				Arrival: workload.ArrivalPoisson, Lambda: 0.4,
+				Weights: weights, ZipfS: 1.5, WMax: 6,
+			}
+			in, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range []int64{4, 16} {
+				g := g
+				name := fmt.Sprintf("seed=%d/%s/G=%d", seed, weights, g)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					opt, _, sched, err := calibsched.OptimalTotalCost(in, g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := core.TotalCost(in, sched, g); got != opt {
+						t.Fatalf("DP schedule costs %d, reported optimum %d", got, opt)
+					}
+					rel, err := lp.NewCalibrationLP(in, g, lp.DefaultHorizon(in, g))
+					if err != nil {
+						t.Fatal(err)
+					}
+					lb, err := rel.LowerBound()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if lb > float64(opt)*(1+1e-9)+1e-6 {
+						t.Errorf("LP lower bound %.6f exceeds DP optimum %d", lb, opt)
+					}
+					for _, a := range engines {
+						if a.Name == "opt" || !a.Applicable(in) {
+							continue
+						}
+						s, err := a.Run(in, g)
+						if err != nil {
+							t.Fatalf("%s: %v", a.Name, err)
+						}
+						if err := core.Validate(in, s); err != nil {
+							t.Fatalf("%s: invalid schedule: %v", a.Name, err)
+						}
+						cost := core.TotalCost(in, s, g)
+						if cost < opt {
+							t.Errorf("%s cost %d beats the exact optimum %d", a.Name, cost, opt)
+						}
+						if !a.WithinProvenRatio(cost, opt) {
+							t.Errorf("%s cost %d exceeds proven %sx of optimum %d", a.Name, cost, a.ProvenRatio(), opt)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -101,3 +101,68 @@ func ReleaseWeightConstant(in *Instance) int64 {
 func TotalCost(in *Instance, s *Schedule, g int64) int64 {
 	return MustAdd(MustMul(g, int64(s.NumCalibrations())), Flow(in, s))
 }
+
+// CostMode selects the flow aggregate of the arena's total-cost objective
+// G*(#calibrations) + flow-aggregate. ModeP1 is the paper's objective;
+// ModeP2 and ModePInf are the p-norm flow-time generalizations studied by
+// Armbruster, Rohwedder, and Wiese (arXiv 2308.06209), kept in p-th-power
+// form so every cost stays an exact int64 (taking the p-th root would
+// leave the integers; ratios of p-th powers order engines identically).
+type CostMode string
+
+// Cost modes.
+const (
+	// ModeP1 sums w_j * F_j (the paper's total weighted flow).
+	ModeP1 CostMode = "p1"
+	// ModeP2 sums w_j * F_j^2 (the squared-flow p=2 norm, unrooted).
+	ModeP2 CostMode = "p2"
+	// ModePInf takes max_j w_j * F_j (the p=infinity norm: the worst
+	// weighted wait any single job suffers).
+	ModePInf CostMode = "pinf"
+)
+
+// CostModes returns every mode in canonical order.
+func CostModes() []CostMode { return []CostMode{ModeP1, ModeP2, ModePInf} }
+
+// Valid reports whether m names a known cost mode.
+func (m CostMode) Valid() bool {
+	switch m {
+	case ModeP1, ModeP2, ModePInf:
+		return true
+	}
+	return false
+}
+
+// FlowAggregate returns the schedule's flow aggregate under mode m: the
+// weighted flow sum (p1), the weighted squared-flow sum (p2), or the
+// maximum weighted per-job flow (pinf). It panics on an unknown mode or
+// an unassigned job, like Flow.
+func FlowAggregate(in *Instance, s *Schedule, m CostMode) int64 {
+	var total int64
+	for _, j := range in.Jobs {
+		a := s.Assignments[j.ID]
+		if a.Start < 0 {
+			panic("core: FlowAggregate on schedule with unassigned job")
+		}
+		f := a.Start + 1 - j.Release
+		switch m {
+		case ModeP1:
+			total = MustAdd(total, MustMul(j.Weight, f))
+		case ModeP2:
+			total = MustAdd(total, MustMul(j.Weight, MustMul(f, f)))
+		case ModePInf:
+			if wf := MustMul(j.Weight, f); wf > total {
+				total = wf
+			}
+		default:
+			panic("core: unknown cost mode " + string(m))
+		}
+	}
+	return total
+}
+
+// ModeCost returns the mode-m total cost G*(#calibrations) + the mode's
+// flow aggregate. ModeCost(in, s, g, ModeP1) == TotalCost(in, s, g).
+func ModeCost(in *Instance, s *Schedule, g int64, m CostMode) int64 {
+	return MustAdd(MustMul(g, int64(s.NumCalibrations())), FlowAggregate(in, s, m))
+}

@@ -1,0 +1,78 @@
+package core
+
+import "testing"
+
+// costModeSchedule builds a tiny fixed instance/schedule pair: two jobs
+// released at 0 and 3, started at 1 and 5, one calibration.
+func costModeSchedule(t *testing.T) (*Instance, *Schedule) {
+	t.Helper()
+	in := MustInstance(1, 10, []int64{0, 3}, []int64{2, 5})
+	s := NewSchedule(2)
+	s.Calibrate(0, 1)
+	s.Assign(0, 0, 1) // flow 2
+	s.Assign(1, 0, 5) // flow 3
+	if err := Validate(in, s); err != nil {
+		t.Fatal(err)
+	}
+	return in, s
+}
+
+func TestModeCostValues(t *testing.T) {
+	in, s := costModeSchedule(t)
+	const g = 7
+	// Job 0: w=2, F=2. Job 1: w=5, F=3.
+	cases := []struct {
+		mode CostMode
+		flow int64
+	}{
+		{ModeP1, 2*2 + 5*3},     // 19
+		{ModeP2, 2*4 + 5*9},     // 53
+		{ModePInf, 15},          // max(4, 15)
+	}
+	for _, tc := range cases {
+		if got := FlowAggregate(in, s, tc.mode); got != tc.flow {
+			t.Errorf("FlowAggregate(%s) = %d, want %d", tc.mode, got, tc.flow)
+		}
+		if got, want := ModeCost(in, s, g, tc.mode), g+tc.flow; got != want {
+			t.Errorf("ModeCost(%s) = %d, want %d", tc.mode, got, want)
+		}
+	}
+}
+
+func TestModeCostP1MatchesTotalCost(t *testing.T) {
+	in, s := costModeSchedule(t)
+	for _, g := range []int64{0, 1, 12, 1 << 30} {
+		if got, want := ModeCost(in, s, g, ModeP1), TotalCost(in, s, g); got != want {
+			t.Errorf("g=%d: ModeCost(p1) = %d, TotalCost = %d", g, got, want)
+		}
+	}
+}
+
+func TestCostModeValidity(t *testing.T) {
+	for _, m := range CostModes() {
+		if !m.Valid() {
+			t.Errorf("canonical mode %q reports invalid", m)
+		}
+	}
+	for _, bad := range []CostMode{"", "p3", "P1", "inf"} {
+		if bad.Valid() {
+			t.Errorf("mode %q should be invalid", bad)
+		}
+	}
+}
+
+func TestFlowAggregatePanics(t *testing.T) {
+	in, s := costModeSchedule(t)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("unknown mode", func() { FlowAggregate(in, s, "p9") })
+	unassigned := NewSchedule(in.N())
+	mustPanic("unassigned job", func() { FlowAggregate(in, unassigned, ModeP1) })
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+
+	"calibsched/internal/core"
+)
+
+// Family is a named instance generator over (n jobs, P machines,
+// calibration length T, seed) — the unit the arena sweeps over and the
+// calibgen -family flag selects. Statistical families are Spec presets;
+// adversarial families are hand-shaped to stress a specific engine
+// weakness (see the per-family comments). Every family is deterministic
+// per seed, and every built instance is canonicalized.
+type Family struct {
+	Name        string
+	Description string
+	// Adversarial marks the hand-shaped stress families.
+	Adversarial bool
+	// Unweighted reports that every generated job has weight 1 (so the
+	// unweighted-only engines alg1/alg3 are applicable).
+	Unweighted bool
+	Build      func(n, p int, t int64, seed uint64) (*core.Instance, error)
+}
+
+// Families returns the family registry in stable order: statistical
+// presets first, then the adversarial stress families.
+func Families() []Family {
+	fromSpec := func(f func(n, p int, t int64, seed uint64) Spec) func(int, int, int64, uint64) (*core.Instance, error) {
+		return func(n, p int, t int64, seed uint64) (*core.Instance, error) {
+			return f(n, p, t, seed).Build()
+		}
+	}
+	return []Family{
+		{
+			Name:        "poisson-unit",
+			Description: "Poisson arrivals (lambda 0.4), unit weights",
+			Unweighted:  true,
+			Build: fromSpec(func(n, p int, t int64, seed uint64) Spec {
+				return Spec{N: n, P: p, T: t, Seed: seed, Arrival: ArrivalPoisson, Lambda: 0.4, Weights: WeightUnit}
+			}),
+		},
+		{
+			Name:        "poisson-zipf",
+			Description: "Poisson arrivals (lambda 0.4), Zipf heavy-tail weights (s 1.5, wmax 10)",
+			Build: fromSpec(func(n, p int, t int64, seed uint64) Spec {
+				return Spec{N: n, P: p, T: t, Seed: seed, Arrival: ArrivalPoisson, Lambda: 0.4, Weights: WeightZipf, ZipfS: 1.5, WMax: 10}
+			}),
+		},
+		{
+			Name:        "bursty-uniform",
+			Description: "on/off bursts (4 jobs, gap 2T, jitter 1), uniform weights (wmax 8)",
+			Build: fromSpec(func(n, p int, t int64, seed uint64) Spec {
+				return Spec{N: n, P: p, T: t, Seed: seed, Arrival: ArrivalBursty, Burst: 4, Gap: 2 * t, Jitter: 1, Weights: WeightUniform, WMax: 8}
+			}),
+		},
+		{
+			Name:        "batch-bimodal",
+			Description: "4 release batches (spacing 2T), bimodal weights (1 or 50, 10% heavy)",
+			Build: fromSpec(func(n, p int, t int64, seed uint64) Spec {
+				return Spec{N: n, P: p, T: t, Seed: seed, Arrival: ArrivalBatch, Batches: 4, Spacing: 2 * t, Weights: WeightBimodal, Light: 1, Heavy: 50, PHeavy: 0.1}
+			}),
+		},
+		{
+			Name:        "release-burst",
+			Description: "adversarial: job bursts landing one step after each calibration window expires",
+			Adversarial: true,
+			Unweighted:  true,
+			Build:       ReleaseBurstInstance,
+		},
+		{
+			Name:        "weight-spike",
+			Description: "adversarial: light stream with rare huge-weight spikes after cold gaps",
+			Adversarial: true,
+			Build:       WeightSpikeInstance,
+		},
+		{
+			Name:        "calibration-starvation",
+			Description: "adversarial: tiny job pairs separated by long cold gaps (ski-rental stress)",
+			Adversarial: true,
+			Unweighted:  true,
+			Build:       CalibrationStarvationInstance,
+		},
+	}
+}
+
+// FamilyByName looks a family up by its stable name.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// FamilyNames returns every family name in registry order.
+func FamilyNames() []string {
+	fams := Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+func checkFamilyArgs(n, p int, t int64) error {
+	if n < 0 || p < 1 || t < 1 {
+		return fmt.Errorf("workload: family needs n >= 0, p >= 1, T >= 1 (got n=%d p=%d T=%d)", n, p, t)
+	}
+	return nil
+}
+
+// ReleaseBurstInstance builds the release-burst adversarial family:
+// bursts of jobs arrive exactly one step after the calibration window a
+// burst-time calibration would have opened expires (burst i at time
+// i*(T+1), with per-job jitter 0..1). An engine that calibrates eagerly
+// per burst — Algorithm 1's immediate rule, the always-calibrated
+// baseline — pays a fresh calibration per burst with nothing amortized
+// across the gap; G sweeps find where eager recalibration stops paying.
+// Unit weights keep every engine applicable.
+func ReleaseBurstInstance(n, p int, t int64, seed uint64) (*core.Instance, error) {
+	if err := checkFamilyArgs(n, p, t); err != nil {
+		return nil, err
+	}
+	rng := NewRNG(seed)
+	burst := n / 6
+	if burst < 2 {
+		burst = 2
+	}
+	releases := make([]int64, n)
+	for i := 0; i < n; i++ {
+		releases[i] = int64(i/burst)*(t+1) + rng.Int64N(2)
+	}
+	in, err := core.NewInstance(p, t, releases, UnitWeights(n))
+	if err != nil {
+		return nil, err
+	}
+	return in.Canonicalize(), nil
+}
+
+// WeightSpikeInstance builds the weight-spike adversarial family: a
+// dense stream of weight-1 jobs with a rare huge-weight spike (weight
+// 64..127) released right after a cold gap of 2T idle steps. The spike
+// is aimed at Algorithm 2's weight trigger: a policy that waits for
+// accumulated flow before calibrating eats w_spike per step of
+// hesitation, while a policy that always calibrates wastes the cold
+// gaps. The stream is weighted, so alg1/alg3 are not applicable.
+func WeightSpikeInstance(n, p int, t int64, seed uint64) (*core.Instance, error) {
+	if err := checkFamilyArgs(n, p, t); err != nil {
+		return nil, err
+	}
+	rng := NewRNG(seed)
+	spikeEvery := n / 5
+	if spikeEvery < 4 {
+		spikeEvery = 4
+	}
+	releases := make([]int64, n)
+	weights := make([]int64, n)
+	var clock int64
+	for i := 0; i < n; i++ {
+		if i > 0 && i%spikeEvery == 0 {
+			// Cold gap, then the spike lands.
+			clock += 2 * t
+			releases[i] = clock
+			weights[i] = 64 + rng.Int64N(64)
+		} else {
+			clock += 1 + rng.Int64N(2)
+			releases[i] = clock
+			weights[i] = 1
+		}
+	}
+	in, err := core.NewInstance(p, t, releases, weights)
+	if err != nil {
+		return nil, err
+	}
+	return in.Canonicalize(), nil
+}
+
+// CalibrationStarvationInstance builds the calibration-starvation
+// adversarial family: pairs of unit jobs one step apart, separated by
+// cold gaps of 3T..4T idle steps. Each pair is worth at most 2 flow per
+// step of waiting, so the ski-rental decision (calibrate now vs wait)
+// is maximally ambiguous: periodic and always-calibrated waste almost
+// every slot of every window, while a pure flow threshold waits ~G/2
+// steps per pair. G sweeps trace the crossover.
+func CalibrationStarvationInstance(n, p int, t int64, seed uint64) (*core.Instance, error) {
+	if err := checkFamilyArgs(n, p, t); err != nil {
+		return nil, err
+	}
+	rng := NewRNG(seed)
+	releases := make([]int64, n)
+	var clock int64
+	for i := 0; i < n; i++ {
+		if i > 0 && i%2 == 0 {
+			clock += 3*t + rng.Int64N(t+1)
+		} else if i > 0 {
+			clock++
+		}
+		releases[i] = clock
+	}
+	in, err := core.NewInstance(p, t, releases, UnitWeights(n))
+	if err != nil {
+		return nil, err
+	}
+	return in.Canonicalize(), nil
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFamilyRegistryShape pins the registry's stable names and the
+// presence of the three adversarial stress families.
+func TestFamilyRegistryShape(t *testing.T) {
+	fams := Families()
+	seen := map[string]Family{}
+	for _, f := range fams {
+		if f.Name == "" || f.Description == "" || f.Build == nil {
+			t.Errorf("family %+v incomplete", f)
+		}
+		if _, dup := seen[f.Name]; dup {
+			t.Errorf("duplicate family %q", f.Name)
+		}
+		seen[f.Name] = f
+	}
+	for _, name := range []string{"release-burst", "weight-spike", "calibration-starvation"} {
+		f, ok := seen[name]
+		if !ok {
+			t.Fatalf("registry missing adversarial family %q", name)
+		}
+		if !f.Adversarial {
+			t.Errorf("%s not marked adversarial", name)
+		}
+	}
+	if _, ok := FamilyByName("no-such-family"); ok {
+		t.Error("FamilyByName accepted an unknown name")
+	}
+	if got, want := len(FamilyNames()), len(fams); got != want {
+		t.Errorf("FamilyNames returned %d names, want %d", got, want)
+	}
+}
+
+// TestFamilyDeterminism: same seed, byte-identical instance file; a
+// different seed must change the bytes (the generators actually consume
+// their randomness).
+func TestFamilyDeterminism(t *testing.T) {
+	for _, f := range Families() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			render := func(seed uint64) []byte {
+				in, err := f.Build(24, 1, 6, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := WriteInstance(&buf, in); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			a, b := render(7), render(7)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("same seed produced different bytes:\n%s\nvs\n%s", a, b)
+			}
+			if c := render(8); bytes.Equal(a, c) {
+				t.Errorf("seeds 7 and 8 produced identical instances (generator ignores its seed?)")
+			}
+		})
+	}
+}
+
+// TestFamilyInstancesWellFormed checks structural contracts: job count,
+// canonical form (distinct releases at P=1), weight claims.
+func TestFamilyInstancesWellFormed(t *testing.T) {
+	for _, f := range Families() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			in, err := f.Build(30, 1, 5, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in.N() != 30 {
+				t.Fatalf("built %d jobs, want 30", in.N())
+			}
+			seenRelease := map[int64]bool{}
+			for _, j := range in.Jobs {
+				if seenRelease[j.Release] {
+					t.Fatalf("release %d repeated: instance not canonical at P=1", j.Release)
+				}
+				seenRelease[j.Release] = true
+			}
+			if f.Unweighted != in.Unweighted() {
+				t.Errorf("family claims Unweighted=%v but instance reports %v", f.Unweighted, in.Unweighted())
+			}
+		})
+	}
+}
+
+// TestAdversarialFamilyShapes spot-checks the structures the stress
+// families promise.
+func TestAdversarialFamilyShapes(t *testing.T) {
+	t.Run("weight-spike has spikes", func(t *testing.T) {
+		in, err := WeightSpikeInstance(40, 1, 6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spikes := 0
+		for _, j := range in.Jobs {
+			if j.Weight >= 64 {
+				spikes++
+			}
+		}
+		if spikes == 0 {
+			t.Error("no spike job with weight >= 64")
+		}
+	})
+	t.Run("calibration-starvation has cold gaps", func(t *testing.T) {
+		in, err := CalibrationStarvationInstance(20, 1, 6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		longGaps := 0
+		for i := 1; i < in.N(); i++ {
+			if in.Jobs[i].Release-in.Jobs[i-1].Release >= 3*in.T {
+				longGaps++
+			}
+		}
+		if longGaps < 5 {
+			t.Errorf("only %d gaps >= 3T in 20 jobs; starvation structure missing", longGaps)
+		}
+	})
+	t.Run("release-burst bursts align past window expiry", func(t *testing.T) {
+		in, err := ReleaseBurstInstance(24, 1, 6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Burst anchors are T+1 apart; canonicalization spreads each
+		// burst over consecutive steps, so bursts show up as runs of
+		// step-1 gaps separated by larger inter-burst gaps.
+		var anchors []int64
+		last := int64(-10)
+		for _, j := range in.Jobs {
+			if j.Release-last >= 2 {
+				anchors = append(anchors, j.Release)
+			}
+			last = j.Release
+		}
+		if len(anchors) < 3 {
+			t.Errorf("expected >= 3 burst anchors separated by gaps >= 2, got %v", anchors)
+		}
+		for i := 1; i < len(anchors); i++ {
+			// Anchor stride is T+1 with +-1 per-job jitter.
+			if d := anchors[i] - anchors[i-1]; d < in.T {
+				t.Errorf("burst anchors %d apart, want >= T = %d", d, in.T)
+			}
+		}
+	})
+	t.Run("bad args rejected", func(t *testing.T) {
+		if _, err := ReleaseBurstInstance(-1, 1, 6, 1); err == nil {
+			t.Error("negative n accepted")
+		}
+		if _, err := WeightSpikeInstance(4, 0, 6, 1); err == nil {
+			t.Error("zero machines accepted")
+		}
+		if _, err := CalibrationStarvationInstance(4, 1, 0, 1); err == nil {
+			t.Error("zero T accepted")
+		}
+	})
+}

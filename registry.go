@@ -1,6 +1,9 @@
 package calibsched
 
 import (
+	"fmt"
+
+	"calibsched/internal/arena"
 	"calibsched/internal/baseline"
 	"calibsched/internal/core"
 	"calibsched/internal/online"
@@ -17,13 +20,43 @@ type NamedAlgorithm struct {
 	Description string
 	// Online reports whether the policy observes jobs only at release.
 	Online bool
-	// Ratio is the proven competitive ratio, or 0 when none is proved
-	// (baselines and extensions).
-	Ratio float64
+	// RatioNum/RatioDen is the proven competitive ratio as an exact
+	// rational, or 0/0 when none is proved (baselines and extensions).
+	// Keeping the bound exact lets callers check "cost within ratio of
+	// OPT" by cross-multiplication in checked int64 arithmetic instead
+	// of comparing floats, matching the exactarith contract and
+	// internal/lowerbound's RatioAtLeast.
+	RatioNum, RatioDen int64
 	// Run executes the policy.
 	Run func(in *Instance, g int64) (*Schedule, error)
 	// Applicable reports whether the policy accepts the instance.
 	Applicable func(in *Instance) bool
+}
+
+// HasProvenRatio reports whether the paper proves a competitive ratio
+// for this policy.
+func (a NamedAlgorithm) HasProvenRatio() bool { return a.RatioDen != 0 }
+
+// WithinProvenRatio reports cost <= (RatioNum/RatioDen) * opt exactly,
+// by cross-multiplying in overflow-checked int64 arithmetic. It returns
+// true vacuously when no ratio is proved.
+func (a NamedAlgorithm) WithinProvenRatio(cost, opt int64) bool {
+	if !a.HasProvenRatio() {
+		return true
+	}
+	return core.MustMul(cost, a.RatioDen) <= core.MustMul(a.RatioNum, opt)
+}
+
+// ProvenRatio renders the proven ratio for reporting ("3", "12", or ""
+// when none is proved). Non-integer rationals render as "num/den".
+func (a NamedAlgorithm) ProvenRatio() string {
+	if !a.HasProvenRatio() {
+		return ""
+	}
+	if a.RatioNum%a.RatioDen == 0 {
+		return fmt.Sprintf("%d", a.RatioNum/a.RatioDen)
+	}
+	return fmt.Sprintf("%d/%d", a.RatioNum, a.RatioDen)
 }
 
 // Algorithms returns the registry of every scheduling policy in this
@@ -49,19 +82,19 @@ func Algorithms() []NamedAlgorithm {
 		{
 			Name:        "alg1",
 			Description: "Algorithm 1: online, one machine, unweighted (Theorem 3.3)",
-			Online:      true, Ratio: 3,
+			Online:      true, RatioNum: 3, RatioDen: 1,
 			Run: fromResult(online.Alg1), Applicable: singleUnweighted,
 		},
 		{
 			Name:        "alg2",
 			Description: "Algorithm 2: online, one machine, weighted (Theorem 3.8)",
-			Online:      true, Ratio: 12,
+			Online:      true, RatioNum: 12, RatioDen: 1,
 			Run: fromResult(online.Alg2), Applicable: singleMachine,
 		},
 		{
 			Name:        "alg3",
 			Description: "Algorithm 3: online, multiple machines, unweighted (Theorem 3.10)",
-			Online:      true, Ratio: 12,
+			Online:      true, RatioNum: 12, RatioDen: 1,
 			Run: fromResult(online.Alg3), Applicable: unweighted,
 		},
 		{
@@ -100,7 +133,7 @@ func Algorithms() []NamedAlgorithm {
 		{
 			Name:        "opt",
 			Description: "exact offline optimum (Section 4 dynamic program)",
-			Online:      false, Ratio: 1,
+			Online:      false, RatioNum: 1, RatioDen: 1,
 			Run: func(in *Instance, g int64) (*Schedule, error) {
 				_, _, s, err := OptimalTotalCost(in, g)
 				return s, err
@@ -108,4 +141,23 @@ func Algorithms() []NamedAlgorithm {
 			Applicable: singleMachine,
 		},
 	}
+}
+
+// ArenaEngines adapts the algorithm registry for the competitive-ratio
+// arena (internal/arena). The "opt" entry is skipped: the arena runs
+// the exact DP itself through a solve pool and enters it under the
+// reserved "opt" name.
+func ArenaEngines() []arena.Engine {
+	var out []arena.Engine
+	for _, a := range Algorithms() {
+		if a.Name == "opt" {
+			continue
+		}
+		out = append(out, arena.Engine{
+			Name:     a.Name,
+			RatioNum: a.RatioNum, RatioDen: a.RatioDen,
+			Run: a.Run, Applicable: a.Applicable,
+		})
+	}
+	return out
 }
