@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint lint-json test race fuzz bench solvebench arena serve loadtest crashtest clustersmoke ci
+.PHONY: all build vet lint lint-json test race fuzz bench benchcheck solvebench arena serve loadtest crashtest clustersmoke ci
 
 all: ci
 
@@ -48,6 +48,17 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 GIT_COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 bench:
 	$(GO) run -ldflags "-X main.commit=$(GIT_COMMIT)" ./cmd/calibbench -perf -out $(BENCH_OUT)
+
+# benchcheck is the perf smoke gate: regenerate a short report and
+# verify its ratio invariants — group-commit amortization (multi-session
+# wal-always within 3.5x of wal-batch), nil-sink overhead (within 1.25x
+# of the live stepper), and the durability tax beating the committed
+# baseline's single-session ratio. Machine-independent: every gate is a
+# ratio within one run, so it holds on loaded CI runners too.
+BENCH_BASELINE ?= BENCH_2026-08-08.json
+benchcheck:
+	$(GO) run ./cmd/calibbench -perf -perf-duration 500ms -perf-filter serve/step,stepper -out /tmp/calibbench-check.json
+	$(GO) run ./cmd/calibbench -perf-verify /tmp/calibbench-check.json -perf-baseline $(BENCH_BASELINE)
 
 # solvebench runs just the batch-solve tiers: sequential vs parallel DP
 # and budget sweep, plus the warm-cache repeat-solve path (prints to

@@ -39,11 +39,20 @@ func main() {
 		perfTime = flag.Duration("perf-duration", time.Second, "target wall time per perf case")
 		perfN    = flag.Int("perf-n", 2000, "jobs per stepper workload in perf mode")
 		perfSel  = flag.String("perf-filter", "", "comma-separated substrings selecting perf cases (empty = all; see make solvebench)")
+		perfVer  = flag.String("perf-verify", "", "verify a BENCH_<date>.json report's ratio gates instead of running anything (see make benchcheck)")
+		perfBase = flag.String("perf-baseline", "", "with -perf-verify, a committed baseline report the durability-tax ratio must beat")
 	)
 	flag.Parse()
 
 	if *list {
 		listExperiments(os.Stdout)
+		return
+	}
+	if *perfVer != "" {
+		if err := runVerifyCmd(os.Stdout, *perfVer, *perfBase); err != nil {
+			fmt.Fprintln(os.Stderr, "calibbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *perf {

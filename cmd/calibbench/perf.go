@@ -16,6 +16,8 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"calibsched/internal/core"
@@ -101,20 +103,35 @@ func unitPerfInstance(n int) (*core.Instance, error) {
 	}).Build()
 }
 
-// driveStepper runs a fresh stepper across the instance's full horizon
-// and returns the number of simulated steps.
-func driveStepper(st *online.Stepper, in *core.Instance) int64 {
-	byTime := map[int64][]core.Job{}
-	var last int64
+// arrivalPlan is an instance's arrivals pre-bucketed by release time, so
+// driving a stepper does not rebuild the map every op. The per-op map
+// construction used to dominate the harness (thousands of allocations
+// per drive), burying the code under test in noise — it is what made the
+// nil-sink tier read slower than the untraced baseline in the 2026-08-08
+// report even though the two run identical stepper code.
+type arrivalPlan struct {
+	byTime map[int64][]core.Job
+	last   int64
+}
+
+// planArrivals buckets the instance's jobs by release time, once.
+func planArrivals(in *core.Instance) *arrivalPlan {
+	p := &arrivalPlan{byTime: make(map[int64][]core.Job, len(in.Jobs))}
 	for _, j := range in.Jobs {
-		byTime[j.Release] = append(byTime[j.Release], j)
-		if j.Release > last {
-			last = j.Release
+		p.byTime[j.Release] = append(p.byTime[j.Release], j)
+		if j.Release > p.last {
+			p.last = j.Release
 		}
 	}
+	return p
+}
+
+// driveStepper runs a fresh stepper across the plan's full horizon and
+// returns the number of simulated steps.
+func driveStepper(st *online.Stepper, plan *arrivalPlan) int64 {
 	var steps int64
-	for st.Pending() > 0 || st.Now() <= last {
-		st.Step(byTime[st.Now()])
+	for st.Pending() > 0 || st.Now() <= plan.last {
+		st.Step(plan.byTime[st.Now()])
 		steps++
 	}
 	return steps
@@ -161,8 +178,9 @@ func runPerf(out io.Writer, d time.Duration, n int, filter string) error {
 	}
 	sweepK := dpIn.N()
 
-	steps1 := driveStepper(online.NewAlg1Stepper(unit.T, g), unit)
-	steps2 := driveStepper(online.NewAlg2Stepper(weighted.T, g), weighted)
+	unitPlan, weightedPlan := planArrivals(unit), planArrivals(weighted)
+	steps1 := driveStepper(online.NewAlg1Stepper(unit.T, g), unitPlan)
+	steps2 := driveStepper(online.NewAlg2Stepper(weighted.T, g), weightedPlan)
 
 	// The solve-pool tier: one Submit+Wait per op against a warm result
 	// cache, priced against the offline/dp tier (the same instance and G
@@ -173,16 +191,16 @@ func runPerf(out io.Writer, d time.Duration, n int, filter string) error {
 
 	cases := []perfCase{
 		{"alg1/stepper", steps1, func() {
-			driveStepper(online.NewAlg1Stepper(unit.T, g), unit)
+			driveStepper(online.NewAlg1Stepper(unit.T, g), unitPlan)
 		}},
 		{"alg2/stepper", steps2, func() {
-			driveStepper(online.NewAlg2Stepper(weighted.T, g), weighted)
+			driveStepper(online.NewAlg2Stepper(weighted.T, g), weightedPlan)
 		}},
 		{"alg2/stepper/nil-sink", steps2, func() {
-			driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(nil)), weighted)
+			driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(nil)), weightedPlan)
 		}},
 		{"alg2/stepper/ring-sink", steps2, func() {
-			driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(trace.NewRing(1024))), weighted)
+			driveStepper(online.NewAlg2Stepper(weighted.T, g, online.WithSink(trace.NewRing(1024))), weightedPlan)
 		}},
 		{"offline/dp", 0, func() {
 			if _, _, _, err := offline.OptimalTotalCost(dpIn, g); err != nil {
@@ -263,6 +281,31 @@ func runPerf(out io.Writer, d time.Duration, n int, filter string) error {
 		report.Results = append(report.Results, res)
 	}
 
+	// Multi-session tiers: the group-commit acceptance surface. N session
+	// workers drive arrivals+steps concurrently; ns/op is aggregate wall
+	// time per op across the fleet, so shared fsyncs show up directly.
+	// wal-always/multi runs with group commit, multi-nogroup is the same
+	// load on per-record fsyncs (the pre-group-commit behavior), and
+	// wal-batch/multi is the comparison floor the ~3x target is against.
+	for _, sc := range []struct {
+		name   string
+		policy store.FsyncPolicy
+		group  bool
+	}{
+		{name: "serve/step/wal-batch/multi", policy: store.FsyncBatch},
+		{name: "serve/step/wal-always/multi", policy: store.FsyncAlways, group: true},
+		{name: "serve/step/wal-always/multi-nogroup", policy: store.FsyncAlways},
+	} {
+		if !matchCase(filter, sc.name) {
+			continue
+		}
+		res, err := measureServeMulti(sc.name, d, 8, sc.policy, sc.group)
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, res)
+	}
+
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
@@ -323,6 +366,100 @@ func measureServe(name string, d time.Duration, wal bool, policy store.FsyncPoli
 		act.Finish()
 		clock++
 	}), nil
+}
+
+// measureServeMulti times the serving hot path under concurrent
+// sessions: `sessions` workers each own one session and loop one
+// arrival + one step per op until the clock runs out. NsPerOp is wall
+// time divided by total ops across the fleet — the amortized cost a
+// client sees when the daemon is busy, which is where group commit's
+// shared fsync pays off.
+func measureServeMulti(name string, d time.Duration, sessions int, policy store.FsyncPolicy, group bool) (perfResult, error) {
+	dir, err := os.MkdirTemp("", "calibbench-wal-*")
+	if err != nil {
+		return perfResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{Fsync: policy, GroupCommit: group})
+	if err != nil {
+		return perfResult{}, err
+	}
+	defer st.Close()
+	mgr, err := server.NewManager(server.Config{Store: st, SnapshotEvery: 256})
+	if err != nil {
+		return perfResult{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}()
+
+	// Manager.Get returns the unexported session worker type; this
+	// interface captures the two calls the harness drives.
+	type serveSession interface {
+		Arrivals([]server.JobSpec, *trace.Active) (server.ArrivalsResponse, error)
+		Step(int64, int64, *trace.Active) (server.StepResponse, error)
+	}
+	workers := make([]serveSession, sessions)
+	for i := range workers {
+		info, err := mgr.Create(server.CreateSessionRequest{Alg: "alg2", T: 8, G: 24})
+		if err != nil {
+			return perfResult{}, err
+		}
+		if workers[i], err = mgr.Get(info.ID); err != nil {
+			return perfResult{}, err
+		}
+	}
+
+	oneOp := func(sess serveSession, clock int64) {
+		if _, err := sess.Arrivals([]server.JobSpec{{Release: clock, Weight: 3}}, nil); err != nil {
+			panic("calibbench: serve arrivals failed: " + err.Error())
+		}
+		if _, err := sess.Step(1, 1, nil); err != nil {
+			panic("calibbench: serve step failed: " + err.Error())
+		}
+	}
+	clocks := make([]int64, sessions)
+	for i, sess := range workers { // warm-up, one op per session
+		oneOp(sess, clocks[i])
+		clocks[i]++
+	}
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	var stop atomic.Bool
+	counts := make([]int64, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, sess := range workers {
+		wg.Add(1)
+		go func(i int, sess serveSession, clock int64) {
+			defer wg.Done()
+			for !stop.Load() {
+				oneOp(sess, clock)
+				clock++
+				counts[i]++
+			}
+		}(i, sess, clocks[i])
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return perfResult{
+		Name:        name,
+		Iters:       total,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(total),
+		AllocsPerOp: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(total),
+	}, nil
 }
 
 // runPerfCmd is the -perf entry point: it writes the report to path (or

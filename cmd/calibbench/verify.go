@@ -1,0 +1,124 @@
+package main
+
+// Perf-report verification (-perf-verify): machine-independent smoke
+// assertions over a BENCH_<date>.json report, used by CI to catch
+// regressions in the durability tiers without pinning absolute
+// nanoseconds (which vary across runners). All gates are ratios within
+// one report, plus one cross-report ratio against a committed baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Gate thresholds. The group-commit target is "multi-session wal-always
+// within ~3x of wal-batch"; the enforced bound leaves headroom for
+// runner noise while still failing loudly if group commit stops
+// amortizing (the no-group behavior sits near 10x).
+const (
+	// maxMultiAlwaysOverBatch bounds serve/step/wal-always/multi
+	// against serve/step/wal-batch/multi in the same report.
+	maxMultiAlwaysOverBatch = 3.5
+	// maxNilSinkOverBase bounds alg2/stepper/nil-sink against
+	// alg2/stepper: a nil sink must price like no sink at all.
+	maxNilSinkOverBase = 1.25
+)
+
+// readPerfReport loads and schema-checks one report. allowLegacy admits
+// reports with no schema stamp at all: committed baselines predate the
+// calibbench/v2 stamp, and the cross-report gate must keep comparing
+// against them. A present-but-different schema is always rejected.
+func readPerfReport(path string, allowLegacy bool) (*perfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep perfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != perfSchema && !(allowLegacy && rep.Schema == "") {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, perfSchema)
+	}
+	return &rep, nil
+}
+
+// nsPerOp finds a case by exact name; ok is false when the report does
+// not carry it (e.g. a filtered run).
+func (r *perfReport) nsPerOp(name string) (float64, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res.NsPerOp, true
+		}
+	}
+	return 0, false
+}
+
+// ratioGate checks num/den <= max when both cases are present; a report
+// missing either case skips the gate (reported, not failed) so filtered
+// reports can still be verified for what they contain.
+func ratioGate(w io.Writer, rep *perfReport, label, num, den string, max float64) (failed bool) {
+	nv, nok := rep.nsPerOp(num)
+	dv, dok := rep.nsPerOp(den)
+	if !nok || !dok {
+		fmt.Fprintf(w, "SKIP %s: report lacks %s or %s\n", label, num, den)
+		return false
+	}
+	ratio := nv / dv
+	verdict := "PASS"
+	if ratio > max {
+		verdict = "FAIL"
+		failed = true
+	}
+	fmt.Fprintf(w, "%s %s: %s / %s = %.2fx (max %.2fx)\n", verdict, label, num, den, ratio, max)
+	return failed
+}
+
+// runVerifyCmd checks the report at newPath. With basePath set, it also
+// requires the multi-session durability-tax ratio (wal-always over
+// wal-batch) to beat the baseline's single-session ratio — the
+// cross-report form of "group commit improved wal-always", stable
+// across machines because both sides are ratios.
+func runVerifyCmd(w io.Writer, newPath, basePath string) error {
+	rep, err := readPerfReport(newPath, false)
+	if err != nil {
+		return err
+	}
+	failed := ratioGate(w, rep, "group-commit amortization",
+		"serve/step/wal-always/multi", "serve/step/wal-batch/multi", maxMultiAlwaysOverBatch)
+	failed = ratioGate(w, rep, "nil-sink overhead",
+		"alg2/stepper/nil-sink", "alg2/stepper", maxNilSinkOverBase) || failed
+
+	if basePath != "" {
+		base, err := readPerfReport(basePath, true)
+		if err != nil {
+			return err
+		}
+		na, naok := rep.nsPerOp("serve/step/wal-always/multi")
+		nb, nbok := rep.nsPerOp("serve/step/wal-batch/multi")
+		ba, baok := base.nsPerOp("serve/step/wal-always")
+		bb, bbok := base.nsPerOp("serve/step/wal-batch")
+		switch {
+		case !naok || !nbok:
+			fmt.Fprintln(w, "SKIP durability-tax vs baseline: new report lacks the multi tiers")
+		case !baok || !bbok:
+			fmt.Fprintln(w, "SKIP durability-tax vs baseline: baseline lacks the wal tiers")
+		default:
+			newRatio, baseRatio := na/nb, ba/bb
+			verdict := "PASS"
+			if newRatio >= baseRatio {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(w, "%s durability-tax vs baseline: %.2fx (multi, grouped) vs %.2fx (baseline per-record)\n",
+				verdict, newRatio, baseRatio)
+		}
+	}
+	if failed {
+		return fmt.Errorf("perf verification failed for %s", newPath)
+	}
+	fmt.Fprintf(w, "calibbench: %s verified\n", newPath)
+	return nil
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport marshals a report with the given case timings to a temp
+// file and returns its path.
+func writeReport(t *testing.T, name string, cases map[string]float64) string {
+	t.Helper()
+	rep := perfReport{Schema: perfSchema, Commit: "test", Date: "2026-08-08T00:00:00Z"}
+	for n, ns := range cases {
+		rep.Results = append(rep.Results, perfResult{Name: n, Iters: 100, NsPerOp: ns})
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyPasses(t *testing.T) {
+	newPath := writeReport(t, "new.json", map[string]float64{
+		"serve/step/wal-always/multi": 65_000,
+		"serve/step/wal-batch/multi":  25_000, // 2.6x, under the 3.5x gate
+		"alg2/stepper":                600_000,
+		"alg2/stepper/nil-sink":       620_000, // 1.03x, under 1.25x
+	})
+	basePath := writeReport(t, "base.json", map[string]float64{
+		"serve/step/wal-always": 399_000,
+		"serve/step/wal-batch":  80_000, // 5.0x baseline tax to beat
+	})
+	var out bytes.Buffer
+	if err := runVerifyCmd(&out, newPath, basePath); err != nil {
+		t.Fatalf("verify failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"PASS group-commit amortization",
+		"PASS nil-sink overhead",
+		"PASS durability-tax vs baseline",
+		"verified",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestVerifyFailsOnRegression(t *testing.T) {
+	for name, cases := range map[string]map[string]float64{
+		// Group commit stopped amortizing: multi wal-always near the
+		// per-record cost again.
+		"group-commit": {
+			"serve/step/wal-always/multi": 250_000,
+			"serve/step/wal-batch/multi":  25_000,
+		},
+		// A nil sink that costs like a live one.
+		"nil-sink": {
+			"alg2/stepper":          600_000,
+			"alg2/stepper/nil-sink": 900_000,
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := writeReport(t, "new.json", cases)
+			var out bytes.Buffer
+			if err := runVerifyCmd(&out, path, ""); err == nil {
+				t.Fatalf("verification passed a regression:\n%s", out.String())
+			}
+			if !strings.Contains(out.String(), "FAIL") {
+				t.Errorf("output has no FAIL line:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestVerifyBaselineRatioGate(t *testing.T) {
+	// New multi ratio 2.6x must FAIL against a baseline whose tax was
+	// already lower (hypothetical 2.0x) — the gate is an improvement
+	// gate, not an absolute one.
+	newPath := writeReport(t, "new.json", map[string]float64{
+		"serve/step/wal-always/multi": 65_000,
+		"serve/step/wal-batch/multi":  25_000,
+	})
+	basePath := writeReport(t, "base.json", map[string]float64{
+		"serve/step/wal-always": 50_000,
+		"serve/step/wal-batch":  25_000,
+	})
+	var out bytes.Buffer
+	if err := runVerifyCmd(&out, newPath, basePath); err == nil {
+		t.Fatalf("verification passed without improving on the baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL durability-tax vs baseline") {
+		t.Errorf("output missing baseline FAIL:\n%s", out.String())
+	}
+}
+
+func TestVerifySkipsMissingCases(t *testing.T) {
+	// A filtered report without the gated tiers verifies trivially —
+	// gates are reported as SKIP, never silently dropped.
+	path := writeReport(t, "new.json", map[string]float64{"offline/dp": 1})
+	var out bytes.Buffer
+	if err := runVerifyCmd(&out, path, ""); err != nil {
+		t.Fatalf("verify of filtered report failed: %v", err)
+	}
+	if got := strings.Count(out.String(), "SKIP"); got != 2 {
+		t.Errorf("want 2 SKIP lines, got %d:\n%s", got, out.String())
+	}
+}
+
+func TestVerifyAcceptsLegacyBaseline(t *testing.T) {
+	// Committed baselines predate the calibbench/v2 stamp; they must
+	// still serve as the cross-report denominator — but a stampless NEW
+	// report is rejected.
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	data, err := json.Marshal(perfReport{Results: []perfResult{
+		{Name: "serve/step/wal-always", NsPerOp: 399_000, Iters: 100},
+		{Name: "serve/step/wal-batch", NsPerOp: 80_000, Iters: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legacy, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newPath := writeReport(t, "new.json", map[string]float64{
+		"serve/step/wal-always/multi": 65_000,
+		"serve/step/wal-batch/multi":  25_000,
+	})
+	var out bytes.Buffer
+	if err := runVerifyCmd(&out, newPath, legacy); err != nil {
+		t.Fatalf("legacy baseline rejected: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS durability-tax vs baseline") {
+		t.Errorf("baseline gate not exercised:\n%s", out.String())
+	}
+	if err := runVerifyCmd(&out, legacy, ""); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("stampless new report accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsBadReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"calibbench/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runVerifyCmd(&out, path, ""); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("bad schema accepted: %v", err)
+	}
+	if err := runVerifyCmd(&out, filepath.Join(t.TempDir(), "absent.json"), ""); err == nil {
+		t.Fatal("missing report accepted")
+	}
+}

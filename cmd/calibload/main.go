@@ -376,18 +376,43 @@ func retryable(resp *http.Response) bool {
 
 // retryDelay computes the wait before attempt+1: exponential in the
 // attempt number, never below what Retry-After requests, never above
-// retryCap.
-func retryDelay(attempt int, retryAfter string) time.Duration {
+// retryCap. now anchors the HTTP-date form of Retry-After; callers pass
+// time.Now().
+func retryDelay(attempt int, retryAfter string, now time.Time) time.Duration {
 	d := retryBase << (attempt - 1)
-	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
-		if ra := time.Duration(secs) * time.Second; ra > d {
-			d = ra
-		}
+	if ra, ok := parseRetryAfter(retryAfter, now); ok && ra > d {
+		d = ra
 	}
 	if d > retryCap {
 		d = retryCap
 	}
 	return d
+}
+
+// parseRetryAfter decodes both RFC 9110 §10.2.3 forms of Retry-After:
+// delta-seconds and HTTP-date (the latter via http.ParseTime, which
+// accepts all three permitted date formats). A date in the past or a
+// negative delta clamps to zero — the server asked for no extra wait —
+// and garbage reports !ok so the caller keeps its exponential schedule.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			secs = 0
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		d := when.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // client is a minimal JSON client that records latency per request and
@@ -425,7 +450,7 @@ func (c *client) do(method, path string, in, out any) error {
 		c.rep.mu.Unlock()
 
 		if attempt < maxAttempts && retryable(resp) {
-			delay := retryDelay(attempt, resp.Header.Get("Retry-After"))
+			delay := retryDelay(attempt, resp.Header.Get("Retry-After"), time.Now())
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			c.rep.mu.Lock()

@@ -109,6 +109,9 @@ func TestRunLoadClusterMode(t *testing.T) {
 }
 
 func TestRetryDelay(t *testing.T) {
+	// Fixed anchor so the HTTP-date cases are deterministic.
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	httpDate := func(d time.Duration) string { return now.Add(d).UTC().Format(http.TimeFormat) }
 	for _, tc := range []struct {
 		attempt    int
 		retryAfter string
@@ -117,14 +120,46 @@ func TestRetryDelay(t *testing.T) {
 		{1, "", 50 * time.Millisecond},
 		{2, "", 100 * time.Millisecond},
 		{3, "", 200 * time.Millisecond},
-		{10, "", retryCap},               // exponent capped
-		{1, "1", time.Second},            // server asked for more
-		{1, "600", retryCap},             // hostile Retry-After capped
-		{4, "0", 400 * time.Millisecond}, // zero header ignored
+		{10, "", retryCap},                // exponent capped
+		{1, "1", time.Second},             // delta-seconds: server asked for more
+		{1, "600", retryCap},              // hostile Retry-After capped
+		{4, "0", 400 * time.Millisecond},  // zero delta: exponential wins
+		{4, "-3", 400 * time.Millisecond}, // negative delta clamps to zero
 		{2, "junk", 100 * time.Millisecond},
+		{2, "Mon, 32 Jan 2026 25:61:00 GMT", 100 * time.Millisecond}, // malformed date
+		{1, httpDate(time.Second), time.Second},                      // HTTP-date: server asked for more
+		{1, httpDate(10 * time.Minute), retryCap},                    // far-future date capped
+		{4, httpDate(-time.Minute), 400 * time.Millisecond},          // past date clamps to zero
+		{4, httpDate(0), 400 * time.Millisecond},                     // "now" date: exponential wins
 	} {
-		if got := retryDelay(tc.attempt, tc.retryAfter); got != tc.want {
+		if got := retryDelay(tc.attempt, tc.retryAfter, now); got != tc.want {
 			t.Errorf("retryDelay(%d, %q) = %v, want %v", tc.attempt, tc.retryAfter, got, tc.want)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"junk", 0, false},
+		{"2.5", 0, false}, // RFC 9110 delta-seconds are integral
+		{"7", 7 * time.Second, true},
+		{" 7 ", 7 * time.Second, true},
+		{"-2", 0, true},
+		{"Sat, 08 Aug 2026 12:00:30 GMT", 30 * time.Second, true},
+		{"Sat, 08 Aug 2026 11:59:00 GMT", 0, true}, // past date clamps
+		// The two legacy HTTP-date formats http.ParseTime also accepts.
+		{"Saturday, 08-Aug-26 12:00:30 GMT", 30 * time.Second, true},
+		{"Sat Aug  8 12:00:30 2026", 30 * time.Second, true},
+	} {
+		got, ok := parseRetryAfter(tc.in, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
 		}
 	}
 }

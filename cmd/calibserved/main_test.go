@@ -332,9 +332,24 @@ func TestCLISlowBodyClientDisconnected(t *testing.T) {
 // TestCLIRestartRecovers drives the full persistence lifecycle through
 // cliMain: boot with -data-dir, run a session, drain, boot a second
 // daemon on the same directory, and read back the identical schedule.
+// The fsync-always case exercises the default group-commit journal end
+// to end (boot, commit path, drain, journal merge on the second boot).
 func TestCLIRestartRecovers(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		fsyncArgs []string
+		wantLog   string
+	}{
+		{"fsync-none", []string{"-fsync", "none"}, `"group_commit":false`},
+		{"fsync-always-group", []string{"-fsync", "always"}, `"group_commit":true`},
+	} {
+		t.Run(tc.name, func(t *testing.T) { testCLIRestartRecovers(t, tc.fsyncArgs, tc.wantLog) })
+	}
+}
+
+func testCLIRestartRecovers(t *testing.T, fsyncArgs []string, wantLog string) {
 	dir := t.TempDir()
-	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-fsync", "none", "-snapshot-every", "2"}
+	args := append([]string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-snapshot-every", "2"}, fsyncArgs...)
 	run := func(ctx context.Context) (*logBuffer, chan int) {
 		buf := &logBuffer{}
 		done := make(chan int, 1)
@@ -363,6 +378,9 @@ func TestCLIRestartRecovers(t *testing.T) {
 	base := "http://" + waitForAddr(t, buf1, done1)
 	if !strings.Contains(buf1.String(), "persistence enabled") {
 		t.Errorf("no persistence-enabled log record:\n%s", buf1.String())
+	}
+	if !strings.Contains(buf1.String(), wantLog) {
+		t.Errorf("boot log missing %s:\n%s", wantLog, buf1.String())
 	}
 	resp, err := http.Post(base+"/v1/sessions", "application/json",
 		strings.NewReader(`{"t":6,"g":12,"alg":"alg2"}`))

@@ -20,13 +20,13 @@ func parseForDirectives(t *testing.T, src string) (map[int][]string, *token.File
 	}
 	allowed := allowedLines(fset, []*ast.File{f})
 	out := make(map[int][]string, len(allowed))
-	for line, names := range allowed {
+	for k, names := range allowed {
 		var ns []string
 		for n := range names {
 			ns = append(ns, n)
 		}
 		sort.Strings(ns)
-		out[line] = ns
+		out[k.line] = ns
 	}
 	return out, fset
 }
@@ -98,6 +98,33 @@ var after = 3
 	}
 	if _, ok := got[6]; ok {
 		t.Error("two lines below the directive must not be suppressed")
+	}
+}
+
+// TestDirectiveFileScope pins that suppression is scoped to the
+// directive's own file: a waiver on line L of one file must not blanket
+// line L (or L+1) of every other file in the package. This regressed
+// silently until the durablesync committer fixture happened to place a
+// violation on the same line number as a waiver in a sibling file.
+func TestDirectiveFileScope(t *testing.T) {
+	fset := token.NewFileSet()
+	parse := func(name, src string) *ast.File {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a := parse("a.go", "package d\n\nvar x = 1 //caliblint:allow checkedmul -- fine here\n")
+	b := parse("b.go", "package d\n\nvar y = 2\nvar z = 3\n")
+	allowed := allowedLines(fset, []*ast.File{a, b})
+	if names := allowed[lineKey{"a.go", 3}]; names == nil || !names["checkedmul"] {
+		t.Errorf("a.go:3 not suppressed by its own directive: %v", names)
+	}
+	for _, l := range []int{3, 4} {
+		if names, ok := allowed[lineKey{"b.go", l}]; ok {
+			t.Errorf("directive in a.go leaked into b.go:%d: %v", l, names)
+		}
 	}
 }
 

@@ -172,6 +172,12 @@ var durableCallees = []MustCheckCallee{
 	{PkgSuffix: "os", Type: "File", Methods: []string{"Write", "WriteString", "Sync", "Close", "Truncate"}},
 	{PkgSuffix: "internal/store", Type: "Log", Methods: []string{
 		"Sync", "Close", "WriteSnapshot", "AppendCreate", "AppendArrivals", "AppendSteps"}},
+	// The group committer: a dropped commit result acknowledges a record
+	// the shared journal fsync may have failed, and a dropped journal
+	// write/sync result is the same bug one layer down.
+	{PkgSuffix: "internal/store", Type: "Committer", Methods: []string{"commit"}},
+	{PkgSuffix: "internal/store", Type: "journal", Methods: []string{"write"}},
+	{PkgSuffix: "internal/store", Type: "Log", Methods: []string{"writeFrame", "fileSync"}},
 }
 
 // DurableSync forbids dropping the return values of file and WAL

@@ -101,11 +101,20 @@ func (d Diagnostic) String() string {
 
 var directiveRE = regexp.MustCompile(`^//caliblint:allow\s+([a-z0-9_,\s]+?)\s*(?:--.*)?$`)
 
-// allowedLines maps file line numbers to the analyzer names a directive
+// lineKey identifies a single source line; suppressions must be keyed by
+// file AND line, or a waiver in one file would silently blanket the same
+// line numbers in every other file of the package.
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowedLines maps source lines to the analyzer names a directive
 // suppresses on that line. A directive on line L suppresses lines L and
-// L+1, so it can sit on the offending line or directly above it.
-func allowedLines(fset *token.FileSet, files []*ast.File) map[int]map[string]bool {
-	allowed := make(map[int]map[string]bool)
+// L+1 of its own file, so it can sit on the offending line or directly
+// above it.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[lineKey]map[string]bool {
+	allowed := make(map[lineKey]map[string]bool)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -119,13 +128,14 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[int]map[string]boo
 						names[n] = true
 					}
 				}
-				line := fset.Position(c.Pos()).Line
-				for _, l := range []int{line, line + 1} {
-					if allowed[l] == nil {
-						allowed[l] = make(map[string]bool)
+				pos := fset.Position(c.Pos())
+				for _, l := range []int{pos.Line, pos.Line + 1} {
+					k := lineKey{pos.Filename, l}
+					if allowed[k] == nil {
+						allowed[k] = make(map[string]bool)
 					}
 					for n := range names {
-						allowed[l][n] = true
+						allowed[k][n] = true
 					}
 				}
 			}
@@ -166,7 +176,7 @@ func Run(loader *Loader, targets []*TargetPackage, analyzers []*Analyzer) ([]Dia
 					if !reportable[p.Filename] {
 						return
 					}
-					if names := allowed[p.Line]; names != nil && (names[a.Name] || names["all"]) {
+					if names := allowed[lineKey{p.Filename, p.Line}]; names != nil && (names[a.Name] || names["all"]) {
 						return
 					}
 					d := Diagnostic{Pos: p, Analyzer: a.Name, Message: msg}

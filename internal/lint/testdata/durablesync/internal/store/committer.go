@@ -1,0 +1,46 @@
+package store
+
+// Group-committer half of the durablesync fixture: commit, the journal
+// write, and the unexported Log write/sync primitives are all in the
+// must-check set — dropping any of them acknowledges a record whose
+// durability is unknown.
+
+type Committer struct {
+	j *journal
+}
+
+type journal struct {
+	f *Log
+}
+
+func (c *Committer) commit(l *Log, buf []byte) (int, error) {
+	if err := l.writeFrame(buf); err != nil {
+		return 0, err
+	}
+	if err := c.j.write(); err != nil {
+		return 0, err
+	}
+	return len(buf), l.fileSync()
+}
+
+func (j *journal) write() error { return nil }
+
+func (l *Log) writeFrame(b []byte) error {
+	_, err := l.f.Write(b)
+	return err
+}
+
+func (l *Log) fileSync() error { return l.f.Sync() }
+
+// GoodGroup propagates the commit result to the caller.
+func (l *Log) GoodGroup(c *Committer, buf []byte) (int, error) {
+	return c.commit(l, buf)
+}
+
+func (l *Log) BadGroup(c *Committer, buf []byte) {
+	c.commit(l, buf)        // want `result of Committer.commit discarded`
+	l.writeFrame(buf)       // want `result of Log.writeFrame discarded`
+	l.fileSync()            // want `result of Log.fileSync discarded`
+	c.j.write()             // want `result of journal.write discarded`
+	_, _ = c.commit(l, buf) // want `trailing result of Committer.commit assigned to the blank identifier`
+}

@@ -98,3 +98,41 @@ func (w *Worker) AllowedDaemon() {
 		}
 	}()
 }
+
+// Committer mirrors the store's group committer: a long-lived goroutine
+// draining a request channel, stopped through a dedicated channel. The
+// analyzer must resolve the named method and see the select-on-stop.
+type Committer struct {
+	reqs chan func()
+	stop chan struct{}
+}
+
+// GoodCommitter is the store.Open shape: `go c.run()` with run's stop
+// path one call away.
+func (c *Committer) GoodCommitter() {
+	go c.run()
+}
+
+func (c *Committer) run() {
+	for {
+		select {
+		case fn := <-c.reqs:
+			fn()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// BadCommitter busy-polls forever: without the channel ops there is no
+// visible stop path left in the resolved body.
+func (c *Committer) BadCommitter() {
+	go c.pollForever() // want `goroutine loops forever with no visible stop path`
+}
+
+func (c *Committer) pollForever() {
+	n := 0
+	for {
+		n++
+	}
+}

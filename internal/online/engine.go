@@ -37,6 +37,24 @@ type Engine interface {
 
 var _ Engine = (*Stepper)(nil)
 
+// IdleSkipper is the optional fast-forward extension of Engine: with an
+// empty queue, no trigger can fire and no job can run, so every step is
+// pure clock advancement — SkipIdle jumps the clock in O(1) where
+// repeated Step(nil) calls would cost one call per tick. This is
+// internal/simul's event-skipping optimization surfaced to serving-layer
+// drivers; the contract is that SkipIdle(to) with Pending() == 0 leaves
+// the engine in exactly the state that Step(nil) repeated (to - Now())
+// times would. Callers must check Pending() first; implementations
+// panic otherwise.
+type IdleSkipper interface {
+	// SkipIdle advances the clock to step `to` without simulating the
+	// intervening (eventless) steps. No-op when to <= Now(); panics if
+	// jobs are pending.
+	SkipIdle(to int64)
+}
+
+var _ IdleSkipper = (*Stepper)(nil)
+
 // EngineSpec describes one registered engine backend.
 type EngineSpec struct {
 	// Name is the identifier used by the serving API ("alg1", "alg2").

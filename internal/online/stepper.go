@@ -154,6 +154,21 @@ func (s *Stepper) Step(arrivals []core.Job) StepEvent {
 	return ev
 }
 
+// SkipIdle implements IdleSkipper: with the queue empty, every trigger
+// in Step is gated on a non-empty queue (TriggerImmediate additionally
+// on an arrival this step), and the run block likewise — so Step(nil)
+// mutates nothing but the clock, even mid-calibration-interval, and the
+// whole idle stretch collapses to one assignment. Differentially pinned
+// against literal Step(nil) loops by TestSkipIdleMatchesIdleSteps.
+func (s *Stepper) SkipIdle(to int64) {
+	if !s.q.Empty() {
+		panic(fmt.Sprintf("online: SkipIdle(%d) with %d jobs pending", to, s.q.Len()))
+	}
+	if to > s.t {
+		s.t = to
+	}
+}
+
 // CalibratedNow reports whether the machine is calibrated for the step
 // Step would simulate next.
 func (s *Stepper) CalibratedNow() bool {

@@ -2,6 +2,7 @@ package online
 
 import (
 	"math/rand/v2"
+	"sort"
 	"testing"
 
 	"calibsched/internal/core"
@@ -150,4 +151,113 @@ func TestStepperAdaptiveAdversary(t *testing.T) {
 	if got := core.TotalCost(in, sched, G); got != 2*G+2 {
 		t.Errorf("adversary case-1 cost = %d, want %d", got, 2*G+2)
 	}
+}
+
+// driveStepperSkipping is driveStepper with the IdleSkipper fast path:
+// whenever the queue is empty and no job arrives at the current step, it
+// jumps straight to the next release time instead of stepping tick by
+// tick — the way the serving layer drives engines.
+func driveStepperSkipping(st *Stepper, in *core.Instance) (*core.Schedule, []Trigger) {
+	byTime := map[int64][]core.Job{}
+	var times []int64
+	for _, j := range in.Jobs {
+		if _, ok := byTime[j.Release]; !ok {
+			times = append(times, j.Release)
+		}
+		byTime[j.Release] = append(byTime[j.Release], j)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	scheduled := 0
+	for scheduled < in.N() {
+		if st.Pending() == 0 {
+			if next, ok := nextReleaseAfter(times, st.Now()); ok && next > st.Now() {
+				st.SkipIdle(next)
+			}
+		}
+		ev := st.Step(byTime[st.Now()])
+		if ev.Ran >= 0 {
+			scheduled++
+		}
+		if st.Now() > in.MaxRelease()+1_000_000 {
+			panic("stepper did not finish")
+		}
+	}
+	return st.Schedule(in.N()), st.Triggers()
+}
+
+// nextReleaseAfter returns the first release time >= now.
+func nextReleaseAfter(times []int64, now int64) (int64, bool) {
+	for _, tm := range times {
+		if tm >= now {
+			return tm, true
+		}
+	}
+	return 0, false
+}
+
+// TestSkipIdleMatchesIdleSteps pins the IdleSkipper contract
+// differentially: over random sparse instances (releases stretched so
+// long idle gaps occur mid-run), skipping idle stretches must yield a
+// schedule, trigger sequence, and clock identical to literally stepping
+// every tick.
+func TestSkipIdleMatchesIdleSteps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 3))
+	for trial := 0; trial < 300; trial++ {
+		in := randomInstance(rng, 1, trial%2 == 1)
+		// Stretch releases to open idle gaps far longer than T.
+		stretch := int64(1 + rng.IntN(50))
+		releases := make([]int64, in.N())
+		weights := make([]int64, in.N())
+		for i, j := range in.Jobs {
+			releases[i] = j.Release * stretch
+			weights[i] = j.Weight
+		}
+		in = core.MustInstance(1, in.T, releases, weights).Canonicalize()
+		g := int64(rng.IntN(40))
+
+		mk := NewAlg2Stepper
+		if trial%2 == 0 {
+			mk = NewAlg1Stepper
+		}
+		refSched, refTriggers := driveStepper(mk(in.T, g), in)
+		skipSt := mk(in.T, g)
+		skipSched, skipTriggers := driveStepperSkipping(skipSt, in)
+
+		if !sameSchedule(refSched, skipSched) {
+			t.Fatalf("trial %d (stretch=%d G=%d): skip != literal\nref:  %v\nskip: %v",
+				trial, stretch, g, refSched.Assignments, skipSched.Assignments)
+		}
+		if len(refTriggers) != len(skipTriggers) {
+			t.Fatalf("trial %d: %d triggers vs %d", trial, len(skipTriggers), len(refTriggers))
+		}
+		for i := range refTriggers {
+			if refTriggers[i] != skipTriggers[i] {
+				t.Fatalf("trial %d: trigger %d = %v, ref %v", trial, i, skipTriggers[i], refTriggers[i])
+			}
+		}
+	}
+}
+
+// TestSkipIdleGuards pins the edge contract: no-op when the target is in
+// the past, panic when jobs are pending.
+func TestSkipIdleGuards(t *testing.T) {
+	st := NewAlg2Stepper(4, 8)
+	st.SkipIdle(10)
+	if st.Now() != 10 {
+		t.Fatalf("Now = %d after SkipIdle(10)", st.Now())
+	}
+	st.SkipIdle(3) // past: no-op
+	if st.Now() != 10 {
+		t.Fatalf("Now = %d after no-op skip, want 10", st.Now())
+	}
+	st.Step([]core.Job{{ID: 0, Release: 10, Weight: 1}})
+	if st.Pending() == 0 {
+		t.Skip("job ran immediately; cannot exercise the pending guard")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SkipIdle with pending jobs did not panic")
+		}
+	}()
+	st.SkipIdle(100)
 }

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -133,16 +134,21 @@ func scheduleJSON(t *testing.T, m *Manager, id string) string {
 // snapshot cadences (including cadence 1, all-snapshot, and a cadence
 // that never snapshots).
 func TestCrashRecoveryDifferential(t *testing.T) {
-	policies := []store.FsyncPolicy{store.FsyncNone, store.FsyncBatch, store.FsyncAlways}
+	configs := []store.Options{
+		{Fsync: store.FsyncNone},
+		{Fsync: store.FsyncBatch, BatchEvery: 7},
+		{Fsync: store.FsyncAlways},
+		{Fsync: store.FsyncAlways, GroupCommit: true},
+	}
 	cadences := []int{1, 3, 5, 1 << 30}
 	for trial := 0; trial < 8; trial++ {
 		rng := rand.New(rand.NewPCG(77, uint64(trial)))
 		sessions, ops := buildScript(rng, 60)
 		killAt := rng.IntN(len(ops) + 1)
 		cadence := cadences[trial%len(cadences)]
-		policy := policies[trial%len(policies)]
+		opts := configs[trial%len(configs)]
 
-		st, err := store.Open(t.TempDir(), store.Options{Fsync: policy, BatchEvery: 7})
+		st, err := store.Open(t.TempDir(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,8 +201,8 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 		for i, id := range ids {
 			got, want := scheduleJSON(t, b, id), scheduleJSON(t, ref, id)
 			if got != want {
-				t.Fatalf("trial %d (kill at %d/%d, fsync=%s, snapshot-every=%d): session %d diverged after recovery\nrecovered: %s\nreference: %s",
-					trial, killAt, len(ops), policy, cadence, i, got, want)
+				t.Fatalf("trial %d (kill at %d/%d, fsync=%s, group=%v, snapshot-every=%d): session %d diverged after recovery\nrecovered: %s\nreference: %s",
+					trial, killAt, len(ops), opts.Fsync, opts.GroupCommit, cadence, i, got, want)
 			}
 		}
 
@@ -208,6 +214,117 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 			t.Fatal(err)
 		}
 		cancel()
+		st.Close()
+	}
+}
+
+// TestGroupCommitDifferentialConcurrent drives N sessions concurrently —
+// their appends interleaving inside shared commit groups — and requires
+// every schedule byte-identical to an in-memory reference run of the
+// same per-session scripts. Under -race this also proves the committer's
+// synchronization with N live session workers.
+func TestGroupCommitDifferentialConcurrent(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{Fsync: store.FsyncAlways, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m, err := NewManager(Config{Store: st, SnapshotEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewManager(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const numSessions = 6
+	type script struct {
+		id  string
+		ops []scriptOp
+	}
+	scripts := make([]script, numSessions)
+	for i := range scripts {
+		req := CreateSessionRequest{Alg: "alg2", T: 4 + int64(i), G: 3 * int64(i)}
+		infoA, err := m.Create(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Create(req); err != nil {
+			t.Fatal(err)
+		}
+		// One single-session script per goroutine, so each session's
+		// command order is deterministic while the sessions interleave
+		// freely inside shared commit groups.
+		rng := rand.New(rand.NewPCG(99, uint64(i)))
+		var clock int64
+		ops := make([]scriptOp, 0, 40)
+		for len(ops) < 40 {
+			if rng.IntN(2) == 0 {
+				jobs := make([]JobSpec, 1+rng.IntN(3))
+				for j := range jobs {
+					jobs[j] = JobSpec{Release: clock + int64(rng.IntN(20)), Weight: 1 + int64(rng.IntN(9))}
+				}
+				ops = append(ops, scriptOp{jobs: jobs})
+			} else {
+				k := 1 + int64(rng.IntN(12))
+				ops = append(ops, scriptOp{steps: k})
+				clock += k
+			}
+		}
+		scripts[i] = script{id: infoA.ID, ops: ops}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, numSessions*2)
+	for si, sc := range scripts {
+		for mi, mgr := range []*Manager{m, ref} {
+			wg.Add(1)
+			go func(slot int, mgr *Manager, sc script) {
+				defer wg.Done()
+				s, err := mgr.Get(sc.id)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				for _, o := range sc.ops {
+					if o.jobs != nil {
+						_, err = s.Arrivals(o.jobs, nil)
+					} else {
+						_, err = s.Step(o.steps, 100_000, nil)
+					}
+					if err != nil {
+						errs[slot] = err
+						return
+					}
+				}
+			}(si*2+mi, mgr, sc)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, sc := range scripts {
+		got, want := scheduleJSON(t, m, sc.id), scheduleJSON(t, ref, sc.id)
+		if got != want {
+			t.Fatalf("session %d diverged under concurrent group commit\ngot:  %s\nwant: %s", i, got, want)
+		}
+	}
+	if c := st.Committer(); c.Records() == 0 {
+		t.Fatal("no records rode the group committer")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Shutdown(ctx); err != nil {
+		t.Fatal(err)
 	}
 }
 

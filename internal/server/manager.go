@@ -138,6 +138,14 @@ func NewManager(cfg Config) (*Manager, error) {
 		if err := m.recoverSessions(); err != nil {
 			return nil, err
 		}
+		// Group-commit visibility: one observer call per committed group,
+		// before any session traffic can race the install.
+		if c := m.cfg.Store.Committer(); c != nil {
+			c.SetObserver(func(records, logs int) {
+				metrics.GroupCommits.Add(1)
+				metrics.GroupCommitRecords.Add(int64(records))
+			})
+		}
 	}
 	if m.cfg.IdleTTL > 0 {
 		go m.janitor()

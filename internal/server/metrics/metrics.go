@@ -70,6 +70,12 @@ var (
 	WALAppends = expvar.NewInt("calibserved.wal.appends")
 	// WALBytes counts bytes appended across all session WALs.
 	WALBytes = expvar.NewInt("calibserved.wal.bytes")
+	// GroupCommits counts fsync groups committed by the store's group
+	// committer (-fsync always with group commit enabled).
+	GroupCommits = expvar.NewInt("calibserved.wal.group_commits")
+	// GroupCommitRecords counts records made durable through those
+	// groups; records/commits is the live amortization factor.
+	GroupCommitRecords = expvar.NewInt("calibserved.wal.group_commit_records")
 	// SnapshotsWritten counts snapshots persisted; each one truncates the
 	// WAL behind it.
 	SnapshotsWritten = expvar.NewInt("calibserved.snapshots.written")

@@ -30,9 +30,16 @@ type persister struct {
 	// Fsync attribution for traced appends. timing is armed only between
 	// begin and end on the owning goroutine; the log's sync observer adds
 	// into syncWait while armed and is a no-op otherwise (snapshot-path
-	// syncs outside an append stay unattributed).
+	// syncs outside an append stay unattributed). Under group commit the
+	// observer reports the whole commit wait (write + shared fsync) as
+	// fsync time, since the wait is fsync-dominated.
 	timing   bool
 	syncWait time.Duration
+
+	// jobs is the arrivals-encoding scratch reused across appends so a
+	// steady-state arrivals batch allocates only its JSON. Owned by the
+	// same goroutine as the log; the append marshals it before returning.
+	jobs []store.JobRec
 }
 
 // newPersister attaches a persister to its log and installs the fsync
@@ -83,10 +90,11 @@ func (p *persister) end(act *trace.Active, start time.Time) {
 // baseID is the ID the first job of the batch will be assigned; recovery
 // asserts replay reassigns the same IDs.
 func (p *persister) appendArrivals(specs []JobSpec, baseID int, act *trace.Active) error {
-	cmd := store.ArrivalsCommand{Jobs: make([]store.JobRec, len(specs))}
+	p.jobs = p.jobs[:0]
 	for i, js := range specs {
-		cmd.Jobs[i] = store.JobRec{ID: baseID + i, Release: js.Release, Weight: js.Weight}
+		p.jobs = append(p.jobs, store.JobRec{ID: baseID + i, Release: js.Release, Weight: js.Weight})
 	}
+	cmd := store.ArrivalsCommand{Jobs: p.jobs}
 	start := p.begin(act)
 	n, err := p.log.AppendArrivals(cmd)
 	p.end(act, start)
@@ -208,6 +216,7 @@ func (s *session) loadSnapshot(snap *store.Snapshot) error {
 		return err
 	}
 	s.eng = eng
+	s.skipper, _ = eng.(online.IdleSkipper)
 	s.jobs = make([]core.Job, len(snap.Jobs))
 	for i, j := range snap.Jobs {
 		s.jobs[i] = core.Job{ID: j.ID, Release: j.Release, Weight: j.Weight}

@@ -54,6 +54,16 @@ type session struct {
 	jobs   []core.Job            // every accepted job, indexed by ID
 	broken error                 // sticky failure from a recovered panic
 
+	// skipper caches the engine's IdleSkipper capability (nil when the
+	// backend can't fast-forward); refreshed whenever eng is replaced
+	// (snapshot restore). Worker-owned like eng.
+	skipper online.IdleSkipper
+
+	// arrivals is the maturation scratch slice reused across every
+	// sub-step of every Step call, so feeding buffered jobs to the
+	// engine allocates nothing in steady state. Worker-owned.
+	arrivals []core.Job
+
 	// per is the write-ahead persistence hook; nil runs in-memory only,
 	// and every persistence call sits behind that one pointer check so
 	// the nil path costs nothing on the hot path.
@@ -96,9 +106,20 @@ func makeSession(id string, spec online.EngineSpec, t, g int64, maxBuffer, trace
 			return a.ID < b.ID
 		}),
 	}
+	s.skipper, _ = s.eng.(online.IdleSkipper)
 	s.lastActive.Store(now.UnixNano())
 	return s
 }
+
+// noEvents is the shared empty event list for quiet step batches. Its
+// capacity is zero, so any append allocates a fresh backing array — the
+// shared value itself is never mutated.
+var noEvents = make([]StepEventJSON, 0)
+
+// ranPool recycles the per-command completion channels of doTraced. The
+// channels are buffered (capacity 1) so completion is signalled by a
+// send, which unlike close leaves the channel reusable.
+var ranPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 
 // work is the session's worker loop. On quit it finishes every command
 // that was already accepted (the channel is unbuffered, so "accepted"
@@ -138,13 +159,13 @@ func (s *session) do(fn func()) error { return s.doTraced(nil, fn) }
 // directly — safe without locks because the handler blocks on ran until
 // the closure finishes, so ownership is handed off, never shared.
 func (s *session) doTraced(act *trace.Active, fn func()) error {
-	ran := make(chan struct{})
+	ran := ranPool.Get().(chan struct{})
 	var submitted time.Time
 	if act != nil {
 		submitted = time.Now()
 	}
 	wrapped := func() {
-		defer close(ran)
+		defer func() { ran <- struct{}{} }()
 		if act != nil {
 			act.Phase(trace.PhaseQueueWait, submitted, time.Since(submitted))
 		}
@@ -154,8 +175,12 @@ func (s *session) doTraced(act *trace.Active, fn func()) error {
 	case s.cmds <- wrapped:
 		s.lastActive.Store(time.Now().UnixNano())
 		<-ran
+		ranPool.Put(ran)
 		return nil
 	case <-s.done:
+		// wrapped was never submitted, so nothing will ever send on ran;
+		// it is clean for reuse.
+		ranPool.Put(ran)
 		return &apiError{status: 503, msg: fmt.Sprintf("session %s is shut down", s.id)}
 	}
 }
@@ -287,26 +312,43 @@ func (s *session) advance(k, maxBatch int64, act *trace.Active) (StepResponse, e
 			return StepResponse{}, &apiError{status: 500, msg: fmt.Sprintf("persisting step: %v", err)}
 		}
 	}
-	resp := StepResponse{Events: []StepEventJSON{}, Stepped: k}
+	resp := StepResponse{Events: noEvents, Stepped: k}
 	var stepStart time.Time
 	if act != nil {
 		stepStart = time.Now()
 	}
-	var arrivals []core.Job
-	for i := int64(0); i < k; i++ {
+	for i := int64(0); i < k; {
 		now := s.eng.Now()
-		arrivals = arrivals[:0]
-		for !s.buffer.Empty() && s.buffer.Peek().Release == now {
-			arrivals = append(arrivals, s.buffer.Pop())
+		// Fast-forward (internal/simul's event-skipping, ported to the
+		// serving path): with nothing pending inside the engine, steps up
+		// to the next buffered release are pure clock ticks — quiet steps
+		// are elided from the event list anyway, so jumping the clock is
+		// response- and replay-identical to stepping them one by one.
+		if s.skipper != nil && s.eng.Pending() == 0 {
+			target := now + (k - i)
+			if !s.buffer.Empty() {
+				if next := s.buffer.Peek().Release; next < target {
+					target = next
+				}
+			}
+			if target > now {
+				s.skipper.SkipIdle(target)
+				i += target - now
+				continue
+			}
 		}
-		if len(arrivals) > 0 {
+		s.arrivals = s.arrivals[:0]
+		for !s.buffer.Empty() && s.buffer.Peek().Release == now {
+			s.arrivals = append(s.arrivals, s.buffer.Pop())
+		}
+		if len(s.arrivals) > 0 {
 			// Settle the gauge before Step: if the engine panics (overflow
 			// in its exact arithmetic), the fed jobs are already off the
 			// depth gauge instead of lingering as a stale contribution.
-			metrics.QueueDepth.Add(-int64(len(arrivals)))
-			s.depth.Add(-int64(len(arrivals)))
+			metrics.QueueDepth.Add(-int64(len(s.arrivals)))
+			s.depth.Add(-int64(len(s.arrivals)))
 		}
-		ev := s.eng.Step(arrivals)
+		ev := s.eng.Step(s.arrivals)
 		if ev.Calibrated || ev.Ran >= 0 {
 			e := StepEventJSON{Time: ev.Time, Calibrated: ev.Calibrated, Ran: ev.Ran}
 			if ev.Calibrated {
@@ -314,6 +356,7 @@ func (s *session) advance(k, maxBatch int64, act *trace.Active) (StepResponse, e
 			}
 			resp.Events = append(resp.Events, e)
 		}
+		i++
 	}
 	if act != nil {
 		// One engine-step phase covers the whole k-step batch, maturation

@@ -1,0 +1,387 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGroupCommitConcurrent drives N session workers appending through
+// the shared committer at once (the shape the server produces under
+// concurrent load) and proves that every acknowledged record is
+// recoverable from every log — group batching must never reorder,
+// merge, or drop records within a session. Run under -race in CI, this
+// also pins the committer's synchronization story.
+func TestGroupCommitConcurrent(t *testing.T) {
+	const sessions, steps = 8, 40
+	s := openTestStore(t, Options{Fsync: FsyncAlways, GroupCommit: true})
+	if s.Committer() == nil {
+		t.Fatal("group-commit store has no committer")
+	}
+
+	logs := make([]*Log, sessions)
+	for i := range logs {
+		l, err := s.Create(fmt.Sprintf("s-%06d", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.AppendCreate(CreateCommand{Alg: "alg2", T: 5, G: 10}); err != nil {
+			t.Fatal(err)
+		}
+		logs[i] = l
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for i, l := range logs {
+		wg.Add(1)
+		go func(i int, l *Log) {
+			defer wg.Done()
+			for k := 1; k <= steps; k++ {
+				if _, err := l.AppendSteps(StepsCommand{K: int64(k)}); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, l)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d append: %v", i, err)
+		}
+	}
+	for _, l := range logs {
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := s.Committer().Records(); got != sessions*(steps+1) {
+		t.Fatalf("committer records = %d, want %d", got, sessions*(steps+1))
+	}
+	if g := s.Committer().Groups(); g == 0 || g > s.Committer().Records() {
+		t.Fatalf("committer groups = %d (records %d)", g, s.Committer().Records())
+	}
+	s.Close()
+
+	rec := recoverOne(t, s)
+	if len(rec.Failed) != 0 || len(rec.Sessions) != sessions {
+		t.Fatalf("recovered %d sessions, %d failed: %+v", len(rec.Sessions), len(rec.Failed), rec.Failed)
+	}
+	for _, rs := range rec.Sessions {
+		if rs.Truncated {
+			t.Fatalf("session %s truncated after clean close", rs.ID)
+		}
+		if len(rs.Commands) != steps {
+			t.Fatalf("session %s recovered %d commands, want %d", rs.ID, len(rs.Commands), steps)
+		}
+		// Within a session the committed order is the append order.
+		for k, cmd := range rs.Commands {
+			if cmd.Steps == nil || cmd.Steps.K != int64(k+1) {
+				t.Fatalf("session %s command %d = %+v, want K=%d", rs.ID, k, cmd, k+1)
+			}
+		}
+		rs.Log.Close()
+	}
+}
+
+// TestGroupCommitSingleWaiter proves the degenerate case: one in-flight
+// append forms a group of one and keeps exact per-record durability.
+func TestGroupCommitSingleWaiter(t *testing.T) {
+	s := openTestStore(t, Options{Fsync: FsyncAlways, GroupCommit: true})
+	l := writeSession(t, s, "s-000001")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Committer().Records(); got != 3 {
+		t.Fatalf("committer records = %d, want 3", got)
+	}
+	s.Close()
+
+	rs := recoverOne(t, s).Sessions[0]
+	defer rs.Log.Close()
+	if len(rs.Commands) != 2 {
+		t.Fatalf("recovered %d commands, want 2", len(rs.Commands))
+	}
+}
+
+// TestGroupSyncErrorFansOut pins the failure semantics: when the
+// journal write or fsync fails, every waiter whose record rode that
+// group observes the error — none is told its command is durable — the
+// logs involved are poisoned against further appends, and the journal
+// is marked broken so later groups fail fast.
+func TestGroupSyncErrorFansOut(t *testing.T) {
+	s := openTestStore(t, Options{Fsync: FsyncAlways, GroupCommit: true})
+	l, err := s.Create("s-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := l.AppendCreate(CreateCommand{Alg: "alg2", T: 5, G: 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force the journal append to fail: close its fd out from under the
+	// committer (the moral equivalent of the device going away). The
+	// committer is idle — no requests in flight — so driving commitGroup
+	// directly from here is the same single-threaded access its own
+	// goroutine would perform.
+	s.Committer().j.f.Close()
+
+	// Several waiters deterministically share the one failed group (the
+	// channel path can't guarantee co-batching).
+	batch := make([]*commitReq, 3)
+	for i := range batch {
+		l.seq++
+		batch[i] = &commitReq{
+			log:  l,
+			buf:  appendRecord(nil, RecordSteps, l.seq, []byte(`{"k":1}`)),
+			done: make(chan struct{}),
+		}
+	}
+	s.Committer().commitGroup(batch)
+
+	for i, req := range batch {
+		select {
+		case <-req.done:
+		default:
+			t.Fatalf("waiter %d never released", i)
+		}
+		if req.err == nil || !strings.Contains(req.err.Error(), "group journal failed") {
+			t.Fatalf("waiter %d error = %v, want the journal failure", i, req.err)
+		}
+	}
+	if l.Poisoned() == nil {
+		t.Fatal("log not poisoned after failed group")
+	}
+	if s.Committer().Groups() != 1 { // only the create's group counted
+		t.Fatalf("failed group counted: groups = %d", s.Committer().Groups())
+	}
+	if _, err := l.AppendSteps(StepsCommand{K: 1}); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("append after failed group = %v, want poisoned error", err)
+	}
+
+	// A fresh log hitting the broken journal fails fast without touching
+	// the file, and its waiter still observes the breakage.
+	l2, err := s.Create("s-000002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.AppendCreate(CreateCommand{Alg: "alg2", T: 5, G: 10}); err == nil || !strings.Contains(err.Error(), "group journal failed") {
+		t.Fatalf("append on broken journal = %v, want the journal failure", err)
+	}
+}
+
+// TestJournalRestoresLostWalTail is the machine-crash durability test
+// for group commit: session WAL writes are acknowledged without their
+// own fsync, so after a power loss the WAL file may be missing records
+// the client was told are durable. The journal — fsynced per group —
+// must restore them. Simulated by truncating the WAL behind the
+// store's back and recovering twice (double-crash idempotence).
+func TestJournalRestoresLostWalTail(t *testing.T) {
+	const steps = 5
+	s := openTestStore(t, Options{Fsync: FsyncAlways, GroupCommit: true})
+	defer s.Close()
+	l, err := s.Create("s-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCreate(CreateCommand{Alg: "alg2", T: 5, G: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= steps; k++ {
+		if _, err := l.AppendSteps(StepsCommand{K: int64(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Abort()
+
+	// Power loss: the WAL's unsynced pages never reached the platter.
+	walPath := l.Dir() + "/" + walName
+	if err := os.Truncate(walPath, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	for pass := 1; pass <= 2; pass++ {
+		rec := recoverOne(t, s)
+		if len(rec.Failed) != 0 || len(rec.Sessions) != 1 {
+			t.Fatalf("pass %d: recovered %d sessions, %d failed: %+v",
+				pass, len(rec.Sessions), len(rec.Failed), rec.Failed)
+		}
+		rs := rec.Sessions[0]
+		if len(rs.Commands) != steps {
+			t.Fatalf("pass %d: recovered %d commands, want %d", pass, len(rs.Commands), steps)
+		}
+		for k, cmd := range rs.Commands {
+			if cmd.Steps == nil || cmd.Steps.K != int64(k+1) {
+				t.Fatalf("pass %d: command %d = %+v, want K=%d", pass, k, cmd, k+1)
+			}
+		}
+		rs.Log.Abort() // keep the on-disk state as the merge left it
+	}
+
+	// The merge made the journal's copies redundant and dropped them.
+	if fi, err := os.Stat(s.Root() + "/" + journalName); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal not truncated after merge: %v, size %d", err, fi.Size())
+	}
+}
+
+// TestJournalTornTailIgnored: a crash mid-group leaves a torn entry at
+// the journal's end; none of that group's records were acknowledged, so
+// recovery must serve exactly the acknowledged prefix and discard the
+// tail without failing the session.
+func TestJournalTornTailIgnored(t *testing.T) {
+	s := openTestStore(t, Options{Fsync: FsyncAlways, GroupCommit: true})
+	defer s.Close()
+	l, err := s.Create("s-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCreate(CreateCommand{Alg: "alg2", T: 5, G: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendSteps(StepsCommand{K: 7}); err != nil {
+		t.Fatal(err)
+	}
+	l.Abort()
+
+	// Lose the WAL (power loss) and tear the journal's tail (the crash
+	// interrupted the next group's write).
+	if err := os.Truncate(l.Dir()+"/"+walName, 0); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := os.OpenFile(s.Root()+"/"+journalName, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := appendGroupEntry(nil, 99, "s-000001", appendRecord(nil, RecordSteps, 9, []byte(`{"k":9}`)))
+	if _, err := jf.Write(entry[:len(entry)/2]); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	rs := recoverOne(t, s).Sessions[0]
+	defer rs.Log.Close()
+	if len(rs.Commands) != 1 || rs.Commands[0].Steps == nil || rs.Commands[0].Steps.K != 7 {
+		t.Fatalf("recovered commands = %+v, want the single acknowledged step", rs.Commands)
+	}
+}
+
+// TestCommitterStopFailsWaiters proves Store.Close never strands a
+// worker: appends racing the stop either commit or fail cleanly with
+// ErrCommitterStopped, and appends after the stop always fail.
+func TestCommitterStopFailsWaiters(t *testing.T) {
+	s := openTestStore(t, Options{Fsync: FsyncAlways, GroupCommit: true})
+	l, err := s.Create("s-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendCreate(CreateCommand{Alg: "alg2", T: 5, G: 10}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := l.AppendSteps(StepsCommand{K: 1}); !errors.Is(err, ErrCommitterStopped) {
+		t.Fatalf("append after store close = %v, want ErrCommitterStopped", err)
+	}
+	// The record the stopped committer rejected must not surface in
+	// recovery: nothing was acknowledged, nothing may reappear.
+	l.Abort()
+	rs := recoverOne(t, s).Sessions[0]
+	defer rs.Log.Close()
+	if len(rs.Commands) != 0 {
+		t.Fatalf("unacknowledged command recovered: %+v", rs.Commands)
+	}
+}
+
+// TestTornMiddlePoisonsLog is the regression test for the
+// acknowledged-then-lost bug: a failed (short) write used to leave the
+// log accepting appends behind a corrupt frame, so recovery's
+// torn-tail truncation silently discarded every later acknowledged
+// record. Now the failure poisons the log: the torn append and every
+// subsequent one fail loudly, so nothing acknowledged is ever lost.
+func TestTornMiddlePoisonsLog(t *testing.T) {
+	for _, opts := range []Options{
+		{Fsync: FsyncNone},
+		{Fsync: FsyncAlways},
+		{Fsync: FsyncAlways, GroupCommit: true},
+	} {
+		name := opts.Fsync.String()
+		if opts.GroupCommit {
+			name += "/group"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := openTestStore(t, opts)
+			defer s.Close()
+			l, err := s.Create("s-000001")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.AppendCreate(CreateCommand{Alg: "alg2", T: 5, G: 10}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.AppendSteps(StepsCommand{K: 1}); err != nil {
+				t.Fatal(err)
+			}
+
+			// One short write: half the frame reaches the file, as when
+			// the disk fills or the kernel interrupts the write.
+			torn := true
+			l.writef = func(buf []byte) (int, error) {
+				if torn {
+					torn = false
+					n, _ := l.f.Write(buf[:len(buf)/2])
+					return n, nil
+				}
+				return l.f.Write(buf)
+			}
+			if _, err := l.AppendSteps(StepsCommand{K: 2}); err == nil {
+				t.Fatal("short write acknowledged")
+			}
+			// The next append must fail too — were it accepted, recovery
+			// would truncate it away behind the torn frame.
+			if _, err := l.AppendSteps(StepsCommand{K: 3}); err == nil || !strings.Contains(err.Error(), "poisoned") {
+				t.Fatalf("append after torn write = %v, want poisoned error", err)
+			}
+			if err := l.WriteSnapshot(&Snapshot{Create: CreateCommand{Alg: "alg2", T: 5, G: 10}}); err == nil {
+				t.Fatal("snapshot accepted on poisoned log")
+			}
+			l.Abort()
+
+			// Recovery serves exactly the acknowledged prefix.
+			rs := recoverOne(t, s).Sessions[0]
+			defer rs.Log.Close()
+			if !rs.Truncated {
+				t.Fatal("torn middle not reported as truncation")
+			}
+			if len(rs.Commands) != 1 || rs.Commands[0].Steps == nil || rs.Commands[0].Steps.K != 1 {
+				t.Fatalf("recovered commands = %+v, want the single acknowledged step", rs.Commands)
+			}
+		})
+	}
+}
+
+// TestAppendRecordReusesScratch pins the zero-alloc framing contract:
+// encoding into a warm scratch buffer must not allocate, and the framed
+// bytes must be identical to a fresh encode.
+func TestAppendRecordReusesScratch(t *testing.T) {
+	payload := []byte(`{"k":42}`)
+	fresh := appendRecord(nil, RecordSteps, 7, payload)
+	scratch := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = appendRecord(scratch[:0], RecordSteps, 7, payload)
+	})
+	if allocs != 0 {
+		t.Fatalf("appendRecord into warm scratch allocates %.1f/op", allocs)
+	}
+	if string(scratch) != string(fresh) {
+		t.Fatal("scratch encode differs from fresh encode")
+	}
+	rec, n, err := readRecord(scratch)
+	if err != nil || n != len(scratch) || rec.Seq != 7 || string(rec.Payload) != string(payload) {
+		t.Fatalf("round trip: rec=%+v n=%d err=%v", rec, n, err)
+	}
+}

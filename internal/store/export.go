@@ -73,7 +73,7 @@ func (s *Store) ImportSession(id string, create CreateCommand, snap *Snapshot, c
 	if err != nil {
 		return nil, fmt.Errorf("store: creating wal: %w", err)
 	}
-	l := &Log{dir: dir, f: f, fsync: s.fsync, batchEvery: s.batchEvery}
+	l := s.newLog(dir, f, 0)
 	if err := l.importState(create, snap, cmds); err != nil {
 		if cErr := l.Close(); cErr != nil {
 			err = fmt.Errorf("%w (and closing the partial wal: %v)", err, cErr)

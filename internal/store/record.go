@@ -36,6 +36,12 @@ const (
 	// RecordSnapshot frames the snapshot file's single record; it never
 	// appears in the WAL itself.
 	RecordSnapshot RecordType = 4
+	// RecordGroupEntry frames one group-commit journal entry. It appears
+	// only in the store-level commit.log, never in a session WAL. Its
+	// payload is [uint16 LE sid length][sid][complete session record
+	// frame] — the inner frame is byte-identical to what the session WAL
+	// received, so recovery can splice it straight in.
+	RecordGroupEntry RecordType = 5
 )
 
 // recordVersion is the current framing version; readers reject anything
@@ -70,16 +76,50 @@ type Record struct {
 }
 
 // appendRecord encodes one record onto buf and returns the extended
-// slice.
+// slice. The body is framed directly into buf with the CRC patched in
+// afterward, so encoding into a reused scratch buffer with sufficient
+// capacity allocates nothing.
 func appendRecord(buf []byte, typ RecordType, seq uint64, payload []byte) []byte {
-	bodyLen := bodyPrefixLen + len(payload)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(bodyLen))
-	body := make([]byte, 0, bodyLen)
-	body = append(body, recordVersion, byte(typ))
-	body = binary.LittleEndian.AppendUint64(body, seq)
-	body = append(body, payload...)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, crcTable))
-	return append(buf, body...)
+	base := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(bodyPrefixLen+len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // CRC placeholder
+	buf = append(buf, recordVersion, byte(typ))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, payload...)
+	body := buf[base+recordHeaderLen:]
+	binary.LittleEndian.PutUint32(buf[base+4:], crc32.Checksum(body, crcTable))
+	return buf
+}
+
+// appendGroupEntry frames one journal entry (a session id plus that
+// session's already-framed record) onto buf. Like appendRecord, it
+// encodes in place and patches the CRC afterward, so the committer's
+// reused journal buffer allocates nothing in steady state.
+func appendGroupEntry(buf []byte, seq uint64, sid string, frame []byte) []byte {
+	base := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(bodyPrefixLen+2+len(sid)+len(frame)))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // CRC placeholder
+	buf = append(buf, recordVersion, byte(RecordGroupEntry))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sid)))
+	buf = append(buf, sid...)
+	buf = append(buf, frame...)
+	body := buf[base+recordHeaderLen:]
+	binary.LittleEndian.PutUint32(buf[base+4:], crc32.Checksum(body, crcTable))
+	return buf
+}
+
+// decodeGroupEntry splits a RecordGroupEntry payload into the session
+// id and the inner session record frame.
+func decodeGroupEntry(payload []byte) (sid string, frame []byte, err error) {
+	if len(payload) < 2 {
+		return "", nil, fmt.Errorf("%w: group entry too short", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	if len(payload) < 2+n {
+		return "", nil, fmt.Errorf("%w: group entry sid truncated", ErrCorrupt)
+	}
+	return string(payload[2 : 2+n]), payload[2+n:], nil
 }
 
 // readRecord decodes the record starting at data[0]. It returns the
@@ -104,7 +144,7 @@ func readRecord(data []byte) (Record, int, error) {
 		return Record{}, 0, fmt.Errorf("%w: version %d", ErrCorrupt, body[0])
 	}
 	typ := RecordType(body[1])
-	if typ < RecordCreate || typ > RecordSnapshot {
+	if typ < RecordCreate || typ > RecordGroupEntry {
 		return Record{}, 0, fmt.Errorf("%w: type %d", ErrCorrupt, typ)
 	}
 	return Record{

@@ -50,6 +50,14 @@ type Recovery struct {
 // It never panics on any file contents and never surfaces a
 // checksum-invalid record.
 func (s *Store) Recover() (*Recovery, error) {
+	// Fold the group-commit journal's records back into their session
+	// WALs first, so the per-session scan below sees every acknowledged
+	// command even when a session WAL's own tail never left the page
+	// cache. Unconditional: the journal may be left over from a previous
+	// run with group commit enabled even if this boot disables it.
+	if err := s.mergeJournal(); err != nil {
+		return nil, err
+	}
 	ids, err := s.SessionIDs()
 	if err != nil {
 		return nil, err
@@ -64,6 +72,134 @@ func (s *Store) Recover() (*Recovery, error) {
 		rec.Sessions = append(rec.Sessions, *rs)
 	}
 	return rec, nil
+}
+
+// mergeJournal replays the group-commit journal into the session WALs
+// it covers, then truncates it. The journal's entries are the durable
+// copies of records whose session-WAL writes were acknowledged without
+// their own fsync (DESIGN.md §9); after a crash, any acknowledged
+// record missing from a session WAL is spliced back in here, and every
+// touched WAL is fsynced so the journal's copies become redundant
+// before the journal is dropped. A torn journal tail is a crash
+// mid-group — none of its records were acknowledged — and is discarded.
+// Running the merge twice is idempotent: the second pass finds an empty
+// journal, which is why a double kill -9 across reboots converges.
+func (s *Store) mergeJournal() error {
+	path := filepath.Join(s.root, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: reading group journal: %w", err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	perSid := make(map[string][][]byte)
+	var order []string
+	off := 0
+	for off < len(data) {
+		rec, n, err := readRecord(data[off:])
+		if err != nil || rec.Type != RecordGroupEntry {
+			break
+		}
+		sid, frame, err := decodeGroupEntry(rec.Payload)
+		if err != nil {
+			break
+		}
+		if _, ok := perSid[sid]; !ok {
+			order = append(order, sid)
+		}
+		perSid[sid] = append(perSid[sid], frame)
+		off += n
+	}
+	for _, sid := range order {
+		if err := s.mergeSessionTail(sid, perSid[sid]); err != nil {
+			return fmt.Errorf("store: merging journal into session %s: %w", sid, err)
+		}
+	}
+	// Every acknowledged record now rests durably in its session WAL;
+	// drop the journal so the next recovery (or a live committer sharing
+	// this store in tests) starts from an empty one.
+	if err := os.Truncate(path, 0); err != nil {
+		return fmt.Errorf("store: truncating group journal: %w", err)
+	}
+	return syncDir(s.root)
+}
+
+// mergeSessionTail splices one session's journal frames into its WAL.
+// Frames the WAL already holds are skipped by sequence number; a torn
+// WAL tail is cut first so the spliced frames extend a valid prefix.
+// The WAL is always fsynced when the journal covered it — even with
+// nothing to splice — because the journal about to be truncated may
+// hold the only durable copy of records sitting in the WAL's page
+// cache.
+func (s *Store) mergeSessionTail(sid string, frames [][]byte) error {
+	dir, err := s.dir(sid)
+	if err != nil {
+		return nil // unusable sid cannot name a session directory
+	}
+	if _, err := os.Stat(dir); err != nil {
+		if os.IsNotExist(err) {
+			return nil // session removed since the journal entry landed
+		}
+		return err
+	}
+	// Effective durable horizon: the snapshot's seq plus whatever valid
+	// records the WAL already holds. A corrupt snapshot contributes
+	// nothing — the session will degrade in recoverSession regardless.
+	last := uint64(0)
+	if snap, err := readSnapshot(filepath.Join(dir, snapName)); err == nil && snap != nil {
+		last = snap.Seq
+	}
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("reading wal: %w", err)
+	}
+	recs, validLen, _ := ScanRecords(data)
+	for _, r := range recs {
+		if r.Seq > last {
+			last = r.Seq
+		}
+	}
+	var missing [][]byte
+	for _, frame := range frames {
+		rec, _, err := readRecord(frame)
+		if err != nil {
+			continue // cannot happen: the journal entry's CRC covered it
+		}
+		if rec.Seq > last {
+			missing = append(missing, frame)
+			last = rec.Seq
+		}
+	}
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("reopening wal: %w", err)
+	}
+	if len(missing) > 0 && validLen < len(data) {
+		// The WAL's own torn tail is superseded by the journal's complete
+		// copies; cut it so the splice extends a valid prefix. (With
+		// nothing to splice the tail is left for recoverSession's usual
+		// truncation.)
+		if err := f.Truncate(int64(validLen)); err != nil {
+			f.Close() //caliblint:allow durablesync -- the truncate error is surfaced and the journal kept; the next boot retries the merge
+			return fmt.Errorf("cutting torn wal tail: %w", err)
+		}
+	}
+	for _, frame := range missing {
+		if _, err := f.Write(frame); err != nil {
+			f.Close() //caliblint:allow durablesync -- the write error is surfaced and the journal kept; the next boot retries the merge
+			return fmt.Errorf("splicing journal frame: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //caliblint:allow durablesync -- the sync error is surfaced and the journal kept; the next boot retries the merge
+		return fmt.Errorf("syncing merged wal: %w", err)
+	}
+	return f.Close()
 }
 
 // RecoverOne rebuilds a single session directory — Recover scoped to one
@@ -91,7 +227,7 @@ func (s *Store) recoverSession(id string) (*RecoveredSession, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: reopening wal: %w", err)
 	}
-	rs.Log = &Log{dir: filepath.Dir(walPath), f: f, fsync: s.fsync, batchEvery: s.batchEvery, seq: lastSeq}
+	rs.Log = s.newLog(filepath.Dir(walPath), f, lastSeq)
 	return rs, nil
 }
 

@@ -91,6 +91,13 @@ type Options struct {
 	// BatchEvery overrides the FsyncBatch cadence in records (default
 	// 64); ignored by the other policies.
 	BatchEvery int
+	// GroupCommit routes FsyncAlways appends through a store-wide
+	// committer goroutine that folds every command in flight into one
+	// group, journals the group to a single shared file, and issues one
+	// fsync — on the journal — for all of them (see committer.go).
+	// Per-record durability is unchanged; only the cost is amortized.
+	// Ignored by the other policies, which already batch or skip fsyncs.
+	GroupCommit bool
 }
 
 // Store is the root of the persistence layer: a directory holding one
@@ -101,6 +108,7 @@ type Store struct {
 	root       string
 	fsync      FsyncPolicy
 	batchEvery int
+	committer  *Committer
 }
 
 // Open validates the root directory and returns a Store. The directory
@@ -127,7 +135,38 @@ func Open(root string, opts Options) (*Store, error) {
 	if be <= 0 {
 		be = defaultBatchEvery
 	}
-	return &Store{root: root, fsync: opts.Fsync, batchEvery: be}, nil
+	st := &Store{root: root, fsync: opts.Fsync, batchEvery: be}
+	if opts.GroupCommit && opts.Fsync == FsyncAlways {
+		st.committer, err = newCommitter(root)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Close stops the store's group committer, if any, failing whatever was
+// still queued. Call after every session has settled and closed its log;
+// a Store without group commit needs no Close (it is then a no-op).
+func (s *Store) Close() {
+	if s.committer != nil {
+		s.committer.Stop()
+	}
+}
+
+// Committer exposes the group committer (nil unless group commit is
+// active) so the server can wire metrics to its per-group observer.
+func (s *Store) Committer() *Committer { return s.committer }
+
+// newLog attaches the store's configuration — including the shared
+// committer — to a freshly opened WAL fd. Every path that constructs a
+// Log (create, recovery, import) goes through here so group commit
+// cannot be silently bypassed for a subset of sessions.
+func (s *Store) newLog(dir string, f *os.File, seq uint64) *Log {
+	return &Log{
+		dir: dir, sid: filepath.Base(dir), f: f,
+		fsync: s.fsync, batchEvery: s.batchEvery, seq: seq, committer: s.committer,
+	}
 }
 
 // Root returns the store's root directory.
@@ -161,7 +200,7 @@ func (s *Store) Create(id string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: creating wal: %w", err)
 	}
-	return &Log{dir: dir, f: f, fsync: s.fsync, batchEvery: s.batchEvery}, nil
+	return s.newLog(dir, f, 0), nil
 }
 
 // Remove deletes the session's on-disk state entirely (DELETE and

@@ -19,6 +19,7 @@ const (
 // locks, keeping the scheduling hot path lock-free.
 type Log struct {
 	dir        string
+	sid        string
 	f          *os.File
 	fsync      FsyncPolicy
 	batchEvery int
@@ -26,6 +27,75 @@ type Log struct {
 	seq        uint64
 	closed     bool
 	onSync     func(time.Duration)
+
+	// poisoned latches the first write/sync failure. A torn or failed
+	// write leaves a corrupt frame mid-log; recovery truncates at the
+	// first bad frame, so any record appended *after* the failure would
+	// be acknowledged and then silently lost. Once poisoned, every
+	// append and snapshot fails until the session is rebuilt.
+	poisoned error
+
+	// committer, when set with FsyncAlways, routes appends through the
+	// store-wide group commit instead of a per-record fsync.
+	committer *Committer
+
+	// frame is the record-framing scratch buffer, reused across appends
+	// so the steady-state append path allocates nothing. Safe because
+	// appends are serialized by the owning worker, and the committer
+	// only reads the frame while that worker is blocked waiting on it.
+	frame []byte
+
+	// writef and syncf, when non-nil, replace f.Write / f.Sync — test
+	// hooks for injecting short writes and sync failures.
+	writef func([]byte) (int, error)
+	syncf  func() error
+}
+
+// poison latches err as the log's permanent failure state. Called on the
+// owning worker (local append path) or on the committer goroutine while
+// the worker is blocked in commit, so access is ordered either way.
+func (l *Log) poison(err error) {
+	if l.poisoned == nil {
+		l.poisoned = err
+	}
+}
+
+// Poisoned reports the latched write failure, if any.
+func (l *Log) Poisoned() error { return l.poisoned }
+
+// fileWrite routes through the short-write test hook when installed.
+func (l *Log) fileWrite(buf []byte) (int, error) {
+	if l.writef != nil {
+		return l.writef(buf)
+	}
+	return l.f.Write(buf)
+}
+
+// fileSync routes through the sync-failure test hook when installed.
+func (l *Log) fileSync() error {
+	if l.syncf != nil {
+		return l.syncf()
+	}
+	return l.f.Sync()
+}
+
+// writeFrame writes one framed record, poisoning the log on any failure
+// — including a short write, after which the tail of the frame is
+// missing and every later append would be truncated away by recovery.
+func (l *Log) writeFrame(buf []byte) error {
+	if l.poisoned != nil {
+		return fmt.Errorf("store: log %s poisoned by earlier write failure: %w", l.dir, l.poisoned)
+	}
+	n, err := l.fileWrite(buf)
+	if err == nil && n < len(buf) {
+		err = fmt.Errorf("store: short write (%d of %d bytes)", n, len(buf))
+	}
+	if err != nil {
+		err = fmt.Errorf("store: appending record %d: %w", l.seq, err)
+		l.poison(err)
+		return err
+	}
+	return nil
 }
 
 // SetSyncObserver installs a callback timing every fsync the log issues
@@ -38,10 +108,10 @@ func (l *Log) SetSyncObserver(fn func(time.Duration)) { l.onSync = fn }
 // sync runs one fsync, timing it when an observer is installed.
 func (l *Log) sync() error {
 	if l.onSync == nil {
-		return l.f.Sync()
+		return l.fileSync()
 	}
 	start := time.Now()
-	err := l.f.Sync()
+	err := l.fileSync()
 	l.onSync(time.Since(start))
 	return err
 }
@@ -55,29 +125,53 @@ func (l *Log) Seq() uint64 { return l.seq }
 func (l *Log) Dir() string { return l.dir }
 
 // append frames and writes one record, honoring the fsync policy. It
-// returns the bytes written for metrics accounting.
+// returns the bytes written for metrics accounting. The frame is built
+// in the log's reusable scratch buffer, so a steady-state append
+// allocates nothing beyond the caller's payload.
 func (l *Log) append(typ RecordType, payload []byte) (int, error) {
 	if l.closed {
 		return 0, fmt.Errorf("store: append to closed log %s", l.dir)
 	}
+	if l.poisoned != nil {
+		return 0, fmt.Errorf("store: log %s poisoned by earlier write failure: %w", l.dir, l.poisoned)
+	}
 	l.seq++
-	buf := appendRecord(nil, typ, l.seq, payload)
-	if _, err := l.f.Write(buf); err != nil {
-		return 0, fmt.Errorf("store: appending record %d: %w", l.seq, err)
+	l.frame = appendRecord(l.frame[:0], typ, l.seq, payload)
+
+	if l.committer != nil && l.fsync == FsyncAlways {
+		// Group-commit path: the committer performs both the write and
+		// the shared fsync; this worker blocks until the group is
+		// durable. With an observer installed the whole commit wait is
+		// attributed as fsync wait — the write is a few microseconds of
+		// it, the shared fsync the rest.
+		if l.onSync == nil {
+			return l.committer.commit(l, l.frame)
+		}
+		start := time.Now()
+		n, err := l.committer.commit(l, l.frame)
+		l.onSync(time.Since(start))
+		return n, err
+	}
+
+	if err := l.writeFrame(l.frame); err != nil {
+		return 0, err
 	}
 	switch l.fsync {
 	case FsyncAlways:
 		if err := l.sync(); err != nil {
-			return 0, fmt.Errorf("store: syncing record %d: %w", l.seq, err)
+			err = fmt.Errorf("store: syncing record %d: %w", l.seq, err)
+			l.poison(err)
+			return 0, err
 		}
 	case FsyncBatch:
 		if l.unsynced++; l.unsynced >= l.batchEvery {
 			if err := l.Sync(); err != nil {
+				l.poison(err)
 				return 0, err
 			}
 		}
 	}
-	return len(buf), nil
+	return len(l.frame), nil
 }
 
 // appendJSON marshals a command payload and appends it.
@@ -129,6 +223,11 @@ func (l *Log) Sync() error {
 func (l *Log) WriteSnapshot(snap *Snapshot) error {
 	if l.closed {
 		return fmt.Errorf("store: snapshot on closed log %s", l.dir)
+	}
+	// A poisoned log's tail is torn: a snapshot would claim a Seq whose
+	// record never became durable, so refuse and let the session degrade.
+	if l.poisoned != nil {
+		return fmt.Errorf("store: snapshot on poisoned log %s: %w", l.dir, l.poisoned)
 	}
 	// The WAL must be durable up to the state the snapshot captures
 	// before the old log prefix is dropped.
